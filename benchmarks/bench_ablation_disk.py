@@ -1,0 +1,18 @@
+"""Ablation: shard-fetch bandwidth vs GaaS-X load time."""
+
+from repro.experiments.ablations import disk_bandwidth_ablation
+
+
+def test_disk_bandwidth_ablation(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: disk_bandwidth_ablation(dataset="SD", profile=profile),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    loads = result.series_by_name("Load time (s)").values
+    # More bandwidth never increases load time.
+    assert all(b <= a * 1.001 for a, b in zip(loads, loads[1:]))
+    ratios = result.series_by_name("Total time vs no-I/O model").values
+    # The slowest disk must visibly hurt; a fast disk must not.
+    assert ratios[0] > ratios[-1]
+    assert ratios[-1] >= 1.0

@@ -1,0 +1,16 @@
+"""Ablation: shard interval size vs cost and hit-group shape."""
+
+from repro.experiments.ablations import interval_size_ablation
+
+
+def test_interval_size_ablation(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: interval_size_ablation(dataset="WV", profile=profile),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    fracs = result.series_by_name("Fraction 1-row MACs").values
+    assert all(0 <= f <= 1 for f in fracs)
+    if profile != "tiny":
+        # Smaller intervals scatter hub in-edges -> more 1-row MACs.
+        assert fracs[0] >= fracs[-1]

@@ -1,0 +1,13 @@
+"""Ablation: vertex-id locality vs dense-mapping overhead."""
+
+from repro.experiments.ablations import locality_ablation
+
+
+def test_locality_ablation(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: locality_ablation(profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    clustered = result.series_by_name("Clustered (SNAP-like)").values
+    shuffled = result.series_by_name("Shuffled ids").values
+    assert all(s > c for c, s in zip(clustered, shuffled))

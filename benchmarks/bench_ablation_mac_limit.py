@@ -1,0 +1,16 @@
+"""Ablation: MAC accumulation-limit sweep (DESIGN.md abl-maclimit)."""
+
+from repro.experiments.ablations import mac_limit_sweep
+
+
+def test_mac_limit_sweep(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: mac_limit_sweep(dataset="WV", profile=profile),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    bits = result.series_by_name("Required ADC bits").values
+    assert bits == sorted(bits)  # bigger limits need wider ADCs
+    # The design point (16) must need exactly 6 bits, as the paper says.
+    labels = result.series_by_name("Required ADC bits").labels
+    assert bits[labels.index("16")] == 6.0

@@ -1,0 +1,14 @@
+"""Ablation: fixed-point value precision vs accuracy."""
+
+from repro.experiments.ablations import precision_ablation
+
+
+def test_precision_ablation(benchmark, emit):
+    result = benchmark.pedantic(precision_ablation, rounds=1, iterations=1)
+    emit(result)
+    errors = result.series_by_name("Max relative error").values
+    # Error falls monotonically with precision...
+    assert all(b < a for a, b in zip(errors, errors[1:]))
+    # ...and the paper's 16-bit design point is accurate to a few %.
+    labels = result.series_by_name("Max relative error").labels
+    assert errors[labels.index("16")] < 0.05

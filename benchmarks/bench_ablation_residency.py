@@ -1,0 +1,14 @@
+"""Ablation: resident vs streaming storage model (DESIGN.md §5)."""
+
+from repro.experiments.ablations import residency_ablation
+
+
+def test_residency_ablation(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: residency_ablation(dataset="SD", profile=profile),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    ratios = result.series_by_name("Time ratio").values
+    # Streaming must cost strictly more on every kernel.
+    assert all(r > 1 for r in ratios)

@@ -1,0 +1,15 @@
+"""Ablation: GraphR dense-tile size sweep (DESIGN.md abl-tile)."""
+
+from repro.experiments.ablations import tile_size_sweep
+
+
+def test_tile_size_sweep(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: tile_size_sweep(profile=profile, datasets=("WV", "SD")),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    small = result.series_by_name("Write ratio (tile 8)").values
+    big = result.series_by_name("Write ratio (tile 32)").values
+    # Larger tiles waste more cells per real edge on sparse graphs.
+    assert all(b > s for s, b in zip(small, big))

@@ -1,0 +1,17 @@
+"""Ablation: analog conductance variation vs rows per MAC op."""
+
+from repro.experiments.ablations import variation_ablation
+
+
+def test_variation_ablation(benchmark, emit):
+    result = benchmark.pedantic(
+        variation_ablation, rounds=1, iterations=1
+    )
+    emit(result)
+    for series in result.series:
+        # All error levels stay well below one ADC step of full scale.
+        assert all(0 <= v < 0.3 for v in series.values)
+    # Larger sigma means larger error at equal row count.
+    low = result.series[0].values
+    high = result.series[-1].values
+    assert all(h > l for l, h in zip(low, high))

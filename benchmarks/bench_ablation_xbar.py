@@ -1,0 +1,13 @@
+"""Ablation: crossbar-count scaling (DESIGN.md abl-xbar)."""
+
+from repro.experiments.ablations import crossbar_count_sweep
+
+
+def test_crossbar_count_sweep(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: crossbar_count_sweep(dataset="SD", profile=profile),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    times = result.series_by_name("Time (s)").values
+    assert all(b <= a * 1.001 for a, b in zip(times, times[1:]))

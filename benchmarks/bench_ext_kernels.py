@@ -1,0 +1,41 @@
+"""Extension kernels: WCC and GCN characterization on GaaS-X."""
+
+from repro.experiments.extensions import (
+    gnn_characterization,
+    wcc_characterization,
+)
+
+
+def test_ext_wcc(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: wcc_characterization(profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    components = result.series_by_name("Components").values
+    assert all(c >= 1 for c in components)
+    assert all(t > 0 for t in result.series_by_name("Time (s)").values)
+
+
+def test_ext_energy(benchmark, emit, profile):
+    from repro.experiments.extensions import energy_breakdown
+
+    result = benchmark.pedantic(
+        lambda: energy_breakdown(dataset="SD", profile=profile),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    for series in result.series:
+        # Fractions sum to one per kernel.
+        assert abs(sum(series.values) - 1.0) < 1e-9
+
+
+def test_ext_gnn(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: gnn_characterization(profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    times = result.series_by_name("Time (s)").values
+    macs = result.series_by_name("MAC ops").values
+    # Cost grows monotonically with feature width.
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert all(b > a for a, b in zip(macs, macs[1:]))

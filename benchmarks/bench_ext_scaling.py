@@ -1,0 +1,12 @@
+"""Extension: accelerator advantage vs graph scale."""
+
+from repro.experiments.extensions import scaling_study
+
+
+def test_ext_scaling(benchmark, emit):
+    result = benchmark.pedantic(scaling_study, rounds=1, iterations=1)
+    emit(result)
+    speedups = result.series_by_name("Speedup vs GraphR").values
+    assert all(s > 1 for s in speedups)
+    # The advantage must not collapse at scale.
+    assert speedups[-1] >= speedups[0]

@@ -1,0 +1,21 @@
+"""Figure 11: execution-time speedup over GraphR."""
+
+from repro.experiments.figures import fig11
+from repro.experiments.reporting import geometric_mean
+
+
+def test_fig11(benchmark, emit, matrix, profile):
+    result = benchmark.pedantic(
+        lambda: fig11(profile=profile, matrix=matrix), rounds=1, iterations=1
+    )
+    emit(result)
+    everything = [v for s in result.series for v in s.values]
+    gm = geometric_mean(everything)
+    # Paper: 7.7x geomean; shape bar: same decade, GaaS-X always ahead.
+    assert all(v > 1 for v in everything)
+    if profile != "tiny":
+        assert 3 < gm < 30
+        # Section V-B ordering: PageRank shows the smallest advantage.
+        pr = result.series_by_name("PageRank").geomean
+        assert result.series_by_name("SSSP").geomean > pr
+        assert result.series_by_name("BFS").geomean > 0.8 * pr

@@ -1,0 +1,16 @@
+"""Figure 12: energy savings over GraphR."""
+
+from repro.experiments.figures import fig12
+from repro.experiments.reporting import geometric_mean
+
+
+def test_fig12(benchmark, emit, matrix, profile):
+    result = benchmark.pedantic(
+        lambda: fig12(profile=profile, matrix=matrix), rounds=1, iterations=1
+    )
+    emit(result)
+    everything = [v for s in result.series for v in s.values]
+    # Paper: 22x geomean energy savings.
+    assert all(v > 1 for v in everything)
+    if profile != "tiny":
+        assert 8 < geometric_mean(everything) < 70

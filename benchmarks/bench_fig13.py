@@ -1,0 +1,16 @@
+"""Figure 13: CDF of rows accumulated per MAC operation."""
+
+from repro.experiments.figures import fig13
+
+
+def test_fig13(benchmark, emit, matrix, profile):
+    result = benchmark.pedantic(
+        lambda: fig13(profile=profile, matrix=matrix), rounds=1, iterations=1
+    )
+    emit(result)
+    cdf = result.series_by_name("Cumulative fraction").values
+    assert cdf[-1] == 1.0
+    if profile != "tiny":
+        # Paper: ~75 % of MAC ops accumulate a single row; >6 rows ~3 %.
+        assert cdf[0] > 0.5  # one-row fraction dominates
+        assert 1.0 - cdf[5] < 0.25  # >6-row tail is small

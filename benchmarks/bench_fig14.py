@@ -1,0 +1,18 @@
+"""Figure 14: speedup and energy savings compared to GRAM."""
+
+from repro.experiments.figures import fig14
+from repro.experiments.reporting import geometric_mean
+
+
+def test_fig14(benchmark, emit, matrix, profile):
+    result = benchmark.pedantic(
+        lambda: fig14(profile=profile, matrix=matrix), rounds=1, iterations=1
+    )
+    emit(result)
+    speedups = result.series_by_name("Execution time").values
+    energies = result.series_by_name("Energy").values
+    assert all(v > 0 for v in speedups + energies)
+    if profile != "tiny":
+        # Paper: 2.5x perf / 5.2x energy geomeans over GRAM.
+        assert 1 < geometric_mean(speedups) < 12
+        assert 1 < geometric_mean(energies) < 20

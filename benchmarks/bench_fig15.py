@@ -1,0 +1,26 @@
+"""Figure 15: speedup vs Gunrock (GPU) and GridGraph (CPU)."""
+
+from repro.experiments.figures import fig15
+from repro.experiments.reporting import geometric_mean
+
+
+def test_fig15(benchmark, emit, matrix, profile):
+    result = benchmark.pedantic(
+        lambda: fig15(profile=profile, matrix=matrix), rounds=1, iterations=1
+    )
+    emit(result)
+    gpu = [
+        v for s in result.series if s.name.startswith("Gunrock")
+        for v in s.values
+    ]
+    cpu = [
+        v for s in result.series if s.name.startswith("GridGraph")
+        for v in s.values
+    ]
+    assert geometric_mean(cpu) > 0 and geometric_mean(gpu) > 0
+    if profile != "tiny":
+        # Paper: 12.3x over the GPU, 805x over the CPU framework.
+        assert 3 < geometric_mean(gpu) < 60
+        assert 100 < geometric_mean(cpu) < 4000
+        # Ordering: the CPU framework is far behind the GPU everywhere.
+        assert geometric_mean(cpu) > 10 * geometric_mean(gpu)

@@ -1,0 +1,24 @@
+"""Figure 16: energy savings vs Gunrock (GPU) and GridGraph (CPU)."""
+
+from repro.experiments.figures import fig16
+from repro.experiments.reporting import geometric_mean
+
+
+def test_fig16(benchmark, emit, matrix, profile):
+    result = benchmark.pedantic(
+        lambda: fig16(profile=profile, matrix=matrix), rounds=1, iterations=1
+    )
+    emit(result)
+    gpu = [
+        v for s in result.series if s.name.startswith("Gunrock")
+        for v in s.values
+    ]
+    cpu = [
+        v for s in result.series if s.name.startswith("GridGraph")
+        for v in s.values
+    ]
+    assert geometric_mean(cpu) > 0 and geometric_mean(gpu) > 0
+    if profile != "tiny":
+        # Paper: 252x (GPU) and 5357x (CPU) energy savings geomeans.
+        assert 50 < geometric_mean(gpu) < 1500
+        assert 800 < geometric_mean(cpu) < 30000

@@ -1,0 +1,31 @@
+"""Figure 17: collaborative filtering vs GraphChi, cuMF and GraphR."""
+
+from repro.experiments.figures import fig17
+
+
+def test_fig17(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: fig17(profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    speedups = dict(
+        zip(
+            result.series_by_name("Execution time").labels,
+            result.series_by_name("Execution time").values,
+        )
+    )
+    energies = dict(
+        zip(
+            result.series_by_name("Energy").labels,
+            result.series_by_name("Energy").values,
+        )
+    )
+    assert all(v > 0 for v in speedups.values())
+    if profile != "tiny":
+        # Paper speedups: GraphChi 196x >> GraphR 4x ~ cuMF 2x.
+        assert speedups["GraphChi"] > 10 * speedups["GraphR"]
+        assert speedups["GraphR"] > 1
+        assert speedups["cuMF"] > 1
+        # Paper energy: GraphChi 2962x > cuMF 86x > GraphR 24x.
+        assert energies["GraphChi"] > energies["cuMF"] > 1
+        assert energies["GraphR"] > 1

@@ -1,0 +1,21 @@
+"""Section V-B text: comparison with the GAP benchmark suite."""
+
+from repro.experiments.figures import gapbs_comparison
+from repro.experiments.reporting import geometric_mean
+
+
+def test_gapbs(benchmark, emit, matrix, profile):
+    result = benchmark.pedantic(
+        lambda: gapbs_comparison(profile=profile, matrix=matrix),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    speedups = [
+        v for s in result.series if s.name.startswith("Speedup")
+        for v in s.values
+    ]
+    assert geometric_mean(speedups) > 0
+    if profile != "tiny":
+        # Paper: ~155x speedup / ~1500x energy. GAPBS must land between
+        # the out-of-core CPU frameworks and the GPU.
+        assert 10 < geometric_mean(speedups) < 800

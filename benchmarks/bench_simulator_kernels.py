@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the simulator's hot kernels themselves.
+
+These time *the reproduction's own code* (not the modelled hardware):
+how fast the vectorized engine, the tile layout and the CAM/MAC array
+models run on this machine. Useful to spot performance regressions in
+the simulator.
+"""
+
+import numpy as np
+
+from repro.baselines.graphr.tiles import build_tile_layout
+from repro.config import ArchConfig, GraphRConfig
+from repro.core.engine import GaaSXEngine
+from repro.core.loader import build_layout
+from repro.graphs import partition_graph
+from repro.graphs.datasets import load_dataset
+from repro.xbar import EdgeCam, MacCrossbar
+
+
+def test_engine_pagerank_iteration(benchmark, profile):
+    graph = load_dataset("WV", profile)
+    engine = GaaSXEngine(graph)
+    engine.layout("col")  # exclude layout construction from the timing
+
+    result = benchmark(lambda: engine.pagerank(iterations=1))
+    assert result.iterations == 1
+
+
+def test_engine_sssp(benchmark, profile):
+    graph = load_dataset("WV", profile)
+    engine = GaaSXEngine(graph)
+    engine.layout("row")
+
+    result = benchmark(lambda: engine.sssp(0))
+    assert result.supersteps > 0
+
+
+def test_layout_construction(benchmark, profile):
+    graph = load_dataset("WV", profile)
+    grid = partition_graph(graph, 128)
+
+    layout = benchmark(lambda: build_layout(grid, "col", ArchConfig()))
+    assert layout.num_edges == graph.num_edges
+
+
+def test_tile_layout_construction(benchmark, profile):
+    graph = load_dataset("WV", profile)
+
+    layout = benchmark(lambda: build_tile_layout(graph, GraphRConfig()))
+    assert layout.num_edges == graph.num_edges
+
+
+def test_cam_search_array_level(benchmark):
+    cam = EdgeCam(rows=128, vertex_bits=32)
+    rng = np.random.default_rng(0)
+    cam.load_edges(
+        rng.integers(0, 1000, size=128), rng.integers(0, 1000, size=128)
+    )
+    benchmark(lambda: cam.search_dst(500))
+
+
+def test_mac_selective_accumulate_array_level(benchmark):
+    mac = MacCrossbar(rows=128, cols=16)
+    rng = np.random.default_rng(1)
+    mac.write_rows(np.arange(128), rng.uniform(0, 4, size=(128, 16)))
+    mask = np.zeros(128, dtype=bool)
+    mask[rng.choice(128, size=12, replace=False)] = True
+    inputs = rng.uniform(0, 2, size=128)
+    benchmark(lambda: mac.mac(inputs, row_mask=mask))

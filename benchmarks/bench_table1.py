@@ -1,0 +1,9 @@
+"""Table I: architecture parameters (component area and power)."""
+
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark, emit):
+    result = benchmark(table1)
+    emit(result)
+    assert "2.69" in result.notes["total area"]

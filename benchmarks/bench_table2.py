@@ -1,0 +1,20 @@
+"""Table II: graph datasets and characteristics."""
+
+from repro.experiments.tables import dataset_structure, table2
+
+
+def test_table2(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: table2(profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    assert len(result.series_by_name("Vertices").values) == 7
+
+
+def test_dataset_structure(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        lambda: dataset_structure(profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    skews = result.series_by_name("Out-degree skew (max/mean)").values
+    assert all(s > 3 for s in skews)  # scale-free stand-ins

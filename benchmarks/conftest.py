@@ -1,0 +1,66 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every paper artifact has one bench module. Each bench:
+
+1. regenerates its table/figure at the ``bench`` profile (override with
+   ``REPRO_BENCH_PROFILE=tiny|bench|full``),
+2. prints the rendered rows/series (run pytest with ``-s`` to see them)
+   and writes them to ``benchmarks/out/<id>.txt``,
+3. feeds pytest-benchmark a representative timed kernel.
+
+All benches share one process-wide :class:`ComparisonMatrix`, so the
+expensive accelerator simulations run once per session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import comparison_matrix
+from repro.experiments.reporting import ExperimentResult
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def bench_profile() -> str:
+    """Dataset scale profile for this benchmark session."""
+    return os.environ.get("REPRO_BENCH_PROFILE", "bench")
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    return bench_profile()
+
+
+@pytest.fixture(scope="session")
+def matrix(profile):
+    """The session-shared (dataset x algorithm) evaluation grid."""
+    return comparison_matrix(profile)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result and persist it under benchmarks/out/."""
+
+    def _emit(result: ExperimentResult) -> ExperimentResult:
+        text = result.render()
+        print("\n" + text)
+        os.makedirs(OUT_DIR, exist_ok=True)
+        path = os.path.join(OUT_DIR, f"{result.experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        chart_path = os.path.join(
+            OUT_DIR, f"{result.experiment_id}.chart.txt"
+        )
+        try:
+            chart = result.render_chart()
+        except Exception:
+            chart = None  # e.g. non-positive values on a log axis
+        if chart is not None:
+            with open(chart_path, "w", encoding="utf-8") as handle:
+                handle.write(chart + "\n")
+        return result
+
+    return _emit

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the GaaS-X architecture.
+
+Uses the public configuration API to sweep the two design choices the
+paper fixes — the rows-accumulated-per-MAC limit (16, bounding the ADC
+to 6 bits) and the number of parallel crossbars (2048) — and shows how
+PageRank time/energy respond. This is the workflow an architect
+adopting the library would actually run.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+import numpy as np
+
+from repro import ArchConfig, GaaSXEngine, load_dataset
+
+
+def required_adc_bits(limit: int, cell_bits: int = 2) -> int:
+    """Worst-case per-phase bit-line sum -> ADC resolution."""
+    return int(np.ceil(np.log2(limit * (2**cell_bits - 1) + 1)))
+
+
+def main() -> None:
+    graph = load_dataset("WV", profile="bench")
+    print(f"Workload: 10 PageRank iterations on {graph}\n")
+
+    print("Sweep 1: MAC accumulation limit (paper picks 16 -> 6-bit ADC)")
+    print(f"  {'limit':>6} {'ADC bits':>9} {'time (us)':>11} {'energy (uJ)':>12}")
+    for limit in (2, 4, 8, 16, 32, 64, 128):
+        config = ArchConfig(mac_accumulate_limit=limit)
+        stats = GaaSXEngine(graph, config=config).pagerank(iterations=10).stats
+        print(
+            f"  {limit:>6} {required_adc_bits(limit):>9} "
+            f"{stats.total_time_s * 1e6:>11.1f} "
+            f"{stats.total_energy_j * 1e6:>12.2f}"
+        )
+    print(
+        "  -> beyond 16 the returns vanish (hits are almost always\n"
+        "     small, Figure 13) while the ADC cost grows exponentially.\n"
+    )
+
+    print("Sweep 2: parallel crossbar count (paper picks 2048)")
+    print(f"  {'xbars':>6} {'time (us)':>11} {'speedup':>9}")
+    times = {}
+    for count in (128, 256, 512, 1024, 2048, 4096):
+        config = ArchConfig(num_crossbars=count)
+        stats = GaaSXEngine(graph, config=config).pagerank(iterations=10).stats
+        times[count] = stats.total_time_s
+        print(
+            f"  {count:>6} {stats.total_time_s * 1e6:>11.1f} "
+            f"{times[128] / stats.total_time_s:>8.1f}x"
+        )
+    print(
+        "  -> scaling saturates once the whole graph fits one batch;\n"
+        "     extra arrays then only idle."
+    )
+
+
+if __name__ == "__main__":
+    main()

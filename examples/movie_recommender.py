@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Movie recommendation: collaborative filtering on the Netflix stand-in.
+
+Trains the paper's CF kernel (Equation 5) on the GaaS-X model,
+tracks RMSE across epochs, and produces top-N recommendations for a
+few users — the workload of the paper's Figure 17.
+
+Run:  python examples/movie_recommender.py
+"""
+
+import numpy as np
+
+from repro import GaaSXEngine
+from repro.graphs.generators import bipartite_ratings
+
+
+def main() -> None:
+    # A small Netflix-like catalogue so the demo trains in seconds.
+    data = bipartite_ratings(
+        num_users=1200, num_items=300, num_ratings=24_000,
+        seed=8, name="movies",
+    )
+    print(f"Rating data: {data}")
+    r = data.ratings
+
+    engine = GaaSXEngine(data)
+    print("\nTraining (synchronous item/user epochs, Equation 5):")
+    result = None
+    for epochs in (1, 5, 15, 40):
+        result = engine.collaborative_filtering(
+            num_features=16, epochs=epochs,
+            learning_rate=0.0015, regularization=0.05, seed=2,
+        )
+        rmse = result.rmse(r.rows, r.cols, r.data)
+        print(f"  epochs {epochs:>3}: training RMSE {rmse:.4f}")
+
+    stats = result.stats
+    print(
+        f"\nModelled accelerator cost of the final run: "
+        f"{stats.total_time_s * 1e3:.3f} ms, "
+        f"{stats.total_energy_j * 1e3:.3f} mJ"
+    )
+
+    # Recommend: highest predicted rating among unseen items.
+    rated = {}
+    for u, i in zip(r.rows, r.cols):
+        rated.setdefault(int(u), set()).add(int(i))
+    print("\nTop-3 recommendations:")
+    for user in (0, 1, 2):
+        scores = result.user_features[user] @ result.item_features.T
+        seen = rated.get(user, set())
+        order = [i for i in np.argsort(-scores) if i not in seen][:3]
+        pretty = ", ".join(
+            f"item {i} ({scores[i]:.2f})" for i in order
+        )
+        print(f"  user {user}: {pretty}")
+
+
+if __name__ == "__main__":
+    main()

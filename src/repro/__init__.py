@@ -1,0 +1,56 @@
+"""GaaS-X reproduction: sparse-aware crossbar PIM graph analytics.
+
+A full-system Python reproduction of *GaaS-X: Graph Analytics
+Accelerator Supporting Sparse Data Representation using Crossbar
+Architectures* (ISCA 2020): the accelerator simulator, the array-level
+crossbar models it is validated against, the GraphR/GRAM/CPU/GPU
+baselines, the synthetic dataset registry, and an experiment harness
+that regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import GaaSXEngine, load_dataset
+
+    graph = load_dataset("WV")          # WikiVote-scale R-MAT stand-in
+    engine = GaaSXEngine(graph)
+    result = engine.pagerank(iterations=10)
+    print(result.ranks[:5], result.stats.total_time_s)
+"""
+
+from .config import ArchConfig, GraphRConfig, TechnologyParams
+from .core.engine import GaaSXEngine
+from .core.micro import MicroGaaSX
+from .core.stats import CFResult, PageRankResult, RunStats, TraversalResult
+from .errors import ReproError
+from .events import EventLog
+from .graphs import (
+    BipartiteGraph,
+    COOMatrix,
+    CSRMatrix,
+    Graph,
+    load_dataset,
+    partition_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "GraphRConfig",
+    "TechnologyParams",
+    "GaaSXEngine",
+    "MicroGaaSX",
+    "RunStats",
+    "PageRankResult",
+    "TraversalResult",
+    "CFResult",
+    "EventLog",
+    "ReproError",
+    "Graph",
+    "BipartiteGraph",
+    "COOMatrix",
+    "CSRMatrix",
+    "load_dataset",
+    "partition_graph",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baselines: golden references, GraphR/GRAM PIM models, CPU/GPU models."""
+
+from . import reference
+from .cpu import GAPBSModel, GraphChiModel, GridGraphModel
+from .gpu import CuMFModel, GunrockModel
+from .gram import GRAMModel
+from .graphr import GraphREngine
+from .workload import WorkloadTrace, trace_cf, trace_pagerank, trace_traversal
+
+__all__ = [
+    "reference",
+    "GraphREngine",
+    "GRAMModel",
+    "GridGraphModel",
+    "GraphChiModel",
+    "GAPBSModel",
+    "GunrockModel",
+    "CuMFModel",
+    "WorkloadTrace",
+    "trace_pagerank",
+    "trace_traversal",
+    "trace_cf",
+]

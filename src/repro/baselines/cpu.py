@@ -1,0 +1,151 @@
+"""CPU software-framework cost models: GridGraph, GraphChi, GAPBS.
+
+The paper measures these on a 12-core Xeon Bronze 3104 with RAPL power
+(idle subtracted). We model them mechanistically:
+
+* **GridGraph / GraphChi** are *out-of-core* frameworks — they stream
+  edge grids/shards from storage every pass, so storage bandwidth is
+  the first-order term, plus a per-edge CPU processing cost (decode,
+  random vertex access, atomic update). GridGraph's 2-level grid gives
+  it selective scheduling at coarse block granularity; GraphChi
+  re-streams all shards each pass. This is why the paper's CPU numbers
+  are so far (hundreds of times) below the accelerator.
+* **GAPBS** is the in-memory, NUMA-tuned reference ("highly optimized
+  parallel implementation"); it is DRAM-bound, with direction
+  optimization for BFS.
+
+Power figures are the paper's implied *active minus idle* values:
+out-of-core runs leave the CPU mostly stalled (~11 W above idle),
+GAPBS keeps the memory system busy (~16 W).
+
+Every constant is a documented model parameter, not a measurement; the
+EXPERIMENTS.md shape comparison is the calibration record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from .workload import BaselineResult, WorkloadTrace
+
+
+@dataclass(frozen=True)
+class GridGraphModel:
+    """GridGraph (USENIX ATC'15) on the paper's Xeon host."""
+
+    storage_bandwidth_gbs: float = 0.8  # SATA-SSD streaming
+    bytes_per_edge: float = 12.0  # (src, dst, weight) on disk
+    cpu_ns_per_edge: float = 5.0  # decode + random vertex access
+    #: Selective scheduling works at grid-block granularity: small
+    #: frontiers still drag in whole blocks (8x overfetch), and at
+    #: least ~2 % of the grid is always touched.
+    block_overfetch: float = 8.0
+    min_scan_fraction: float = 0.02
+    power_w: float = 11.0
+    platform: str = "gridgraph"
+
+    def _scanned_edges(self, trace: WorkloadTrace) -> np.ndarray:
+        if trace.algorithm == "pagerank":
+            return trace.edges_per_pass.astype(np.float64)
+        floor = trace.num_edges * self.min_scan_fraction
+        scanned = np.maximum(
+            trace.edges_per_pass * self.block_overfetch, floor
+        )
+        return np.minimum(scanned, trace.num_edges)
+
+    def run(self, trace: WorkloadTrace) -> BaselineResult:
+        """Price the trace: storage streaming + per-edge CPU work."""
+        if trace.algorithm == "cf":
+            raise AlgorithmError(
+                "the paper runs CF on GraphChi, not GridGraph"
+            )
+        scanned = self._scanned_edges(trace)
+        stream_s = scanned * self.bytes_per_edge / (
+            self.storage_bandwidth_gbs * 1e9
+        )
+        cpu_s = trace.edges_per_pass * self.cpu_ns_per_edge * 1e-9
+        time_s = float(np.sum(stream_s + cpu_s))
+        return BaselineResult(
+            self.platform, trace.algorithm, time_s, time_s * self.power_w
+        )
+
+
+@dataclass(frozen=True)
+class GraphChiModel:
+    """GraphChi (OSDI'12): shard-based out-of-core, no selective
+    scheduling — every pass re-streams every shard."""
+
+    storage_bandwidth_gbs: float = 0.5
+    bytes_per_edge: float = 12.0
+    cpu_ns_per_edge: float = 8.0  # parallel sliding windows overhead
+    cf_flop_ns: float = 0.7  # per feature multiply-add, 12 cores
+    power_w: float = 13.0
+    platform: str = "graphchi"
+
+    def run(self, trace: WorkloadTrace, num_features: int = 32) -> BaselineResult:
+        """Price the trace; CF adds the factor-update FLOP cost."""
+        scanned = np.full(
+            trace.passes, trace.num_edges, dtype=np.float64
+        )
+        stream_s = scanned * self.bytes_per_edge / (
+            self.storage_bandwidth_gbs * 1e9
+        )
+        cpu_s = scanned * self.cpu_ns_per_edge * 1e-9
+        time_s = float(np.sum(stream_s + cpu_s))
+        if trace.algorithm == "cf":
+            flops_s = (
+                trace.total_edges_processed
+                * num_features
+                * 2
+                * self.cf_flop_ns
+                * 1e-9
+            )
+            time_s += flops_s
+        return BaselineResult(
+            self.platform, trace.algorithm, time_s, time_s * self.power_w
+        )
+
+
+@dataclass(frozen=True)
+class GAPBSModel:
+    """GAP Benchmark Suite: in-memory, DRAM-bandwidth-bound."""
+
+    pr_ns_per_edge: float = 4.0  # pull-based SpMV on 1.7 GHz Bronze cores
+    bfs_ns_per_edge: float = 3.0  # direction-optimizing
+    sssp_ns_per_edge: float = 8.0  # delta-stepping buckets
+    cc_ns_per_edge: float = 5.0  # Afforest-style sampling + link
+    ns_per_vertex: float = 2.0
+    #: Direction optimization caps a superstep's examined edges.
+    bfs_bottom_up_fraction: float = 0.3
+    power_w: float = 16.0
+    platform: str = "gapbs"
+
+    def run(self, trace: WorkloadTrace) -> BaselineResult:
+        """Price the trace against the in-memory per-edge costs."""
+        if trace.algorithm == "pagerank":
+            per_edge = self.pr_ns_per_edge
+            edges = trace.edges_per_pass.astype(np.float64)
+        elif trace.algorithm == "bfs":
+            per_edge = self.bfs_ns_per_edge
+            cap = trace.num_edges * self.bfs_bottom_up_fraction
+            edges = np.minimum(trace.edges_per_pass, cap)
+        elif trace.algorithm == "sssp":
+            per_edge = self.sssp_ns_per_edge
+            edges = trace.edges_per_pass.astype(np.float64)
+        elif trace.algorithm == "cc":
+            per_edge = self.cc_ns_per_edge
+            edges = trace.edges_per_pass.astype(np.float64)
+        else:
+            raise AlgorithmError(f"GAPBS has no {trace.algorithm} kernel")
+        time_s = float(
+            np.sum(edges) * per_edge * 1e-9
+            + np.sum(trace.active_vertices_per_pass)
+            * self.ns_per_vertex
+            * 1e-9
+        )
+        return BaselineResult(
+            self.platform, trace.algorithm, time_s, time_s * self.power_w
+        )

@@ -1,0 +1,13 @@
+"""GraphR baseline: dense-tile ReRAM PIM graph accelerator (HPCA'18).
+
+Re-simulated on the same crossbar substrate and technology parameters
+as GaaS-X, exactly as the paper does (Section V-A): same number of
+parallel compute arrays, same MAC/write costs — the differences are
+purely the dense sub-block mapping and the absence of CAM-driven
+selective activation.
+"""
+
+from .engine import GraphREngine
+from .tiles import TileLayout, build_tile_layout
+
+__all__ = ["GraphREngine", "TileLayout", "build_tile_layout"]

@@ -1,0 +1,149 @@
+"""Workload traces: the algorithm-level work every platform prices.
+
+The CPU/GPU software baselines are analytical cost models (Section V-A
+of the paper measures real machines; we have none), so all of them
+consume the same :class:`WorkloadTrace` — how many passes the algorithm
+ran and how many edges/vertices each pass touched — extracted from the
+same functional execution the accelerators perform. This guarantees
+every platform is priced on identical algorithmic work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..graphs.graph import BipartiteGraph, Graph
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """Per-pass work of one algorithm execution."""
+
+    algorithm: str
+    num_vertices: int
+    num_edges: int
+    edges_per_pass: np.ndarray
+    active_vertices_per_pass: np.ndarray
+
+    @property
+    def passes(self) -> int:
+        """Iterations (PR, CF) or supersteps (BFS/SSSP)."""
+        return int(self.edges_per_pass.size)
+
+    @property
+    def total_edges_processed(self) -> int:
+        """Edge relaxations/aggregations summed over all passes."""
+        return int(self.edges_per_pass.sum())
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Modelled outcome of running a workload on one platform."""
+
+    platform: str
+    algorithm: str
+    time_s: float
+    energy_j: float
+
+
+def trace_pagerank(graph: Graph, iterations: int = 10) -> WorkloadTrace:
+    """PageRank touches every edge and every vertex each iteration."""
+    e = np.full(iterations, graph.num_edges, dtype=np.int64)
+    v = np.full(iterations, graph.num_vertices, dtype=np.int64)
+    return WorkloadTrace("pagerank", graph.num_vertices, graph.num_edges, e, v)
+
+
+def trace_traversal(
+    graph: Graph, source: int, weighted: bool
+) -> WorkloadTrace:
+    """Frontier sizes of the synchronous BFS/Bellman-Ford wavefront.
+
+    Runs the same relaxation the accelerator engines execute and
+    records, per superstep, the out-edges of the active frontier and
+    the frontier size.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise AlgorithmError(f"source {source} out of range [0, {n})")
+    csr = graph.csr()
+    out_deg = csr.row_degrees()
+    src = np.repeat(np.arange(n), out_deg)
+    dst = csr.indices
+    w = csr.data if weighted else np.ones(dst.size)
+    indptr = csr.indptr
+
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    active = np.zeros(n, dtype=bool)
+    active[source] = True
+    edges_per_pass: List[int] = []
+    verts_per_pass: List[int] = []
+    while active.any():
+        verts = np.flatnonzero(active)
+        spans = [np.arange(indptr[v], indptr[v + 1]) for v in verts]
+        edges = np.concatenate(spans) if spans else np.empty(0, dtype=np.int64)
+        edges_per_pass.append(int(edges.size))
+        verts_per_pass.append(int(verts.size))
+        new_dist = dist.copy()
+        if edges.size:
+            np.minimum.at(new_dist, dst[edges], dist[src[edges]] + w[edges])
+        active = new_dist < dist
+        dist = new_dist
+    return WorkloadTrace(
+        "sssp" if weighted else "bfs",
+        n,
+        graph.num_edges,
+        np.asarray(edges_per_pass, dtype=np.int64),
+        np.asarray(verts_per_pass, dtype=np.int64),
+    )
+
+
+def trace_wcc(graph: Graph) -> WorkloadTrace:
+    """Per-superstep work of synchronous min-label propagation.
+
+    Each superstep touches the out- and in-edges of the active set
+    (undirected connectivity), so the per-pass edge count doubles
+    relative to a directed sweep.
+    """
+    n = graph.num_vertices
+    csr = graph.csr()
+    csr_rev = graph.reversed().csr()
+    out_deg = csr.row_degrees()
+    in_deg = csr_rev.row_degrees()
+    labels = np.arange(n, dtype=np.int64)
+    active = (out_deg + in_deg) > 0
+    edges_per_pass: List[int] = []
+    verts_per_pass: List[int] = []
+    src, dst = graph.edges.rows, graph.edges.cols
+    while active.any():
+        verts = np.flatnonzero(active)
+        edges_per_pass.append(int(out_deg[verts].sum() + in_deg[verts].sum()))
+        verts_per_pass.append(int(verts.size))
+        new_labels = labels.copy()
+        fwd = active[src]
+        rev = active[dst]
+        np.minimum.at(new_labels, dst[fwd], labels[src[fwd]])
+        np.minimum.at(new_labels, src[rev], labels[dst[rev]])
+        active = new_labels < labels
+        labels = new_labels
+    return WorkloadTrace(
+        "cc", n, graph.num_edges,
+        np.asarray(edges_per_pass, dtype=np.int64),
+        np.asarray(verts_per_pass, dtype=np.int64),
+    )
+
+
+def trace_cf(bipartite: BipartiteGraph, epochs: int = 1) -> WorkloadTrace:
+    """CF touches every rating twice per epoch (item and user phase)."""
+    r = bipartite.num_ratings
+    e = np.full(epochs, 2 * r, dtype=np.int64)
+    v = np.full(
+        epochs, bipartite.num_users + bipartite.num_items, dtype=np.int64
+    )
+    return WorkloadTrace(
+        "cf", bipartite.num_users + bipartite.num_items, r, e, v
+    )

@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate paper artifacts from a shell.
+
+Usage::
+
+    python -m repro list                      # registered experiments
+    python -m repro run fig11 --profile tiny  # regenerate one figure
+    python -m repro run-all --out reports/    # everything, persisted
+    python -m repro datasets                  # Table II registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .errors import ReproError
+from .experiments.registry import EXPERIMENTS
+from .experiments.runner import run_experiment
+from .graphs.datasets import DATASETS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GaaS-X (ISCA 2020) reproduction: regenerate the paper's "
+            "tables and figures"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--profile", default="bench", choices=("tiny", "bench", "full"),
+        help="dataset scale (default: bench)",
+    )
+    run.add_argument("--out", default=None, help="directory for the report")
+
+    run_all_p = sub.add_parser("run-all", help="run every experiment")
+    run_all_p.add_argument(
+        "--profile", default="bench", choices=("tiny", "bench", "full"),
+    )
+    run_all_p.add_argument("--out", default=None)
+
+    sub.add_parser("datasets", help="show the Table II dataset registry")
+
+    sub.add_parser(
+        "validate",
+        help="run the correctness cross-check battery",
+    )
+    return parser
+
+
+def _takes_profile(experiment_id: str) -> bool:
+    # table1 and the pure-model ablation are profile-independent.
+    return experiment_id not in ("table1", "abl-variation")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for spec in EXPERIMENTS.values():
+                print(
+                    f"{spec.experiment_id:<14} {spec.paper_artifact:<18} "
+                    f"{spec.description}"
+                )
+        elif args.command == "run":
+            kwargs = (
+                {"profile": args.profile}
+                if _takes_profile(args.experiment_id)
+                else {}
+            )
+            result = run_experiment(
+                args.experiment_id, output_dir=args.out, **kwargs
+            )
+            print(result.render())
+        elif args.command == "run-all":
+            for experiment_id in EXPERIMENTS:
+                kwargs = (
+                    {"profile": args.profile}
+                    if _takes_profile(experiment_id)
+                    else {}
+                )
+                result = run_experiment(
+                    experiment_id, output_dir=args.out, **kwargs
+                )
+                print(result.render())
+                print()
+        elif args.command == "validate":
+            from .validation import run_validation
+
+            report = run_validation()
+            print(report.render())
+            return 0 if report.passed else 2
+        elif args.command == "datasets":
+            header = (
+                f"{'key':<4} {'name':<12} {'vertices':>10} {'edges':>12}  "
+                "description"
+            )
+            print(header)
+            print("-" * len(header))
+            for spec in DATASETS.values():
+                print(
+                    f"{spec.key:<4} {spec.full_name:<12} "
+                    f"{spec.vertices:>10,} {spec.edges:>12,}  "
+                    f"{spec.description}"
+                )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""GaaS-X: the paper's accelerator — controller, loader, engine, kernels."""
+
+from .engine import GaaSXEngine
+from .loader import CrossbarLayout, build_layout
+from .stats import CFResult, PageRankResult, RunStats, TraversalResult
+
+__all__ = [
+    "GaaSXEngine",
+    "CrossbarLayout",
+    "build_layout",
+    "RunStats",
+    "PageRankResult",
+    "TraversalResult",
+    "CFResult",
+]

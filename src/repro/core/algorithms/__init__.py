@@ -1,0 +1,5 @@
+"""GaaS-X algorithm kernels (Section IV of the paper)."""
+
+from . import cf, gnn, pagerank, traversal, wcc
+
+__all__ = ["pagerank", "traversal", "cf", "wcc", "gnn"]

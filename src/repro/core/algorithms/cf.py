@@ -1,0 +1,172 @@
+"""Collaborative filtering on GaaS-X (Section IV, Figure 10).
+
+Matrix factorization over the user-item rating graph, Equation 5:
+
+    e_ui  = G_ui - Pu . Pi
+    Pi*   = Pi + gamma * sum_u (e_ui Pu - lambda Pi)
+    Pu*   = Pu + gamma * sum_i (e_ui Pi - lambda Pu)
+
+Hardware mapping: edges (with ratings) live in the CAM crossbars;
+user and item feature vectors live in MAC crossbars (a 32-feature
+vector spans two 16-column arrays). Each epoch runs the paper's two
+phases:
+
+* **Item update** — for each item, a CAM search over the destination
+  field finds its raters; transposed MACs compute the error dot
+  products ``Pu . Pi``; a second selective MAC accumulates
+  ``e_ui * Pu`` into the item's new feature vector.
+* **User update** — symmetric, searching the source field and using
+  the *updated* item features (the phase runs after the item phase, as
+  in Figure 10c).
+
+Updates are synchronous within a phase (all errors of a phase are
+computed against that phase's starting factors), which keeps the
+hardware model and the golden reference bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ...errors import AlgorithmError
+from ...events import EventLog
+from ..stats import CFResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import GaaSXEngine
+
+
+def initial_factors(
+    num_users: int, num_items: int, num_features: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic starting factors shared with the golden reference."""
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(num_features)
+    user = rng.uniform(0.0, scale, size=(num_users, num_features))
+    item = rng.uniform(0.0, scale, size=(num_items, num_features))
+    return user, item
+
+
+def reference_epoch(
+    users: np.ndarray,
+    items: np.ndarray,
+    ratings: np.ndarray,
+    user_features: np.ndarray,
+    item_features: np.ndarray,
+    learning_rate: float,
+    regularization: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One synchronous item-then-user epoch of Equation 5."""
+    p, q = user_features, item_features
+
+    errors = ratings - np.einsum("ij,ij->i", p[users], q[items])
+    grad_q = np.zeros_like(q)
+    np.add.at(grad_q, items, errors[:, None] * p[users])
+    item_deg = np.bincount(items, minlength=q.shape[0]).astype(np.float64)
+    q = q + learning_rate * (grad_q - regularization * item_deg[:, None] * q)
+
+    errors = ratings - np.einsum("ij,ij->i", p[users], q[items])
+    grad_p = np.zeros_like(p)
+    np.add.at(grad_p, users, errors[:, None] * q[items])
+    user_deg = np.bincount(users, minlength=p.shape[0]).astype(np.float64)
+    p = p + learning_rate * (grad_p - regularization * user_deg[:, None] * p)
+    return p, q
+
+
+def run(
+    engine: "GaaSXEngine",
+    num_features: int = 32,
+    epochs: int = 1,
+    learning_rate: float = 0.002,
+    regularization: float = 0.02,
+    seed: int = 0,
+) -> CFResult:
+    """Execute collaborative filtering and return the factor matrices."""
+    bipartite = engine.bipartite
+    if bipartite is None:
+        raise AlgorithmError("collaborative filtering needs a bipartite graph")
+    if num_features <= 0:
+        raise AlgorithmError("num_features must be positive")
+
+    ratings = bipartite.ratings
+    users = ratings.rows
+    items = ratings.cols
+    values = ratings.data
+
+    # The unified layout renumbers items after users; search groups on
+    # the destination field are per-item, on the source field per-user.
+    layout = engine.layout("col")
+    item_groups = layout.groups_by("dst")
+    user_groups = layout.groups_by("src")
+
+    events = EventLog()
+    # Edges (with the rating attribute) into CAM+MAC storage once.
+    load_time = engine._account_load(layout, events, mac_values_per_edge=1)
+    # Feature matrices into MAC crossbars: one row per vertex per
+    # 16-column segment.
+    segments = -(-num_features // engine.config.mac_cols)
+    feature_rows = (bipartite.num_users + bipartite.num_items) * segments
+    events.row_writes += feature_rows
+    events.cell_writes += (
+        (bipartite.num_users + bipartite.num_items)
+        * num_features
+        * engine.config.bit_slices
+    )
+    load_time += (
+        feature_rows
+        / engine.config.num_crossbars
+        * engine.config.tech.write_row_latency_s
+    )
+
+    user_features, item_features = initial_factors(
+        bipartite.num_users, bipartite.num_items, num_features, seed
+    )
+    for _ in range(epochs):
+        user_features, item_features = reference_epoch(
+            users,
+            items,
+            values,
+            user_features,
+            item_features,
+            learning_rate,
+            regularization,
+        )
+
+    # Accounting for one epoch, scaled by the epoch count. Each phase
+    # performs two MAC sweeps over its groups: the error dot products
+    # and the feature accumulation.
+    pass_events = EventLog()
+    pass_time = 0.0
+    for groups in (item_groups, user_groups):
+        for _sweep in ("error", "accumulate"):
+            pass_time += engine._account_search_pass(
+                layout,
+                groups,
+                pass_events,
+                cols_engaged=num_features,
+                mac_segments=segments,
+            )
+        # Error arithmetic: subtract + scale per rating; feature update:
+        # three ops per feature per vertex (scale, regularize, add).
+        pass_events.sfu_ops += 2 * values.size
+        pass_events.sfu_ops += 3 * num_features * groups.num_groups
+        pass_events.buffer_reads += 2 * values.size * segments
+        pass_events.buffer_writes += groups.num_groups * segments
+    events.merge(pass_events.scaled(epochs))
+    compute_time = pass_time * epochs
+
+    stats = engine._finalize(
+        events,
+        load_time,
+        compute_time,
+        passes=epochs,
+        batches=layout.num_batches,
+    )
+    return CFResult(
+        user_features=user_features,
+        item_features=item_features,
+        epochs=epochs,
+        stats=stats,
+    )

@@ -1,0 +1,150 @@
+"""Graph neural network inference on GaaS-X (the paper's future work).
+
+Section V-B: "this execution model is similar to the emerging graph
+analytics algorithms such as graph neural networks ... a series of
+operations such as accumulation, convolution over vertex attributes and
+edge attributes. Though these emerging algorithms can be mapped to
+GaaS-X architecture, in this work, we refrain from this analysis."
+
+This kernel performs that mapping for GCN-style forward inference:
+
+    H_{l+1} = act( A_hat @ H_l @ W_l )
+
+with mean aggregation over in-neighbours plus a self loop,
+``A_hat[v] = (sum_{(u,v) in E} h_u + h_v) / (indeg(v) + 1)``.
+
+Hardware mapping, layer by layer:
+
+* **Aggregation** — exactly the CF item-phase dataflow (Figure 10): one
+  CAM search per (crossbar, destination) group, then a selective MAC
+  accumulating the hit rows' source-feature vectors across
+  ``ceil(F_in / 16)`` crossbar segments.
+* **Transform** — the dense ``H W`` product runs on weight-stationary
+  MAC crossbars (the classic ISAAC-style use): per vertex,
+  ``ceil(F_in / limit) x ceil(F_out / 16)`` MAC operations.
+* **Activation** — one SFU op per output feature.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ...errors import AlgorithmError
+from ...events import EventLog
+from ..stats import GNNResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import GaaSXEngine
+
+
+def reference_forward(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    features: np.ndarray,
+    weights: Sequence[np.ndarray],
+    activation: str = "relu",
+) -> np.ndarray:
+    """Plain-numpy GCN forward pass (shared with tests)."""
+    h = np.asarray(features, dtype=np.float64)
+    indeg = np.bincount(dst, minlength=num_vertices).astype(np.float64)
+    norm = 1.0 / (indeg + 1.0)
+    for layer, w in enumerate(weights):
+        agg = h.copy()  # self loop
+        np.add.at(agg, dst, h[src])
+        agg *= norm[:, None]
+        h = agg @ w
+        if activation == "relu" and layer < len(weights) - 1:
+            h = np.maximum(h, 0.0)
+    return h
+
+
+def run(
+    engine: "GaaSXEngine",
+    features: np.ndarray,
+    weights: Sequence[np.ndarray],
+    activation: str = "relu",
+) -> GNNResult:
+    """Multi-layer GCN forward pass; returns final embeddings."""
+    graph = engine.graph
+    n = graph.num_vertices
+    features = np.asarray(features, dtype=np.float64)
+    if features.shape[0] != n:
+        raise AlgorithmError(
+            f"features must have one row per vertex ({n}), "
+            f"got {features.shape}"
+        )
+    if not weights:
+        raise AlgorithmError("at least one weight matrix is required")
+    dims = [features.shape[1]]
+    for w in weights:
+        w = np.asarray(w)
+        if w.shape[0] != dims[-1]:
+            raise AlgorithmError(
+                f"weight shape {w.shape} does not chain from {dims[-1]}"
+            )
+        dims.append(w.shape[1])
+    if activation not in ("relu", "none"):
+        raise AlgorithmError(f"unknown activation {activation!r}")
+
+    layout = engine.layout("col")
+    groups = layout.groups_by("dst")
+    config = engine.config
+    limit = config.mac_accumulate_limit
+
+    events = EventLog()
+    load_time = engine._account_load(layout, events, mac_values_per_edge=0)
+    # Feature tables and the weight matrices into MAC crossbars.
+    feature_cells = n * dims[0] + sum(
+        int(np.asarray(w).size) for w in weights
+    )
+    feature_rows = n * (-(-dims[0] // config.mac_cols))
+    events.row_writes += feature_rows
+    events.cell_writes += feature_cells * config.bit_slices
+    load_time += (
+        feature_rows / config.num_crossbars * config.tech.write_row_latency_s
+    )
+
+    compute_time = 0.0
+    for f_in, f_out in zip(dims[:-1], dims[1:]):
+        segments_in = -(-f_in // config.mac_cols)
+        segments_out = -(-f_out // config.mac_cols)
+        # Aggregation sweep (CF-style gather at each destination).
+        compute_time += engine._account_search_pass(
+            layout, groups, events,
+            cols_engaged=f_in, mac_segments=segments_in,
+        )
+        # Dense transform on weight-stationary crossbars.
+        ops_per_vertex = (-(-f_in // limit)) * segments_out
+        rows_per_op = min(f_in, limit)
+        events.record_mac(
+            np.full(n * ops_per_vertex, rows_per_op, dtype=np.int64),
+            cols=min(f_out, config.mac_cols),
+        )
+        events.adc_conversions += n * ops_per_vertex * min(
+            f_out, config.mac_cols
+        )
+        events.dac_conversions += n * ops_per_vertex * rows_per_op
+        # Transform crossbars are weight-stationary and shared: vertices
+        # stream through all arrays in parallel.
+        transform_ops_serial = -(-n * ops_per_vertex // config.num_crossbars)
+        compute_time += transform_ops_serial * (
+            config.tech.mac_latency_s + config.tech.input_stage_latency_s
+        )
+        # Normalization + activation epilogue.
+        events.sfu_ops += n * (1 + f_out)
+        events.buffer_reads += n * segments_in
+        events.buffer_writes += n * segments_out
+
+    embeddings = reference_forward(
+        layout.src, layout.dst, n, features, weights, activation
+    )
+    stats = engine._finalize(
+        events, load_time, compute_time,
+        passes=len(weights), batches=layout.num_batches,
+    )
+    return GNNResult(
+        embeddings=embeddings, num_layers=len(weights), stats=stats
+    )

@@ -1,0 +1,103 @@
+"""BFS and SSSP on GaaS-X (Section IV, Figure 9b).
+
+Both are frontier-driven relaxations of Equations 1 and 2: per
+superstep, each *active* source vertex is CAM-searched in the crossbars
+holding its edges; the MAC computes ``dist(u) + w(u, v)`` on the
+enabled rows (``alpha x Eweight + dist(u) x 1`` against the constant-1
+column), and the SFU takes the running minimum into the destination's
+distance. A vertex whose distance improved becomes active for the next
+superstep; the loop ends when the frontier drains (Bellman-Ford
+wavefront order, synchronous within a superstep).
+
+BFS is SSSP with the weight column preset to the constant 1, which
+also removes the per-edge MAC attribute write at load time
+(Section IV: "without the overhead of loading edge weights").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import AlgorithmError
+from ...events import EventLog
+from ..engine import gather_ranges
+from ..stats import TraversalResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import GaaSXEngine
+
+
+def run(engine: "GaaSXEngine", source: int, weighted: bool) -> TraversalResult:
+    """Execute BFS (``weighted=False``) or SSSP and return distances."""
+    graph = engine.graph
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise AlgorithmError(f"source vertex {source} out of range [0, {n})")
+    if weighted and graph.num_edges and graph.weights.min() < 0:
+        raise AlgorithmError("SSSP requires non-negative edge weights")
+
+    layout = engine.layout("row")
+    groups = layout.groups_by("src")
+
+    events = EventLog()
+    mac_values = 1 if weighted else 0
+    if engine.streaming:
+        load_time = 0.0  # charged per superstep below
+    else:
+        load_time = engine._account_load(
+            layout, events, mac_values_per_edge=mac_values
+        )
+
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    active = np.zeros(n, dtype=bool)
+    active[source] = True
+
+    group_starts = groups.group_offsets[:-1]
+    compute_time = 0.0
+    supersteps = 0
+    while active.any():
+        group_mask = active[groups.vertex]
+        if engine.streaming:
+            # Re-stream every crossbar holding an active source's edges.
+            xbar_mask = engine._active_xbar_mask(layout, groups, group_mask)
+            load_time += engine._account_load(
+                layout, events,
+                xbar_mask=xbar_mask, mac_values_per_edge=mac_values,
+            )
+        compute_time += engine._account_search_pass(
+            layout, groups, events, group_mask=group_mask, cols_engaged=2
+        )
+        # Functional relaxation over exactly the searched edges.
+        edge_slots = gather_ranges(
+            group_starts[group_mask], groups.count[group_mask]
+        )
+        edges = groups.edge_perm[edge_slots]
+        candidates = dist[layout.src[edges]] + (
+            layout.weight[edges] if weighted else 1.0
+        )
+        new_dist = dist.copy()
+        np.minimum.at(new_dist, layout.dst[edges], candidates)
+        improved = new_dist < dist
+        # SFU/buffer accounting: one dist(u) read per search, one
+        # min-compare per candidate, one select+writeback per improved
+        # destination.
+        events.buffer_reads += int(group_mask.sum())
+        events.sfu_ops += int(edges.size) + int(improved.sum())
+        events.buffer_writes += int(improved.sum())
+        dist = new_dist
+        active = improved
+        supersteps += 1
+
+    stats = engine._finalize(
+        events,
+        load_time,
+        compute_time,
+        passes=supersteps,
+        batches=layout.num_batches,
+    )
+    return TraversalResult(
+        distances=dist, source=source, supersteps=supersteps, stats=stats
+    )

@@ -1,0 +1,99 @@
+"""Weakly connected components on GaaS-X (extension kernel).
+
+The paper positions GaaS-X as a *versatile* SpMV engine; WCC is the
+classic min-label-propagation member of that family and maps onto the
+same CAM + selective-MAC machinery as SSSP: per superstep, every active
+vertex broadcasts its component label to its neighbours, which keep the
+minimum.
+
+Weak connectivity ignores edge direction, and this is where the ternary
+CAM earns its keep: the *same* stored (src, dst) rows serve both
+directions — searching the source field finds a vertex's out-edges,
+searching the destination field finds its in-edges — with no transposed
+copy of the graph (Section IV: "the ternary CAM operation enables the
+flexibility to identify the edges corresponding to a particular source
+or destination vertex").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...events import EventLog
+from ..engine import gather_ranges
+from ..stats import ComponentsResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import GaaSXEngine
+
+
+def run(engine: "GaaSXEngine") -> ComponentsResult:
+    """Label-propagation WCC; returns per-vertex component labels."""
+    graph = engine.graph
+    n = graph.num_vertices
+    layout = engine.layout("row")
+    src_groups = layout.groups_by("src")
+    dst_groups = layout.groups_by("dst")
+
+    events = EventLog()
+    # Labels ride in the MAC attribute column, like SSSP distances.
+    load_time = engine._account_load(layout, events, mac_values_per_edge=1)
+
+    labels = np.arange(n, dtype=np.float64)
+    active = np.zeros(n, dtype=bool)
+    has_edge = np.zeros(n, dtype=bool)
+    has_edge[layout.src] = True
+    has_edge[layout.dst] = True
+    active[has_edge] = True
+
+    compute_time = 0.0
+    supersteps = 0
+    while active.any():
+        new_labels = labels.copy()
+        # Forward direction: out-edges of active vertices.
+        fwd_mask = active[src_groups.vertex]
+        compute_time += engine._account_search_pass(
+            layout, src_groups, events, group_mask=fwd_mask, cols_engaged=1
+        )
+        fwd_edges = src_groups.edge_perm[
+            gather_ranges(
+                src_groups.group_offsets[:-1][fwd_mask],
+                src_groups.count[fwd_mask],
+            )
+        ]
+        np.minimum.at(
+            new_labels, layout.dst[fwd_edges], labels[layout.src[fwd_edges]]
+        )
+        # Reverse direction: in-edges via a destination-field search.
+        rev_mask = active[dst_groups.vertex]
+        compute_time += engine._account_search_pass(
+            layout, dst_groups, events, group_mask=rev_mask, cols_engaged=1
+        )
+        rev_edges = dst_groups.edge_perm[
+            gather_ranges(
+                dst_groups.group_offsets[:-1][rev_mask],
+                dst_groups.count[rev_mask],
+            )
+        ]
+        np.minimum.at(
+            new_labels, layout.src[rev_edges], labels[layout.dst[rev_edges]]
+        )
+
+        improved = new_labels < labels
+        events.buffer_reads += int(fwd_mask.sum()) + int(rev_mask.sum())
+        events.sfu_ops += int(fwd_edges.size) + int(rev_edges.size)
+        events.sfu_ops += int(improved.sum())
+        events.buffer_writes += int(improved.sum())
+        labels = new_labels
+        active = improved
+        supersteps += 1
+
+    stats = engine._finalize(
+        events, load_time, compute_time,
+        passes=supersteps, batches=layout.num_batches,
+    )
+    return ComponentsResult(
+        labels=labels.astype(np.int64), supersteps=supersteps, stats=stats
+    )

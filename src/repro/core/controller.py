@@ -1,0 +1,122 @@
+"""Execution-plan summaries of the five-phase model (Figure 8).
+
+The paper describes GaaS-X runs as five phases — initialization, data
+loading, CAM search, MAC operation, special-function execution. The
+engine accounts them implicitly inside its kernels; this module
+re-derives an explicit per-phase summary (operation counts, energy,
+latency attribution) from a finished run's :class:`RunStats`, giving
+users the paper's mental model as an inspectable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import ArchConfig
+from ..core.stats import RunStats
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """One execution phase's aggregate activity."""
+
+    name: str
+    operations: int
+    time_s: float
+    energy_j: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:<26} ops={self.operations:>14,} "
+            f"time={self.time_s * 1e6:>10.2f}us "
+            f"energy={self.energy_j * 1e6:>10.2f}uJ"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The five-phase decomposition of one run."""
+
+    phases: List[PhaseSummary]
+    passes: int
+
+    def phase(self, name: str) -> PhaseSummary:
+        """Look up one phase by name."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """Text rendering, one line per phase."""
+        lines = [str(p) for p in self.phases]
+        lines.append(f"(passes: {self.passes})")
+        return "\n".join(lines)
+
+
+def build_plan(
+    stats: RunStats, config: Optional[ArchConfig] = None
+) -> ExecutionPlan:
+    """Derive the Figure 8 phase summary from a finished run.
+
+    Latency attribution: the loading phase owns ``load_time_s``; the
+    compute time is split between CAM search and MAC in proportion to
+    their serial per-crossbar costs; the SFU phase is reported with
+    zero marginal time (its scalar pipeline overlaps the crossbar
+    operations in the engine's model).
+    """
+    config = config if config is not None else ArchConfig()
+    tech = config.tech
+    events = stats.events
+    energy = stats.energy
+    cam_serial = events.cam_searches * tech.cam_latency_s
+    mac_serial = events.mac_ops * (
+        tech.mac_latency_s + tech.input_stage_latency_s
+    )
+    total_serial = cam_serial + mac_serial
+    if total_serial > 0:
+        cam_time = stats.compute_time_s * cam_serial / total_serial
+        mac_time = stats.compute_time_s * mac_serial / total_serial
+    else:
+        cam_time = 0.0
+        mac_time = 0.0
+    phases = [
+        PhaseSummary(
+            "Initialization",
+            operations=stats.batches_loaded,
+            time_s=0.0,
+            energy_j=0.0,
+        ),
+        PhaseSummary(
+            "Data loading",
+            operations=events.row_writes + events.cam_row_writes,
+            time_s=stats.load_time_s,
+            energy_j=(energy.write_j if energy is not None else 0.0),
+        ),
+        PhaseSummary(
+            "CAM search",
+            operations=events.cam_searches,
+            time_s=cam_time,
+            energy_j=(energy.cam_j if energy is not None else 0.0),
+        ),
+        PhaseSummary(
+            "MAC operation",
+            operations=events.mac_ops,
+            time_s=mac_time,
+            energy_j=(
+                energy.mac_j + energy.adc_j + energy.dac_j
+                if energy is not None
+                else 0.0
+            ),
+        ),
+        PhaseSummary(
+            "Special function",
+            operations=events.sfu_ops,
+            time_s=0.0,
+            energy_j=(
+                energy.sfu_j + energy.buffer_j if energy is not None else 0.0
+            ),
+        ),
+    ]
+    return ExecutionPlan(phases=phases, passes=stats.passes)

@@ -1,0 +1,382 @@
+"""The GaaS-X engine: vectorized event-accounting simulator.
+
+This is the scalable counterpart of the array-level models in
+:mod:`repro.xbar`. It executes the paper's five-phase execution model
+(Section III-B) over a whole graph with numpy-vectorized accounting:
+
+* **Initialization / data loading** — a :class:`CrossbarLayout` packs
+  sub-shards into CAM/MAC crossbar pairs; programming cost is charged
+  per crossbar row, serial within a crossbar, parallel across the 2048
+  crossbars, batches serial.
+* **CAM search** — one search per (crossbar, searched vertex) group.
+* **MAC** — one operation per ``mac_accumulate_limit``-row chunk of a
+  group's hit vector; the rows-accumulated histogram of every operation
+  is recorded (Figure 13).
+* **Special function** — scalar epilogue ops charged per element.
+
+Latency model: within a batch the crossbar pipelines run concurrently,
+so a batch's time is the *maximum* per-crossbar serial time; batches
+are sequential; loading does not overlap compute. A graph whose edge
+set fits one batch is *resident*: it is programmed once and every
+subsequent iteration/superstep runs compute-only — the structural
+advantage sparse mapping buys (Section II-D).
+
+The algorithms themselves live in :mod:`repro.core.algorithms`; the
+engine provides the machinery they share and is validated event-for-
+event against the array-level simulator on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.disk import DiskModel
+
+import numpy as np
+
+from ..config import ArchConfig
+from ..energy.ledger import EnergyLedger
+from ..errors import AlgorithmError
+from ..events import EventLog
+from ..graphs.graph import BipartiteGraph, Graph
+from ..graphs.partition import partition_graph
+from .loader import CrossbarLayout, GroupIndex, build_layout
+from .stats import (
+    CFResult,
+    ComponentsResult,
+    GNNResult,
+    PageRankResult,
+    RunStats,
+    TraversalResult,
+)
+
+
+def default_interval_size(num_vertices: int) -> int:
+    """Default shard interval: a 64x64 grid, but never below 128.
+
+    GridGraph-style frameworks pick the interval so the grid has a few
+    thousand cells; 64 intervals keeps shard metadata small while still
+    giving the streaming order locality.
+    """
+    return max(128, -(-num_vertices // 64))
+
+
+def gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s+l)`` for each (s, l) pair, vectorized."""
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    offsets = np.arange(total) - np.repeat(ends - lengths, lengths)
+    return np.repeat(starts, lengths) + offsets
+
+
+def chunk_histogram(hits: np.ndarray, limit: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Split per-group hit counts into MAC-op chunks.
+
+    Returns ``(ops_per_group, hist)`` where ``hist[i]`` counts MAC ops
+    accumulating exactly ``i`` rows (index up to ``limit``).
+    """
+    hits = np.asarray(hits, dtype=np.int64)
+    full = hits // limit
+    rem = hits % limit
+    ops = full + (rem > 0)
+    hist = np.zeros(limit + 1, dtype=np.int64)
+    hist[limit] += int(full.sum())
+    if rem.size:
+        rem_nonzero = rem[rem > 0]
+        if rem_nonzero.size:
+            hist[: rem_nonzero.max() + 1] += np.bincount(rem_nonzero)
+    return ops, hist
+
+
+class GaaSXEngine:
+    """GaaS-X accelerator bound to one input graph.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`Graph` (PageRank/BFS/SSSP) or :class:`BipartiteGraph`
+        (collaborative filtering).
+    config:
+        Machine configuration; defaults to the paper's Table I design.
+    interval_size:
+        Shard interval; defaults to a 64x64 grid over the vertex set.
+    """
+
+    def __init__(
+        self,
+        graph: Graph | BipartiteGraph,
+        config: Optional[ArchConfig] = None,
+        interval_size: Optional[int] = None,
+        streaming: bool = False,
+        disk: Optional["DiskModel"] = None,
+    ) -> None:
+        """``streaming=True`` disables the in-place residency model:
+        the graph is re-streamed into the crossbars on every pass
+        (whole graph per PageRank/CF iteration, active shards per
+        traversal superstep). Used by the residency ablation to
+        quantify what unified memory/compute arrays buy.
+
+        ``disk`` optionally prices the shard fetches feeding each load;
+        loading is then charged ``max(crossbar write time, disk stream
+        time)`` since the two pipeline. The default (None) matches the
+        paper's evaluation, which — like the accelerator literature it
+        compares against — excludes host storage I/O from the modelled
+        execution time; the ``abl-disk`` ablation quantifies when that
+        assumption breaks.
+        """
+        self.config = config if config is not None else ArchConfig()
+        self.streaming = streaming
+        self.disk = disk
+        self.ledger = EnergyLedger(self.config.tech)
+        if isinstance(graph, BipartiteGraph):
+            self.bipartite: Optional[BipartiteGraph] = graph
+            self.graph = graph.as_unified_graph()
+        else:
+            self.bipartite = None
+            self.graph = graph
+        if interval_size is None:
+            interval_size = default_interval_size(self.graph.num_vertices)
+        self.interval_size = interval_size
+        self._grid = partition_graph(self.graph, interval_size)
+        self._layouts: dict = {}
+
+    @property
+    def attributes_fit_buffer(self) -> bool:
+        """Whether one interval's vertex attributes fit the attribute
+        buffer — the paper's stated operating assumption (Section
+        III-B). Engines with huge intervals would in reality pay
+        off-chip attribute traffic the model does not charge."""
+        return self.interval_size <= self.config.max_resident_attributes
+
+    # ------------------------------------------------------------------
+    # Layout access
+    # ------------------------------------------------------------------
+    def layout(self, order: str) -> CrossbarLayout:
+        """The pass layout for the given shard streaming order (cached)."""
+        if order not in self._layouts:
+            self._layouts[order] = build_layout(self._grid, order, self.config)
+        return self._layouts[order]
+
+    # ------------------------------------------------------------------
+    # Accounting helpers shared by the kernels
+    # ------------------------------------------------------------------
+    def _account_load(
+        self,
+        layout: CrossbarLayout,
+        events: EventLog,
+        xbar_mask: Optional[np.ndarray] = None,
+        mac_values_per_edge: int = 1,
+    ) -> float:
+        """Charge one (possibly partial) load and return its latency.
+
+        ``xbar_mask`` restricts the load to a subset of crossbars (the
+        superstep case: only shards containing active sources are
+        streamed in). ``mac_values_per_edge`` is 0 for BFS (the weight
+        column is preset to constant 1, Section IV) and 1 otherwise.
+        """
+        rows = layout.rows_per_xbar()
+        if xbar_mask is not None:
+            rows = np.where(xbar_mask, rows, 0)
+        edges_loaded = int(rows.sum())
+        if edges_loaded == 0:
+            return 0.0
+        # CAM side: one row write per edge; a TCAM bit is two cells.
+        events.cam_row_writes += edges_loaded
+        events.cam_cell_writes += edges_loaded * 2 * self.config.cam_width_bits
+        # MAC side: one attribute row per edge.
+        if mac_values_per_edge > 0:
+            events.row_writes += edges_loaded
+            events.cell_writes += (
+                edges_loaded * mac_values_per_edge * self.config.bit_slices
+            )
+        # Latency: CAM and MAC arrays program concurrently; the crossbar
+        # pair's load time is its row count (both sides write the same
+        # number of rows). Crossbars in a batch program in parallel.
+        num_batches = layout.num_batches
+        batch_rows = np.zeros(num_batches, dtype=np.int64)
+        xbar_ids = np.arange(layout.num_xbars)
+        np.maximum.at(batch_rows, layout.batch_of_xbar(xbar_ids), rows)
+        write_time = (
+            float(batch_rows.sum()) * self.config.tech.write_row_latency_s
+        )
+        if self.disk is None:
+            return write_time
+        # Disk fetch pipelines with programming; loading takes the max.
+        loaded = rows > 0
+        seeks = int(np.count_nonzero(loaded[1:] & ~loaded[:-1])) + int(
+            loaded[0] if loaded.size else 0
+        )
+        disk_time = self.disk.stream_time_s(edges_loaded, seeks)
+        return max(write_time, disk_time)
+
+    def _account_search_pass(
+        self,
+        layout: CrossbarLayout,
+        groups: GroupIndex,
+        events: EventLog,
+        group_mask: Optional[np.ndarray] = None,
+        cols_engaged: int = 1,
+        mac_segments: int = 1,
+    ) -> float:
+        """Charge one CAM-search + MAC pass and return its latency.
+
+        Every selected group costs one CAM search plus
+        ``ceil(hits / limit)`` MAC operations; per-crossbar serial time
+        is maxed within each batch. ``mac_segments`` repeats each MAC
+        operation when a value spans several 16-column crossbar
+        segments (feature vectors wider than one array, Section IV's
+        collaborative filtering).
+        """
+        if group_mask is None:
+            xbar = groups.xbar
+            hits = groups.count
+        else:
+            xbar = groups.xbar[group_mask]
+            hits = groups.count[group_mask]
+        if xbar.size == 0:
+            return 0.0
+        limit = self.config.mac_accumulate_limit
+        ops, hist = chunk_histogram(hits, limit)
+        ops = ops * mac_segments
+        hist = hist * mac_segments
+        total_hits = int(hits.sum())
+        total_ops = int(ops.sum())
+        events.cam_searches += int(xbar.size)
+        events.mac_ops += total_ops
+        events.mac_rows_accumulated += total_hits * mac_segments
+        events.mac_cell_ops += total_hits * cols_engaged
+        events._grow_hist(hist.size)
+        events.mac_rows_hist[: hist.size] += hist
+        events.dac_conversions += total_hits * mac_segments
+        events.adc_conversions += total_ops * min(
+            cols_engaged, self.config.mac_cols
+        )
+        # Per-crossbar serial time, maxed per batch.
+        tech = self.config.tech
+        searches_per_xbar = np.bincount(xbar, minlength=layout.num_xbars)
+        ops_per_xbar = np.bincount(
+            xbar, weights=ops.astype(np.float64), minlength=layout.num_xbars
+        )
+        xbar_time = (
+            searches_per_xbar * tech.cam_latency_s
+            + ops_per_xbar
+            * (tech.mac_latency_s + tech.input_stage_latency_s)
+        )
+        batch_time = np.zeros(layout.num_batches, dtype=np.float64)
+        np.maximum.at(
+            batch_time,
+            layout.batch_of_xbar(np.arange(layout.num_xbars)),
+            xbar_time,
+        )
+        return float(batch_time.sum())
+
+    def _active_xbar_mask(
+        self, layout: CrossbarLayout, groups: GroupIndex, group_mask: np.ndarray
+    ) -> np.ndarray:
+        """Crossbars containing at least one selected group."""
+        mask = np.zeros(layout.num_xbars, dtype=bool)
+        mask[groups.xbar[group_mask]] = True
+        return mask
+
+    def _finalize(
+        self,
+        events: EventLog,
+        load_time: float,
+        compute_time: float,
+        passes: int,
+        batches: int,
+    ) -> RunStats:
+        stats = RunStats(
+            events=events,
+            load_time_s=load_time,
+            compute_time_s=compute_time,
+            passes=passes,
+            batches_loaded=batches,
+        )
+        stats.energy = self.ledger.price(events, stats.total_time_s)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Public kernels (implemented in repro.core.algorithms)
+    # ------------------------------------------------------------------
+    def pagerank(
+        self,
+        alpha: float = 0.85,
+        iterations: int = 10,
+        tolerance: Optional[float] = None,
+        personalization: Optional[np.ndarray] = None,
+    ) -> PageRankResult:
+        """Run PageRank (Section IV, Equation 3); pass a
+        ``personalization`` vector for personalized PageRank."""
+        from .algorithms import pagerank
+
+        return pagerank.run(
+            self,
+            alpha=alpha,
+            iterations=iterations,
+            tolerance=tolerance,
+            personalization=personalization,
+        )
+
+    def bfs(self, source: int) -> TraversalResult:
+        """Run breadth-first search (Section IV, Equation 2)."""
+        from .algorithms import traversal
+
+        return traversal.run(self, source=source, weighted=False)
+
+    def sssp(self, source: int) -> TraversalResult:
+        """Run single-source shortest paths (Section IV, Equation 1)."""
+        from .algorithms import traversal
+
+        return traversal.run(self, source=source, weighted=True)
+
+    def wcc(self) -> "ComponentsResult":
+        """Weakly connected components via min-label propagation.
+
+        Extension kernel (not in the paper's evaluation); uses the
+        ternary CAM's two searchable fields to propagate labels in both
+        edge directions without a transposed graph copy.
+        """
+        from .algorithms import wcc
+
+        return wcc.run(self)
+
+    def gnn_forward(
+        self,
+        features: np.ndarray,
+        weights: Sequence[np.ndarray],
+        activation: str = "relu",
+    ) -> "GNNResult":
+        """GCN-style forward inference (the paper's future-work workload)."""
+        from .algorithms import gnn
+
+        return gnn.run(self, features, weights, activation=activation)
+
+    def collaborative_filtering(
+        self,
+        num_features: int = 32,
+        epochs: int = 1,
+        learning_rate: float = 0.002,
+        regularization: float = 0.02,
+        seed: int = 0,
+    ) -> CFResult:
+        """Run collaborative filtering (Section IV, Equation 5)."""
+        if self.bipartite is None:
+            raise AlgorithmError(
+                "collaborative filtering requires a BipartiteGraph input"
+            )
+        from .algorithms import cf
+
+        return cf.run(
+            self,
+            num_features=num_features,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            regularization=regularization,
+            seed=seed,
+        )

@@ -1,0 +1,198 @@
+"""Data-loading phase: packing sub-shards into crossbar pairs.
+
+Section III-B: the central controller streams sub-shards from disk in
+row-major or column-major interval order and fills CAM/MAC crossbar
+pairs — 128 edges per pair, (src, dst) into the CAM, the edge attribute
+into the MAC row. A crossbar holds edges of exactly one shard (the
+controller tracks the vertex range loaded into each crossbar, which is
+what lets it route searches), so shard boundaries force a new crossbar.
+``num_crossbars`` pairs form one *batch*; batches are streamed
+sequentially.
+
+:class:`CrossbarLayout` materializes that assignment for a whole pass
+over the graph as flat numpy arrays (edge order, per-edge crossbar id),
+plus the grouping indexes the engine's event accounting needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..config import ArchConfig
+from ..errors import ConfigError
+from ..graphs.partition import ShardGrid
+
+
+@dataclass
+class GroupIndex:
+    """Edges grouped by (crossbar, key-field vertex).
+
+    A *group* is the unit of one CAM search: all edges in one crossbar
+    whose searched field (src or dst) equals one vertex. Arrays are
+    parallel, one entry per group, ordered by (crossbar, vertex).
+
+    ``edge_perm``/``group_offsets`` recover the member edges: group
+    ``g``'s edges are ``edge_perm[group_offsets[g]:group_offsets[g+1]]``
+    (indices into the layout's edge arrays).
+    """
+
+    xbar: np.ndarray  # crossbar id per group
+    vertex: np.ndarray  # searched vertex id per group
+    count: np.ndarray  # edges (CAM hits) per group
+    edge_perm: np.ndarray
+    group_offsets: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        """Number of (crossbar, vertex) groups."""
+        return int(self.xbar.size)
+
+
+@dataclass
+class CrossbarLayout:
+    """One pass's assignment of edges to crossbars.
+
+    Edge arrays are ordered shard-by-shard (in the requested interval
+    order) and, within a shard, by (dst, src) — the paper's sub-shard
+    sort. ``xbar_of_edge[e]`` is the crossbar pair holding edge ``e``;
+    crossbar ids increase with load order, and crossbar ``x`` belongs to
+    batch ``x // config.num_crossbars``.
+    """
+
+    config: ArchConfig
+    order: str
+    src: np.ndarray
+    dst: np.ndarray
+    weight: np.ndarray
+    xbar_of_edge: np.ndarray
+    num_xbars: int
+    _groups: Dict[str, GroupIndex] = field(default_factory=dict)
+
+    @property
+    def num_edges(self) -> int:
+        """Edges in the pass (the whole graph)."""
+        return int(self.src.size)
+
+    @property
+    def num_batches(self) -> int:
+        """Sequential batch loads needed for one full pass."""
+        if self.num_xbars == 0:
+            return 0
+        return -(-self.num_xbars // self.config.num_crossbars)
+
+    @property
+    def resident(self) -> bool:
+        """True when the whole graph fits in one batch.
+
+        A resident graph is loaded once and stays in the crossbars for
+        every subsequent iteration/superstep — the case where GaaS-X's
+        sparse mapping eliminates all re-write traffic.
+        """
+        return self.num_batches <= 1
+
+    def batch_of_xbar(self, xbar: np.ndarray) -> np.ndarray:
+        """Batch index of each crossbar id."""
+        return xbar // self.config.num_crossbars
+
+    def rows_per_xbar(self) -> np.ndarray:
+        """Occupied rows in each crossbar (<= cam_rows)."""
+        return np.bincount(self.xbar_of_edge, minlength=self.num_xbars)
+
+    # ------------------------------------------------------------------
+    def groups_by(self, fieldname: str) -> GroupIndex:
+        """Group edges by (crossbar, src) or (crossbar, dst); cached.
+
+        These groups are the CAM searches of one full pass: destination
+        grouping drives PageRank-style gather, source grouping drives
+        BFS/SSSP-style scatter.
+        """
+        if fieldname not in ("src", "dst"):
+            raise ConfigError(f"unknown group field {fieldname!r}")
+        if fieldname in self._groups:
+            return self._groups[fieldname]
+        keys = self.src if fieldname == "src" else self.dst
+        perm = np.lexsort((keys, self.xbar_of_edge))
+        sorted_xbar = self.xbar_of_edge[perm]
+        sorted_keys = keys[perm]
+        if sorted_keys.size == 0:
+            index = GroupIndex(
+                xbar=np.empty(0, dtype=np.int64),
+                vertex=np.empty(0, dtype=np.int64),
+                count=np.empty(0, dtype=np.int64),
+                edge_perm=perm,
+                group_offsets=np.zeros(1, dtype=np.int64),
+            )
+            self._groups[fieldname] = index
+            return index
+        boundary = np.empty(sorted_keys.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (sorted_xbar[1:] != sorted_xbar[:-1]) | (
+            sorted_keys[1:] != sorted_keys[:-1]
+        )
+        starts = np.flatnonzero(boundary)
+        offsets = np.append(starts, sorted_keys.size)
+        index = GroupIndex(
+            xbar=sorted_xbar[starts],
+            vertex=sorted_keys[starts],
+            count=np.diff(offsets),
+            edge_perm=perm,
+            group_offsets=offsets,
+        )
+        self._groups[fieldname] = index
+        return index
+
+
+def build_layout(
+    grid: ShardGrid, order: str, config: ArchConfig
+) -> CrossbarLayout:
+    """Assign every edge of ``grid`` to a crossbar for one pass.
+
+    ``order`` is ``"row"`` (source-interval major — BFS/SSSP) or
+    ``"col"`` (destination-interval major — PageRank), matching the
+    paper's algorithm-dependent shard streaming direction.
+    """
+    rows = config.cam_rows
+    src_parts = []
+    dst_parts = []
+    weight_parts = []
+    sizes = []
+    for shard in grid.iter_shards(order):
+        src_parts.append(shard.src)
+        dst_parts.append(shard.dst)
+        weight_parts.append(shard.weight)
+        sizes.append(shard.num_edges)
+    if not sizes:
+        empty = np.empty(0, dtype=np.int64)
+        return CrossbarLayout(
+            config=config,
+            order=order,
+            src=empty,
+            dst=empty,
+            weight=np.empty(0, dtype=np.float64),
+            xbar_of_edge=empty,
+            num_xbars=0,
+        )
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    weight = np.concatenate(weight_parts)
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    xbars_per_shard = -(-sizes_arr // rows)
+    shard_xbar_offset = np.concatenate(
+        [[0], np.cumsum(xbars_per_shard)[:-1]]
+    )
+    shard_edge_offset = np.concatenate([[0], np.cumsum(sizes_arr)[:-1]])
+    shard_of_edge = np.repeat(np.arange(sizes_arr.size), sizes_arr)
+    within_shard = np.arange(src.size) - shard_edge_offset[shard_of_edge]
+    xbar_of_edge = shard_xbar_offset[shard_of_edge] + within_shard // rows
+    return CrossbarLayout(
+        config=config,
+        order=order,
+        src=src,
+        dst=dst,
+        weight=weight,
+        xbar_of_edge=xbar_of_edge,
+        num_xbars=int(xbars_per_shard.sum()),
+    )

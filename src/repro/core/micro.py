@@ -1,0 +1,217 @@
+"""Array-level micro engine: ground truth for the vectorized engine.
+
+:class:`MicroGaaSX` executes PageRank / BFS / SSSP by instantiating a
+real :class:`~repro.xbar.cam_array.EdgeCam` and
+:class:`~repro.xbar.mac_array.MacCrossbar` pair per occupied crossbar
+and driving the actual search / selective-MAC / SFU operations edge by
+edge. It is orders of magnitude slower than
+:class:`~repro.core.engine.GaaSXEngine` and exists for two reasons:
+
+* **Validation** — on any small graph, its :class:`EventLog` must be
+  *identical* (every counter, including the Figure 13 histogram) to
+  the vectorized engine's, and its numerical results must agree with
+  the golden references. The test suite asserts both.
+* **Exposition** — its control flow is a direct transcription of the
+  paper's Figures 7 and 9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import ArchConfig
+from ..errors import AlgorithmError
+from ..events import EventLog
+from ..graphs.graph import Graph
+from ..graphs.partition import partition_graph
+from ..xbar.cam_array import EdgeCam
+from ..xbar.cells import FixedPointFormat
+from ..xbar.mac_array import MacCrossbar
+from .engine import default_interval_size
+from .loader import CrossbarLayout, build_layout
+
+
+class _CrossbarPair:
+    """One loaded CAM/MAC crossbar pair plus its edge bookkeeping."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: np.ndarray,
+        events: EventLog,
+        load_weights: bool,
+        exact: bool = True,
+    ) -> None:
+        # Each CAM field spans half the 128-bit row, matching the
+        # engine's cam_cell_writes = 2 bits-per-cell-pair x width.
+        self.cam = EdgeCam(
+            rows=config.cam_rows,
+            vertex_bits=config.cam_width_bits // 2,
+            events=events,
+        )
+        self.mac = MacCrossbar(
+            rows=config.mac_rows,
+            cols=config.mac_cols,
+            value_format=FixedPointFormat(
+                config.value_bits, config.value_bits // 2
+            ),
+            cell_bits=config.cell_bits,
+            accumulate_limit=config.mac_accumulate_limit,
+            adc_bits=config.adc_bits,
+            exact=exact,
+            events=events,
+        )
+        self.src = src
+        self.dst = dst
+        self.weight = weight
+        self.cam.load_edges(src, dst)
+        k = src.size
+        if load_weights:
+            self.mac.write(
+                np.arange(k), np.zeros(k, dtype=np.int64), weight
+            )
+        # Constant-1 column for the SpMV-add distance term (preset, no
+        # programming events).
+        ones = self.mac.stored_values()
+        ones[:, 1] = 1.0
+        if not load_weights:
+            # BFS: the weight column itself is preset to constant 1.
+            ones[:k, 0] = 1.0
+        self.mac.preset(ones)
+
+
+class MicroGaaSX:
+    """Slow, honest GaaS-X built from the array-level components."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ArchConfig] = None,
+        interval_size: Optional[int] = None,
+        quantized: bool = False,
+    ) -> None:
+        """``quantized=True`` runs the MAC arrays through the honest
+        fixed-point pipeline (2-bit cells, bit-serial inputs, ADC)
+        instead of exact float arithmetic; results then carry bounded
+        quantization error instead of matching references exactly."""
+        self.config = config if config is not None else ArchConfig()
+        self.quantized = quantized
+        self.graph = graph
+        if interval_size is None:
+            interval_size = default_interval_size(graph.num_vertices)
+        self.interval_size = interval_size
+        self._grid = partition_graph(graph, interval_size)
+
+    def _build(
+        self, order: str, events: EventLog, load_weights: bool
+    ) -> Tuple[CrossbarLayout, list]:
+        layout = build_layout(self._grid, order, self.config)
+        pairs = []
+        for x in range(layout.num_xbars):
+            sel = layout.xbar_of_edge == x
+            pairs.append(
+                _CrossbarPair(
+                    self.config,
+                    layout.src[sel],
+                    layout.dst[sel],
+                    layout.weight[sel],
+                    events,
+                    load_weights,
+                    exact=not self.quantized,
+                )
+            )
+        return layout, pairs
+
+    # ------------------------------------------------------------------
+    def pagerank(
+        self, alpha: float = 0.85, iterations: int = 10
+    ) -> Tuple[np.ndarray, EventLog]:
+        """PageRank driven search-by-search (Figure 9c)."""
+        n = self.graph.num_vertices
+        events = EventLog()
+        out_deg = self.graph.out_degrees().astype(np.float64)
+        inv = np.divide(1.0, out_deg, out=np.zeros(n), where=out_deg > 0)
+        layout, pairs = self._build("col", events, load_weights=False)
+        # MAC column 0 holds 1/OutDeg(src) per edge row (counted as the
+        # per-edge attribute write, like the engine's loader).
+        for pair in pairs:
+            k = pair.src.size
+            pair.mac.write(
+                np.arange(k), np.zeros(k, dtype=np.int64), inv[pair.src]
+            )
+        ranks = np.ones(n)
+        for _ in range(iterations):
+            contrib = np.zeros(n)
+            for pair in pairs:
+                inputs = np.zeros(self.config.mac_rows)
+                inputs[: pair.src.size] = ranks[pair.src]
+                events.buffer_reads += int(pair.src.size)  # rank reads
+                for v in np.unique(pair.dst):
+                    hits = pair.cam.search_dst(int(v))
+                    summed = pair.mac.mac(
+                        inputs, row_mask=hits, col_mask=np.array([0])
+                    )
+                    contrib[v] += summed[0]
+                    events.sfu_ops += 1  # partial accumulate per group
+            ranks = (1.0 - alpha) + alpha * contrib
+            events.sfu_ops += 2 * n  # damping affine per vertex
+            events.buffer_writes += n
+        return ranks, events
+
+    # ------------------------------------------------------------------
+    def _traversal(
+        self, source: int, weighted: bool
+    ) -> Tuple[np.ndarray, EventLog]:
+        n = self.graph.num_vertices
+        if not 0 <= source < n:
+            raise AlgorithmError(f"source {source} out of range [0, {n})")
+        events = EventLog()
+        _layout, pairs = self._build("row", events, load_weights=weighted)
+        dist = np.full(n, np.inf)
+        dist[source] = 0.0
+        active = np.zeros(n, dtype=bool)
+        active[source] = True
+        while active.any():
+            new_dist = dist.copy()
+            improved_any = np.zeros(n, dtype=bool)
+            searches = 0
+            candidates_count = 0
+            for pair in pairs:
+                for u in np.unique(pair.src):
+                    if not active[u]:
+                        continue
+                    searches += 1
+                    hits = pair.cam.search_src(int(u))
+                    # alpha=1 drives the weight column, dist(u) drives
+                    # the constant-1 column (Figure 9b).
+                    inputs = np.zeros(self.config.mac_cols)
+                    inputs[0] = 1.0
+                    inputs[1] = dist[u]
+                    cand = pair.mac.mac_rowwise(
+                        inputs, row_mask=hits, col_mask=np.array([0, 1])
+                    )
+                    rows = np.flatnonzero(hits)
+                    candidates_count += rows.size
+                    for r in rows:
+                        v = pair.dst[r]
+                        if cand[r] < new_dist[v]:
+                            new_dist[v] = cand[r]
+            improved_any = new_dist < dist
+            events.buffer_reads += searches  # dist(u) per search
+            events.sfu_ops += candidates_count + int(improved_any.sum())
+            events.buffer_writes += int(improved_any.sum())
+            dist = new_dist
+            active = improved_any
+        return dist, events
+
+    def bfs(self, source: int) -> Tuple[np.ndarray, EventLog]:
+        """Breadth-first search hop distances."""
+        return self._traversal(source, weighted=False)
+
+    def sssp(self, source: int) -> Tuple[np.ndarray, EventLog]:
+        """Single-source shortest-path distances."""
+        return self._traversal(source, weighted=True)

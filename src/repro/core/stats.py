@@ -1,0 +1,143 @@
+"""Run statistics and result containers for accelerator engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..energy.ledger import EnergyBreakdown
+from ..events import EventLog
+
+
+@dataclass
+class RunStats:
+    """Everything measured about one engine run.
+
+    ``load_time_s`` is the serialized crossbar-programming time,
+    ``compute_time_s`` the serialized CAM/MAC/SFU pipeline time; the
+    parallelism model (2048 concurrent crossbars, batches serial) is
+    already folded in by the engine. ``passes`` counts iterations
+    (PageRank, CF epochs) or supersteps (BFS/SSSP).
+    """
+
+    events: EventLog
+    load_time_s: float
+    compute_time_s: float
+    passes: int
+    batches_loaded: int
+    energy: Optional[EnergyBreakdown] = None
+
+    @property
+    def total_time_s(self) -> float:
+        """End-to-end modelled execution time."""
+        return self.load_time_s + self.compute_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy (0.0 until the ledger has priced the run)."""
+        return self.energy.total_j if self.energy is not None else 0.0
+
+    @property
+    def edges_per_second(self) -> float:
+        """Not defined without a workload size; engines report this
+        separately when meaningful."""
+        raise AttributeError(
+            "edges_per_second is workload-specific; compute it from the "
+            "result's graph"
+        )
+
+    def summary(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "total_time_s": self.total_time_s,
+            "load_time_s": self.load_time_s,
+            "compute_time_s": self.compute_time_s,
+            "total_energy_j": self.total_energy_j,
+            "passes": self.passes,
+            "batches_loaded": self.batches_loaded,
+            **self.events.as_dict(),
+        }
+
+
+@dataclass
+class PageRankResult:
+    """Ranks plus run statistics."""
+
+    ranks: np.ndarray
+    iterations: int
+    stats: RunStats
+
+
+@dataclass
+class TraversalResult:
+    """Distances (np.inf = unreachable) plus run statistics.
+
+    For BFS the distances are hop counts; for SSSP weighted distances.
+    """
+
+    distances: np.ndarray
+    source: int
+    supersteps: int
+    stats: RunStats
+
+    def reached(self) -> np.ndarray:
+        """Boolean mask of vertices reachable from the source."""
+        return np.isfinite(self.distances)
+
+
+@dataclass
+class ComponentsResult:
+    """Weakly-connected-component labels plus run statistics.
+
+    ``labels[v]`` is the smallest vertex id in v's component.
+    """
+
+    labels: np.ndarray
+    supersteps: int
+    stats: RunStats
+
+    @property
+    def num_components(self) -> int:
+        """Number of weakly connected components."""
+        return int(np.unique(self.labels).size)
+
+    def component_sizes(self) -> np.ndarray:
+        """Sizes of the components, descending."""
+        _, counts = np.unique(self.labels, return_counts=True)
+        return np.sort(counts)[::-1]
+
+
+@dataclass
+class GNNResult:
+    """GCN forward-pass embeddings plus run statistics."""
+
+    embeddings: np.ndarray
+    num_layers: int
+    stats: RunStats
+
+
+@dataclass
+class CFResult:
+    """Collaborative-filtering factor matrices plus run statistics."""
+
+    user_features: np.ndarray
+    item_features: np.ndarray
+    epochs: int
+    stats: RunStats
+
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted rating for each (user, item) pair."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        return np.einsum(
+            "ij,ij->i", self.user_features[users], self.item_features[items]
+        )
+
+    def rmse(self, ratings_rows: np.ndarray, ratings_cols: np.ndarray,
+             ratings_values: np.ndarray) -> float:
+        """Root-mean-square prediction error over the given ratings."""
+        pred = self.predict(ratings_rows, ratings_cols)
+        err = pred - np.asarray(ratings_values, dtype=np.float64)
+        return float(np.sqrt(np.mean(err * err))) if err.size else 0.0

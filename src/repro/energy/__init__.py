@@ -1,0 +1,7 @@
+"""Energy, latency and area accounting for the crossbar accelerators."""
+
+from .buffers import SRAMBuffer
+from .ledger import EnergyBreakdown, EnergyLedger
+from .report import table1_report
+
+__all__ = ["SRAMBuffer", "EnergyBreakdown", "EnergyLedger", "table1_report"]

@@ -1,0 +1,53 @@
+"""Simplified CACTI-style on-chip SRAM buffer model.
+
+The paper models its input/output/attribute buffers with CACTI at
+32 nm. Table I's three buffer rows scale exactly linearly in capacity
+(0.4e-3 mm^2 and 0.545 mW per KB), so the area/power model here is that
+linear fit; dynamic access energy uses the usual square-root-of-capacity
+CACTI scaling anchored at ~1 pJ for a 64 KB array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Linear fits to Table I buffer rows (32 nm CACTI).
+AREA_MM2_PER_KB = 0.4e-3
+POWER_MW_PER_KB = 0.545
+#: Access energy anchor: ~1 pJ per read of a 64 KB SRAM at 32 nm.
+ACCESS_ENERGY_J_AT_64KB = 1.0e-12
+
+
+@dataclass(frozen=True)
+class SRAMBuffer:
+    """An on-chip SRAM buffer characterized by its capacity."""
+
+    name: str
+    size_kb: float
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0:
+            raise ConfigError("buffer capacity must be positive")
+
+    @property
+    def area_mm2(self) -> float:
+        """Silicon area (linear CACTI fit)."""
+        return AREA_MM2_PER_KB * self.size_kb
+
+    @property
+    def power_mw(self) -> float:
+        """Operating power (linear CACTI fit)."""
+        return POWER_MW_PER_KB * self.size_kb
+
+    @property
+    def access_energy_j(self) -> float:
+        """Dynamic energy of one access (sqrt-capacity scaling)."""
+        return ACCESS_ENERGY_J_AT_64KB * (self.size_kb / 64.0) ** 0.5
+
+
+#: The three buffers of the GaaS-X design (Table I).
+INPUT_BUFFER = SRAMBuffer("input", 16)
+OUTPUT_BUFFER = SRAMBuffer("output", 64)
+ATTRIBUTE_BUFFER = SRAMBuffer("attribute", 512)

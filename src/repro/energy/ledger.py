@@ -1,0 +1,95 @@
+"""Pricing event logs into joules.
+
+``energy = sum(events x per-event dynamic energy) + static power x
+runtime`` — the same roll-up the paper's simulator performs with its
+SPICE/CACTI-derived constants (Section V-A). Per-event constants live
+in :class:`repro.config.TechnologyParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import TechnologyParams
+from ..errors import ConfigError
+from ..events import EventLog
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-category dynamic energies plus the static charge (joules)."""
+
+    cam_j: float
+    mac_j: float
+    write_j: float
+    adc_j: float
+    dac_j: float
+    sfu_j: float
+    buffer_j: float
+    static_j: float
+
+    @property
+    def dynamic_j(self) -> float:
+        """Total dynamic energy."""
+        return (
+            self.cam_j
+            + self.mac_j
+            + self.write_j
+            + self.adc_j
+            + self.dac_j
+            + self.sfu_j
+            + self.buffer_j
+        )
+
+    @property
+    def total_j(self) -> float:
+        """Dynamic plus static energy."""
+        return self.dynamic_j + self.static_j
+
+    def as_dict(self) -> Dict[str, float]:
+        """Category -> joules mapping, including totals."""
+        return {
+            "cam": self.cam_j,
+            "mac": self.mac_j,
+            "write": self.write_j,
+            "adc": self.adc_j,
+            "dac": self.dac_j,
+            "sfu": self.sfu_j,
+            "buffer": self.buffer_j,
+            "static": self.static_j,
+            "total": self.total_j,
+        }
+
+
+class EnergyLedger:
+    """Prices :class:`~repro.events.EventLog` instances."""
+
+    def __init__(self, tech: TechnologyParams | None = None) -> None:
+        self.tech = tech if tech is not None else TechnologyParams()
+
+    def price(self, events: EventLog, runtime_s: float) -> EnergyBreakdown:
+        """Convert an event log plus a runtime into an energy breakdown."""
+        if runtime_s < 0:
+            raise ConfigError("runtime must be non-negative")
+        t = self.tech
+        return EnergyBreakdown(
+            cam_j=events.cam_searches * t.cam_search_energy_j,
+            mac_j=events.mac_ops * t.mac_energy_j,
+            write_j=(
+                events.cell_writes * t.write_cell_energy_j
+                + events.cam_cell_writes * t.cam_cell_write_energy_j
+            ),
+            adc_j=events.adc_conversions * t.adc_energy_j,
+            dac_j=events.dac_conversions * t.dac_energy_j,
+            sfu_j=events.sfu_ops * t.sfu_op_energy_j,
+            buffer_j=(events.buffer_reads + events.buffer_writes)
+            * t.buffer_access_energy_j,
+            static_j=t.static_power_w * runtime_s,
+        )
+
+    def average_power_w(self, events: EventLog, runtime_s: float) -> float:
+        """Average power over the run (guards the zero-runtime case)."""
+        if runtime_s <= 0:
+            return 0.0
+        return self.price(events, runtime_s).total_j / runtime_s

@@ -1,0 +1,80 @@
+"""Regeneration of Table I: the accelerator's component inventory.
+
+The table is configuration-derived where possible (buffer rows come
+from the CACTI-style model, crossbar counts from :class:`ArchConfig`)
+and anchored to the paper's published per-component figures elsewhere,
+so changing the architecture configuration changes the printed table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..config import (
+    ArchConfig,
+    TABLE_I_COMPONENTS,
+    TABLE_I_TOTAL_AREA_MM2,
+    TABLE_I_TOTAL_POWER_W,
+)
+from .buffers import ATTRIBUTE_BUFFER, INPUT_BUFFER, OUTPUT_BUFFER, SRAMBuffer
+
+
+def component_rows(config: ArchConfig | None = None) -> List[Tuple[str, str, float, float]]:
+    """(name, configuration, area mm^2, power mW) rows for the design.
+
+    Crossbar/converter rows scale with the configured crossbar count
+    relative to the paper's 2048; buffer rows come from the SRAM model.
+    """
+    config = config if config is not None else ArchConfig()
+    scale = config.num_crossbars / 2048.0
+    rows: List[Tuple[str, str, float, float]] = []
+    buffer_models = {
+        "Output buffer": OUTPUT_BUFFER,
+        "Input buffer": INPUT_BUFFER,
+        "Attribute buffer": ATTRIBUTE_BUFFER,
+    }
+    for spec in TABLE_I_COMPONENTS:
+        if spec.name in buffer_models:
+            model: SRAMBuffer = buffer_models[spec.name]
+            rows.append(
+                (spec.name, f"{int(model.size_kb)} KB", model.area_mm2, model.power_mw)
+            )
+        elif spec.name in ("Central controller", "SFU"):
+            rows.append((spec.name, spec.configuration, spec.area_mm2, spec.power_mw))
+        else:
+            rows.append(
+                (
+                    spec.name,
+                    spec.configuration,
+                    spec.area_mm2 * scale,
+                    spec.power_mw * scale,
+                )
+            )
+    return rows
+
+
+def totals(config: ArchConfig | None = None) -> Tuple[float, float]:
+    """(area mm^2, power W) totals for the configured design."""
+    rows = component_rows(config)
+    area = sum(r[2] for r in rows)
+    power_w = sum(r[3] for r in rows) / 1000.0
+    return area, power_w
+
+
+def table1_report(config: ArchConfig | None = None) -> str:
+    """Render the component table in the paper's Table I layout."""
+    rows = component_rows(config)
+    area, power = totals(config)
+    lines = [
+        f"{'Component':<20} {'Configuration':<24} {'Area (mm^2)':>12} {'Power (mW)':>11}",
+        "-" * 69,
+    ]
+    for name, conf, a, p in rows:
+        lines.append(f"{name:<20} {conf:<24} {a:>12.5f} {p:>11.2f}")
+    lines.append("-" * 69)
+    lines.append(f"{'Total':<45} {area:>12.2f} {power * 1000:>11.2f}")
+    lines.append(
+        f"(paper Table I totals: {TABLE_I_TOTAL_AREA_MM2:.2f} mm^2, "
+        f"{TABLE_I_TOTAL_POWER_W:.2f} W)"
+    )
+    return "\n".join(lines)

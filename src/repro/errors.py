@@ -1,0 +1,36 @@
+"""Exception hierarchy for the GaaS-X reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of this package with a single clause
+while still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory structure is malformed."""
+
+
+class PartitionError(ReproError):
+    """Interval partitioning was given inconsistent parameters."""
+
+
+class CapacityError(ReproError):
+    """Data does not fit in the configured crossbar resources."""
+
+
+class ConfigError(ReproError):
+    """An architecture or experiment configuration is invalid."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was asked to run on an unsupported input."""
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or an unsatisfiable scaling profile."""

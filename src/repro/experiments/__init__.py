@@ -1,0 +1,18 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .harness import CellResult, ComparisonMatrix, comparison_matrix
+from .registry import EXPERIMENTS, ExperimentSpec
+from .reporting import ExperimentResult, Series, geometric_mean
+from .runner import run_experiment
+
+__all__ = [
+    "ComparisonMatrix",
+    "CellResult",
+    "comparison_matrix",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Series",
+    "geometric_mean",
+    "run_experiment",
+]

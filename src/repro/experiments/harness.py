@@ -1,0 +1,137 @@
+"""Shared run matrix: one GaaS-X + GraphR + trace evaluation per cell.
+
+Figures 11/12/13/14/15/16 all consume the same (dataset x algorithm)
+runs; this module computes each cell once and caches the matrix per
+(profile, iterations, source) so a benchmark session never repeats a
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from ..baselines import (
+    GraphREngine,
+    trace_pagerank,
+    trace_traversal,
+)
+from ..baselines.workload import WorkloadTrace
+from ..core.engine import GaaSXEngine
+from ..core.stats import RunStats
+from ..errors import ConfigError
+from ..graphs.datasets import FIGURE_ORDER, load_dataset
+
+ALGORITHMS = ("pagerank", "bfs", "sssp")
+
+#: PageRank iteration count used throughout the evaluation harness.
+DEFAULT_ITERATIONS = 10
+
+#: Traversal source vertex. Vertex 0 is the highest-degree vertex under
+#: the degree-sorted relabeling, giving every dataset a well-connected
+#: root (the paper does not state its choice of roots).
+DEFAULT_SOURCE = 0
+
+
+@dataclass
+class CellResult:
+    """One (dataset, algorithm) evaluation."""
+
+    dataset: str
+    algorithm: str
+    gaasx: RunStats
+    graphr: RunStats
+    trace: WorkloadTrace
+
+    @property
+    def speedup_vs_graphr(self) -> float:
+        """GraphR time over GaaS-X time."""
+        return self.graphr.total_time_s / self.gaasx.total_time_s
+
+    @property
+    def energy_savings_vs_graphr(self) -> float:
+        """GraphR energy over GaaS-X energy."""
+        return self.graphr.total_energy_j / self.gaasx.total_energy_j
+
+
+class ComparisonMatrix:
+    """Lazy (dataset x algorithm) grid of accelerator evaluations."""
+
+    def __init__(
+        self,
+        profile: str = "bench",
+        datasets: Tuple[str, ...] = FIGURE_ORDER,
+        iterations: int = DEFAULT_ITERATIONS,
+        source: int = DEFAULT_SOURCE,
+    ) -> None:
+        self.profile = profile
+        self.datasets = tuple(datasets)
+        self.iterations = iterations
+        self.source = source
+        self._cells: Dict[Tuple[str, str], CellResult] = {}
+        self._engines: Dict[str, Tuple[GaaSXEngine, GraphREngine]] = {}
+
+    def _engines_for(self, dataset: str) -> Tuple[GaaSXEngine, GraphREngine]:
+        if dataset not in self._engines:
+            graph = load_dataset(dataset, self.profile)
+            self._engines[dataset] = (
+                GaaSXEngine(graph),
+                GraphREngine(graph),
+            )
+        return self._engines[dataset]
+
+    def cell(self, dataset: str, algorithm: str) -> CellResult:
+        """Evaluate (and cache) one dataset/algorithm pair."""
+        if algorithm not in ALGORITHMS:
+            raise ConfigError(f"unknown algorithm {algorithm!r}")
+        key = (dataset, algorithm)
+        if key in self._cells:
+            return self._cells[key]
+        gaasx_engine, graphr_engine = self._engines_for(dataset)
+        graph = gaasx_engine.graph
+        if algorithm == "pagerank":
+            a = gaasx_engine.pagerank(iterations=self.iterations)
+            b = graphr_engine.pagerank(iterations=self.iterations)
+            trace = trace_pagerank(graph, self.iterations)
+        elif algorithm == "bfs":
+            a = gaasx_engine.bfs(self.source)
+            b = graphr_engine.bfs(self.source)
+            trace = trace_traversal(graph, self.source, weighted=False)
+        else:
+            a = gaasx_engine.sssp(self.source)
+            b = graphr_engine.sssp(self.source)
+            trace = trace_traversal(graph, self.source, weighted=True)
+        result = CellResult(
+            dataset=dataset,
+            algorithm=algorithm,
+            gaasx=a.stats,
+            graphr=b.stats,
+            trace=trace,
+        )
+        self._cells[key] = result
+        return result
+
+    def cells(self, algorithm: str) -> Tuple[CellResult, ...]:
+        """All datasets for one algorithm, in figure order."""
+        return tuple(self.cell(d, algorithm) for d in self.datasets)
+
+    def all_cells(self) -> Tuple[CellResult, ...]:
+        """Every (dataset, algorithm) cell, algorithms outermost."""
+        return tuple(
+            self.cell(d, a) for a in ALGORITHMS for d in self.datasets
+        )
+
+
+@lru_cache(maxsize=8)
+def comparison_matrix(
+    profile: str = "bench",
+    datasets: Optional[Tuple[str, ...]] = None,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> ComparisonMatrix:
+    """Process-wide cached matrix (figures within one session share it)."""
+    if datasets is None:
+        datasets = FIGURE_ORDER
+    return ComparisonMatrix(
+        profile=profile, datasets=datasets, iterations=iterations
+    )

@@ -1,0 +1,166 @@
+"""Registry mapping experiment ids to their drivers.
+
+The ids follow DESIGN.md's per-experiment index; ``run_experiment``
+dispatches through this table, and the benchmark suite contains one
+target per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..errors import ConfigError
+from . import ablations, extensions, figures, tables
+from .reporting import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One regenerable paper artifact."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    driver: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "table1", "Table I",
+            "Architecture parameters: component area and power",
+            lambda **kw: tables.table1(),
+        ),
+        ExperimentSpec(
+            "table2", "Table II",
+            "Graph datasets and characteristics",
+            tables.table2,
+        ),
+        ExperimentSpec(
+            "fig5", "Figure 5",
+            "Redundant writes/computations of dense vs sparse mapping",
+            figures.fig5,
+        ),
+        ExperimentSpec(
+            "fig11", "Figure 11",
+            "Speedup in execution time compared to GraphR",
+            figures.fig11,
+        ),
+        ExperimentSpec(
+            "fig12", "Figure 12",
+            "Energy savings compared to GraphR",
+            figures.fig12,
+        ),
+        ExperimentSpec(
+            "fig13", "Figure 13",
+            "CDF of rows accumulated per MAC operation",
+            figures.fig13,
+        ),
+        ExperimentSpec(
+            "fig14", "Figure 14",
+            "Speedup and energy savings compared to GRAM",
+            figures.fig14,
+        ),
+        ExperimentSpec(
+            "fig15", "Figure 15",
+            "Speedup compared to CPU (GridGraph) and GPU (Gunrock)",
+            figures.fig15,
+        ),
+        ExperimentSpec(
+            "fig16", "Figure 16",
+            "Energy savings compared to CPU and GPU",
+            figures.fig16,
+        ),
+        ExperimentSpec(
+            "gapbs", "Section V-B text",
+            "Speedup and energy savings compared to GAPBS",
+            figures.gapbs_comparison,
+        ),
+        ExperimentSpec(
+            "fig17", "Figure 17",
+            "Collaborative filtering vs GraphChi, cuMF and GraphR",
+            figures.fig17,
+        ),
+        ExperimentSpec(
+            "abl-maclimit", "Ablation",
+            "MAC accumulation-limit sweep",
+            ablations.mac_limit_sweep,
+        ),
+        ExperimentSpec(
+            "abl-tile", "Ablation",
+            "GraphR tile-size sweep",
+            ablations.tile_size_sweep,
+        ),
+        ExperimentSpec(
+            "abl-xbar", "Ablation",
+            "Crossbar-count scaling",
+            ablations.crossbar_count_sweep,
+        ),
+        ExperimentSpec(
+            "abl-locality", "Ablation",
+            "Vertex-id locality vs dense-mapping overhead",
+            ablations.locality_ablation,
+        ),
+        ExperimentSpec(
+            "abl-residency", "Ablation",
+            "Resident vs streaming GaaS-X storage model",
+            ablations.residency_ablation,
+        ),
+        ExperimentSpec(
+            "abl-interval", "Ablation",
+            "Shard interval size vs cost and hit-group shape",
+            ablations.interval_size_ablation,
+        ),
+        ExperimentSpec(
+            "abl-precision", "Ablation",
+            "Fixed-point value precision vs accuracy",
+            # Device/pipeline study on a fixed synthetic graph.
+            lambda profile="bench", **kw: ablations.precision_ablation(**kw),
+        ),
+        ExperimentSpec(
+            "abl-disk", "Ablation",
+            "Shard-fetch bandwidth vs load time",
+            ablations.disk_bandwidth_ablation,
+        ),
+        ExperimentSpec(
+            "abl-variation", "Ablation",
+            "Analog device variation vs rows per MAC",
+            # Pure device-model study; dataset profile does not apply.
+            lambda profile="bench", **kw: ablations.variation_ablation(**kw),
+        ),
+        ExperimentSpec(
+            "ext-wcc", "Extension",
+            "Weakly connected components kernel characterization",
+            extensions.wcc_characterization,
+        ),
+        ExperimentSpec(
+            "ext-gnn", "Extension",
+            "GCN forward pass (the paper's deferred workload)",
+            extensions.gnn_characterization,
+        ),
+        ExperimentSpec(
+            "ext-energy", "Extension",
+            "Per-component energy breakdown of each kernel",
+            extensions.energy_breakdown,
+        ),
+        ExperimentSpec(
+            "ext-scaling", "Extension",
+            "Accelerator advantage vs graph scale",
+            # Synthetic size sweep; dataset profile does not apply.
+            lambda profile="bench", **kw: extensions.scaling_study(**kw),
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment spec; raises on unknown ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,156 @@
+"""Result containers and ASCII rendering for experiments.
+
+Every experiment driver returns an :class:`ExperimentResult`: named
+series of labelled values plus free-form notes (paper reference values,
+geometric means). ``render()`` prints the same rows/series the paper's
+figure reports, as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; the paper's summary statistic for every figure."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ConfigError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass
+class Series:
+    """One labelled row/curve of a figure."""
+
+    name: str
+    labels: List[str]
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.values):
+            raise ConfigError("labels and values must align")
+
+    @property
+    def geomean(self) -> float:
+        """Geometric mean over the series values."""
+        return geometric_mean(self.values)
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: series plus notes."""
+
+    experiment_id: str
+    title: str
+    series: List[Series] = field(default_factory=list)
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def series_by_name(self, name: str) -> Series:
+        """Look up a series; raises if absent."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise ConfigError(f"no series named {name!r} in {self.experiment_id}")
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's rows/series layout."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.series:
+            labels = self.series[0].labels
+            name_w = max(len(s.name) for s in self.series) + 2
+            aligned = [s for s in self.series if s.labels == labels]
+            cell_w = max(
+                [len(_fmt(v)) for s in aligned for v in s.values]
+                + [len(l) for l in labels]
+                + [8]
+            )
+            col_w = cell_w + 2
+            header = " " * name_w + "".join(f"{l:>{col_w}}" for l in labels)
+            lines.append(header)
+            for s in self.series:
+                if s.labels != labels:
+                    lines.append(f"{s.name}:")
+                    for l, v in zip(s.labels, s.values):
+                        lines.append(f"    {l:<20} {_fmt(v):>12}")
+                else:
+                    row = f"{s.name:<{name_w}}" + "".join(
+                        f"{_fmt(v):>{col_w}}" for v in s.values
+                    )
+                    lines.append(row)
+        for key, value in self.notes.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for tooling/CI diffing)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "series": [
+                {
+                    "name": s.name,
+                    "labels": list(s.labels),
+                    "values": [float(v) for v in s.values],
+                }
+                for s in self.series
+            ],
+            "notes": dict(self.notes),
+        }
+
+    def render_chart(self, width: int = 48, log_scale: bool = False) -> str:
+        """Render every series as an ASCII bar chart (figure-style)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for s in self.series:
+            lines.append(bar_chart(s, width=width, log_scale=log_scale))
+        for key, value in self.notes.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def bar_chart(
+    series: Series, width: int = 48, log_scale: bool = False
+) -> str:
+    """Horizontal ASCII bar chart of one series.
+
+    ``log_scale`` plots bar lengths on log10 — the scale the paper's
+    CPU/GPU comparison figures use.
+    """
+    values = np.asarray(series.values, dtype=np.float64)
+    if values.size == 0:
+        return f"{series.name}: (empty)"
+    if log_scale:
+        if np.any(values <= 0):
+            raise ConfigError("log-scale chart requires positive values")
+        magnitudes = np.log10(values)
+        magnitudes = magnitudes - min(0.0, magnitudes.min())
+    else:
+        magnitudes = np.maximum(values, 0.0)
+    top = magnitudes.max()
+    lines = [f"{series.name}:"]
+    label_w = max(len(l) for l in series.labels)
+    for label, value, magnitude in zip(series.labels, values, magnitudes):
+        length = int(round(width * magnitude / top)) if top > 0 else 0
+        bar = "#" * max(length, 1 if value > 0 else 0)
+        lines.append(f"  {label:<{label_w}} |{bar:<{width}} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for table cells."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.2e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"

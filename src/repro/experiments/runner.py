@@ -1,0 +1,47 @@
+"""Experiment runner: dispatch, render, optionally persist."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .registry import get_experiment
+from .reporting import ExperimentResult
+
+
+def run_experiment(
+    experiment_id: str,
+    output_dir: Optional[str] = None,
+    **kwargs: object,
+) -> ExperimentResult:
+    """Run one registered experiment and optionally save its report.
+
+    ``kwargs`` pass through to the driver (e.g. ``profile="tiny"``).
+    When ``output_dir`` is given, the rendered report is written to
+    ``<output_dir>/<experiment_id>.txt``.
+    """
+    spec = get_experiment(experiment_id)
+    result = spec.driver(**kwargs)
+    if output_dir is not None:
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, f"{experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.render() + "\n")
+        json_path = os.path.join(output_dir, f"{experiment_id}.json")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def run_all(output_dir: Optional[str] = None, **kwargs: object) -> dict:
+    """Run every registered experiment; returns id -> result."""
+    from .registry import EXPERIMENTS
+
+    results = {}
+    for experiment_id in EXPERIMENTS:
+        results[experiment_id] = run_experiment(
+            experiment_id, output_dir=output_dir, **kwargs
+        )
+    return results

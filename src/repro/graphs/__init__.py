@@ -1,0 +1,38 @@
+"""Graph substrate: sparse formats, generators, datasets, partitioning.
+
+This subpackage is self-contained (no dependency on the accelerator
+models) so it can serve both the GaaS-X engine and every baseline.
+"""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix, CSCMatrix
+from .graph import BipartiteGraph, Graph
+from .partition import IntervalPartition, Shard, ShardGrid, partition_graph
+from .generators import (
+    barabasi_albert,
+    bipartite_ratings,
+    erdos_renyi,
+    grid_2d,
+    rmat,
+)
+from .datasets import DATASETS, DatasetSpec, load_dataset
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "Graph",
+    "BipartiteGraph",
+    "IntervalPartition",
+    "Shard",
+    "ShardGrid",
+    "partition_graph",
+    "rmat",
+    "barabasi_albert",
+    "erdos_renyi",
+    "grid_2d",
+    "bipartite_ratings",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+]

@@ -1,0 +1,226 @@
+"""Coordinate-list (COO) sparse matrix.
+
+COO is the paper's on-disk and in-crossbar representation: one
+``(src, dst, weight)`` triple per edge (Figure 7a). The class is a thin,
+validated wrapper over three parallel numpy arrays, with the conversions
+and orderings the rest of the system needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+
+class COOMatrix:
+    """A sparse matrix in coordinate-list form.
+
+    Parameters
+    ----------
+    rows, cols:
+        Integer arrays of equal length holding the row (source) and
+        column (destination) index of each non-zero entry.
+    data:
+        Values; defaults to all ones (an unweighted graph).
+    shape:
+        ``(num_rows, num_cols)``. Inferred from the maxima when omitted.
+    """
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        data: Optional[np.ndarray] = None,
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.ndim != 1 or cols.ndim != 1:
+            raise GraphFormatError("rows and cols must be 1-D arrays")
+        if rows.shape != cols.shape:
+            raise GraphFormatError(
+                "rows and cols must have the same length "
+                f"({rows.size} != {cols.size})"
+            )
+        if data is None:
+            data = np.ones(rows.size, dtype=np.float64)
+        else:
+            data = np.asarray(data, dtype=np.float64)
+            if data.shape != rows.shape:
+                raise GraphFormatError("data must match rows/cols in length")
+        if shape is None:
+            num_rows = int(rows.max()) + 1 if rows.size else 0
+            num_cols = int(cols.max()) + 1 if cols.size else 0
+            shape = (num_rows, num_cols)
+        num_rows, num_cols = int(shape[0]), int(shape[1])
+        if rows.size:
+            if rows.min() < 0 or cols.min() < 0:
+                raise GraphFormatError("negative indices are not allowed")
+            if rows.max() >= num_rows or cols.max() >= num_cols:
+                raise GraphFormatError(
+                    f"index out of bounds for shape ({num_rows}, {num_cols})"
+                )
+        self.rows = rows
+        self.cols = cols
+        self.data = data
+        self.shape = (num_rows, num_cols)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.rows.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero cells; 0.0 for an empty shape."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __repr__(self) -> str:
+        return (
+            f"COOMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.2e})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        if self.shape != other.shape or self.nnz != other.nnz:
+            return False
+        a, b = self.sorted_by("row"), other.sorted_by("row")
+        return (
+            bool(np.array_equal(a.rows, b.rows))
+            and bool(np.array_equal(a.cols, b.cols))
+            and bool(np.array_equal(a.data, b.data))
+        )
+
+    __hash__ = None  # mutable container semantics
+
+    # ------------------------------------------------------------------
+    # Orderings and normalization
+    # ------------------------------------------------------------------
+    def sorted_by(self, order: str) -> "COOMatrix":
+        """Return a copy sorted by ``"row"`` or ``"col"`` major order.
+
+        Row-major sorts by (row, col); column-major by (col, row). The
+        paper's shards keep edges sorted by destination vertex, which is
+        column-major order within the shard.
+        """
+        if order == "row":
+            perm = np.lexsort((self.cols, self.rows))
+        elif order == "col":
+            perm = np.lexsort((self.rows, self.cols))
+        else:
+            raise GraphFormatError(f"unknown sort order: {order!r}")
+        return COOMatrix(
+            self.rows[perm], self.cols[perm], self.data[perm], self.shape
+        )
+
+    def deduplicated(self, combine: str = "sum") -> "COOMatrix":
+        """Merge duplicate (row, col) entries.
+
+        ``combine`` is ``"sum"``, ``"min"``, ``"max"`` or ``"last"``.
+        """
+        if self.nnz == 0:
+            return COOMatrix(self.rows, self.cols, self.data, self.shape)
+        perm = np.lexsort((self.cols, self.rows))
+        rows, cols, data = self.rows[perm], self.cols[perm], self.data[perm]
+        new_group = np.empty(rows.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        group_ids = np.cumsum(new_group) - 1
+        num_groups = int(group_ids[-1]) + 1
+        if combine == "sum":
+            merged = np.bincount(group_ids, weights=data, minlength=num_groups)
+        elif combine == "min":
+            merged = np.full(num_groups, np.inf)
+            np.minimum.at(merged, group_ids, data)
+        elif combine == "max":
+            merged = np.full(num_groups, -np.inf)
+            np.maximum.at(merged, group_ids, data)
+        elif combine == "last":
+            merged = np.empty(num_groups)
+            merged[group_ids] = data  # later entries overwrite earlier
+        else:
+            raise GraphFormatError(f"unknown combine rule: {combine!r}")
+        starts = np.flatnonzero(new_group)
+        return COOMatrix(rows[starts], cols[starts], merged, self.shape)
+
+    def without_self_loops(self) -> "COOMatrix":
+        """Return a copy with diagonal entries removed."""
+        keep = self.rows != self.cols
+        return COOMatrix(
+            self.rows[keep], self.cols[keep], self.data[keep], self.shape
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix (edges reversed)."""
+        return COOMatrix(
+            self.cols.copy(),
+            self.rows.copy(),
+            self.data.copy(),
+            (self.shape[1], self.shape[0]),
+        )
+
+    def has_duplicates(self) -> bool:
+        """True when any (row, col) pair appears more than once."""
+        if self.nnz < 2:
+            return False
+        perm = np.lexsort((self.cols, self.rows))
+        rows, cols = self.rows[perm], self.cols[perm]
+        return bool(
+            np.any((rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1]))
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to compressed sparse row form."""
+        from .csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self)
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to compressed sparse column form."""
+        from .csr import CSCMatrix
+
+        return CSCMatrix.from_coo(self)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (small matrices only).
+
+        Duplicate entries accumulate, matching scipy semantics.
+        """
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.data)
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a dense 2-D array, keeping only non-zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise GraphFormatError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return cls(rows, cols, dense[rows, cols], dense.shape)
+
+    # ------------------------------------------------------------------
+    # Degree helpers
+    # ------------------------------------------------------------------
+    def row_degrees(self) -> np.ndarray:
+        """Entries per row (out-degree when rows are sources)."""
+        return np.bincount(self.rows, minlength=self.shape[0]).astype(np.int64)
+
+    def col_degrees(self) -> np.ndarray:
+        """Entries per column (in-degree when cols are destinations)."""
+        return np.bincount(self.cols, minlength=self.shape[1]).astype(np.int64)

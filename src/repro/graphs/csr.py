@@ -1,0 +1,198 @@
+"""Compressed sparse row/column matrices.
+
+These are the formats the software baselines (GridGraph/GAPBS-style cost
+models, golden references) operate on; the accelerator itself consumes
+COO shards. Only the operations the repository needs are implemented —
+SpMV, transposed SpMV, row slicing and degree queries — each in fully
+vectorized numpy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .coo import COOMatrix
+
+
+def _compress(
+    major: np.ndarray,
+    minor: np.ndarray,
+    data: np.ndarray,
+    num_major: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort by (major, minor) and build an indptr over the major axis."""
+    perm = np.lexsort((minor, major))
+    major = major[perm]
+    counts = np.bincount(major, minlength=num_major)
+    indptr = np.zeros(num_major + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, minor[perm], data[perm]
+
+
+class CSRMatrix:
+    """Compressed sparse row matrix."""
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr.size != self.shape[0] + 1:
+            raise GraphFormatError("indptr must have shape[0] + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise GraphFormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise GraphFormatError("indices and data must match in length")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise GraphFormatError("column index out of bounds")
+
+    @classmethod
+    def from_coo(cls, coo: "COOMatrix") -> "CSRMatrix":
+        """Build from a COO matrix (duplicates preserved, sorted)."""
+        indptr, indices, data = _compress(
+            coo.rows, coo.cols, coo.data, coo.shape[0]
+        )
+        return cls(indptr, indices, data, coo.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (column indices, values) of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_degrees(self) -> np.ndarray:
+        """Entries per row."""
+        return np.diff(self.indptr)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise GraphFormatError(
+                f"vector length {x.shape} does not match shape {self.shape}"
+            )
+        products = self.data * x[self.indices]
+        row_ids = np.repeat(
+            np.arange(self.shape[0]), np.diff(self.indptr)
+        )
+        return np.bincount(
+            row_ids, weights=products, minlength=self.shape[0]
+        )
+
+    def spmv_transposed(self, x: np.ndarray) -> np.ndarray:
+        """Product ``A.T @ x`` without materializing the transpose."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[0],):
+            raise GraphFormatError(
+                f"vector length {x.shape} does not match shape {self.shape}"
+            )
+        row_ids = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        products = self.data * x[row_ids]
+        return np.bincount(
+            self.indices, weights=products, minlength=self.shape[1]
+        )
+
+    def to_coo(self) -> "COOMatrix":
+        """Convert back to coordinate form."""
+        from .coo import COOMatrix
+
+        row_ids = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return COOMatrix(row_ids, self.indices.copy(), self.data.copy(), self.shape)
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+class CSCMatrix:
+    """Compressed sparse column matrix.
+
+    Stored as the CSR of the transpose; ``indptr`` runs over columns and
+    ``indices`` holds row ids.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.size != self.shape[1] + 1:
+            raise GraphFormatError("indptr must have shape[1] + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise GraphFormatError("indptr must start at 0 and end at nnz")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[0]
+        ):
+            raise GraphFormatError("row index out of bounds")
+
+    @classmethod
+    def from_coo(cls, coo: "COOMatrix") -> "CSCMatrix":
+        """Build from a COO matrix."""
+        indptr, indices, data = _compress(
+            coo.cols, coo.rows, coo.data, coo.shape[1]
+        )
+        return cls(indptr, indices, data, coo.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    def col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (row indices, values) of column ``j``."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def col_degrees(self) -> np.ndarray:
+        """Entries per column."""
+        return np.diff(self.indptr)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise GraphFormatError(
+                f"vector length {x.shape} does not match shape {self.shape}"
+            )
+        col_ids = np.repeat(np.arange(self.shape[1]), np.diff(self.indptr))
+        products = self.data * x[col_ids]
+        return np.bincount(
+            self.indices, weights=products, minlength=self.shape[0]
+        )
+
+    def to_coo(self) -> "COOMatrix":
+        """Convert back to coordinate form."""
+        from .coo import COOMatrix
+
+        col_ids = np.repeat(np.arange(self.shape[1]), np.diff(self.indptr))
+        return COOMatrix(self.indices.copy(), col_ids, self.data.copy(), self.shape)
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,198 @@
+"""Graph façade types.
+
+A :class:`Graph` is a directed, optionally weighted graph whose edge set
+lives in a :class:`~repro.graphs.coo.COOMatrix` (sources as rows,
+destinations as columns). A :class:`BipartiteGraph` models the
+user-item rating graphs collaborative filtering consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .coo import COOMatrix
+from .csr import CSCMatrix, CSRMatrix
+
+
+class Graph:
+    """A directed graph over vertices ``0 .. num_vertices - 1``.
+
+    Parameters
+    ----------
+    edges:
+        COO matrix with sources as rows and destinations as columns. The
+        matrix must be square.
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(self, edges: COOMatrix, name: str = "graph") -> None:
+        if edges.shape[0] != edges.shape[1]:
+            raise GraphFormatError(
+                f"a Graph requires a square edge matrix, got {edges.shape}"
+            )
+        self.edges = edges
+        self.name = name
+        self._csr: Optional[CSRMatrix] = None
+        self._csc: Optional[CSCMatrix] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        edge_list: Iterable[Tuple[int, int]] | np.ndarray,
+        weights: Optional[Iterable[float]] = None,
+        num_vertices: Optional[int] = None,
+        name: str = "graph",
+        deduplicate: bool = True,
+    ) -> "Graph":
+        """Build a graph from an iterable of ``(src, dst)`` pairs."""
+        arr = np.asarray(list(edge_list) if not isinstance(edge_list, np.ndarray) else edge_list)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphFormatError("edge_list must be of shape (E, 2)")
+        n = num_vertices
+        if n is None:
+            n = int(arr.max()) + 1 if arr.size else 0
+        data = None if weights is None else np.asarray(list(weights), dtype=np.float64)
+        coo = COOMatrix(arr[:, 0], arr[:, 1], data, (n, n))
+        if deduplicate and coo.has_duplicates():
+            coo = coo.deduplicated("last")
+        return cls(coo, name=name)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.edges.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self.edges.nnz
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Edge weight array, aligned with ``edges.rows``/``edges.cols``."""
+        return self.edges.data
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of each vertex."""
+        return self.edges.row_degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of each vertex."""
+        return self.edges.col_degrees()
+
+    def csr(self) -> CSRMatrix:
+        """CSR view (cached)."""
+        if self._csr is None:
+            self._csr = self.edges.to_csr()
+        return self._csr
+
+    def csc(self) -> CSCMatrix:
+        """CSC view (cached)."""
+        if self._csc is None:
+            self._csc = self.edges.to_csc()
+        return self._csc
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def reversed(self) -> "Graph":
+        """Graph with every edge direction flipped."""
+        return Graph(self.edges.transpose(), name=f"{self.name}.rev")
+
+    def with_unit_weights(self) -> "Graph":
+        """Copy of the graph with every edge weight set to 1."""
+        coo = COOMatrix(
+            self.edges.rows.copy(),
+            self.edges.cols.copy(),
+            np.ones(self.num_edges),
+            self.edges.shape,
+        )
+        return Graph(coo, name=self.name)
+
+    def with_weights(self, weights: np.ndarray) -> "Graph":
+        """Copy with the given per-edge weights (aligned to edge order)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.num_edges,):
+            raise GraphFormatError("weights must have one entry per edge")
+        coo = COOMatrix(
+            self.edges.rows.copy(),
+            self.edges.cols.copy(),
+            weights,
+            self.edges.shape,
+        )
+        return Graph(coo, name=self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )
+
+
+class BipartiteGraph:
+    """A weighted bipartite graph between users and items.
+
+    Edges run users → items; the weight of edge ``(u, i)`` is the rating
+    user ``u`` gave item ``i``. Collaborative filtering (Section IV of
+    the paper, Netflix workload) consumes this type.
+    """
+
+    def __init__(self, ratings: COOMatrix, name: str = "bipartite") -> None:
+        self.ratings = ratings
+        self.name = name
+
+    @property
+    def num_users(self) -> int:
+        """Number of user vertices (rows)."""
+        return self.ratings.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        """Number of item vertices (columns)."""
+        return self.ratings.shape[1]
+
+    @property
+    def num_ratings(self) -> int:
+        """Number of rating edges."""
+        return self.ratings.nnz
+
+    def user_degrees(self) -> np.ndarray:
+        """Ratings given per user."""
+        return self.ratings.row_degrees()
+
+    def item_degrees(self) -> np.ndarray:
+        """Ratings received per item."""
+        return self.ratings.col_degrees()
+
+    def as_unified_graph(self) -> Graph:
+        """View as one directed graph with items renumbered after users.
+
+        Useful for feeding the bipartite workload through machinery that
+        expects a square adjacency structure (e.g. shard partitioning).
+        """
+        n = self.num_users + self.num_items
+        coo = COOMatrix(
+            self.ratings.rows,
+            self.ratings.cols + self.num_users,
+            self.ratings.data,
+            (n, n),
+        )
+        return Graph(coo, name=self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(name={self.name!r}, users={self.num_users}, "
+            f"items={self.num_items}, ratings={self.num_ratings})"
+        )

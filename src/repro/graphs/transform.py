@@ -1,0 +1,108 @@
+"""Graph transformations.
+
+Utilities a downstream user needs around the core pipeline: making a
+directed graph undirected (symmetrize), extracting subgraphs or the
+largest weakly connected component, and compacting sparse vertex-id
+spaces. All return new graphs; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .coo import COOMatrix
+from .graph import Graph
+
+
+def symmetrize(graph: Graph, combine: str = "min") -> Graph:
+    """Return the undirected closure: every edge gets its reverse.
+
+    Duplicate (u, v) pairs arising from pre-existing reciprocal edges
+    are merged with ``combine`` (default: keep the lighter weight).
+    """
+    edges = graph.edges
+    src = np.concatenate([edges.rows, edges.cols])
+    dst = np.concatenate([edges.cols, edges.rows])
+    data = np.concatenate([edges.data, edges.data])
+    coo = COOMatrix(src, dst, data, edges.shape).deduplicated(combine)
+    return Graph(coo, name=f"{graph.name}.sym")
+
+
+def subgraph(graph: Graph, vertices: np.ndarray) -> Tuple[Graph, np.ndarray]:
+    """Induced subgraph on ``vertices``, with compacted ids.
+
+    Returns ``(sub, mapping)`` where ``mapping[i]`` is the original id
+    of the subgraph's vertex ``i``.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size and (
+        vertices[0] < 0 or vertices[-1] >= graph.num_vertices
+    ):
+        raise GraphFormatError("subgraph vertices out of range")
+    member = np.zeros(graph.num_vertices, dtype=bool)
+    member[vertices] = True
+    relabel = np.full(graph.num_vertices, -1, dtype=np.int64)
+    relabel[vertices] = np.arange(vertices.size)
+    edges = graph.edges
+    keep = member[edges.rows] & member[edges.cols]
+    coo = COOMatrix(
+        relabel[edges.rows[keep]],
+        relabel[edges.cols[keep]],
+        edges.data[keep],
+        (vertices.size, vertices.size),
+    )
+    return Graph(coo, name=f"{graph.name}.sub"), vertices
+
+
+def largest_component(graph: Graph) -> Tuple[Graph, np.ndarray]:
+    """Induced subgraph on the largest weakly connected component.
+
+    Component discovery runs the same min-label propagation as the
+    accelerator's WCC kernel, in plain numpy.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    labels = np.arange(n, dtype=np.int64)
+    src, dst = graph.edges.rows, graph.edges.cols
+    while True:
+        new_labels = labels.copy()
+        np.minimum.at(new_labels, dst, labels[src])
+        np.minimum.at(new_labels, src, labels[dst])
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    values, counts = np.unique(labels, return_counts=True)
+    biggest = values[np.argmax(counts)]
+    return subgraph(graph, np.flatnonzero(labels == biggest))
+
+
+def compact_ids(graph: Graph) -> Tuple[Graph, np.ndarray]:
+    """Drop isolated vertices, renumbering the rest contiguously.
+
+    Returns ``(compacted, mapping)`` like :func:`subgraph`.
+    """
+    deg = graph.out_degrees() + graph.in_degrees()
+    return subgraph(graph, np.flatnonzero(deg > 0))
+
+
+def relabel(graph: Graph, permutation: np.ndarray) -> Graph:
+    """Apply a vertex permutation: new id of vertex v is
+    ``permutation[v]``."""
+    permutation = np.asarray(permutation, dtype=np.int64)
+    n = graph.num_vertices
+    if permutation.shape != (n,) or not np.array_equal(
+        np.sort(permutation), np.arange(n)
+    ):
+        raise GraphFormatError("permutation must be a bijection on 0..n-1")
+    edges = graph.edges
+    coo = COOMatrix(
+        permutation[edges.rows],
+        permutation[edges.cols],
+        edges.data.copy(),
+        edges.shape,
+    )
+    return Graph(coo.sorted_by("row"), name=graph.name)

@@ -1,0 +1,6 @@
+"""Disk storage substrate: shard files and streaming cost model."""
+
+from .disk import DiskModel
+from .shards import ShardStore, estimate_stream_time
+
+__all__ = ["DiskModel", "ShardStore", "estimate_stream_time"]

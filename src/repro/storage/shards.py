@@ -1,0 +1,130 @@
+"""On-disk shard layout (Figure 2 of the paper).
+
+A :class:`ShardStore` lays a :class:`~repro.graphs.partition.ShardGrid`
+out as contiguous per-shard byte extents, in row-major shard order —
+the layout GridGraph/GraphChi-style frameworks write. Reading shards in
+either interval-major order then costs a bounded number of seeks: zero
+extra for row-major (the file order), one per shard for column-major
+(each jump to the next source interval's copy of a destination column
+is a discontinuity). GaaS-X inherits this storage format unchanged
+(Section II-B: "GaaS-X also employs similar storage mechanism").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graphs.partition import ShardGrid
+from .disk import DiskModel
+
+
+@dataclass(frozen=True)
+class ShardExtent:
+    """One shard's byte extent in the store."""
+
+    src_interval: int
+    dst_interval: int
+    offset_bytes: int
+    num_edges: int
+
+
+class ShardStore:
+    """Byte-level layout of a shard grid on a disk model."""
+
+    def __init__(self, grid: ShardGrid, disk: DiskModel | None = None) -> None:
+        self.grid = grid
+        self.disk = disk if disk is not None else DiskModel()
+        self._extents: List[ShardExtent] = []
+        self._index: Dict[Tuple[int, int], ShardExtent] = {}
+        offset = 0
+        for shard in grid.iter_shards("row"):
+            extent = ShardExtent(
+                src_interval=shard.src_interval,
+                dst_interval=shard.dst_interval,
+                offset_bytes=offset,
+                num_edges=shard.num_edges,
+            )
+            self._extents.append(extent)
+            self._index[(shard.src_interval, shard.dst_interval)] = extent
+            offset += int(shard.num_edges * self.disk.bytes_per_edge)
+        self._total_bytes = offset
+
+    @property
+    def total_bytes(self) -> int:
+        """Store size in bytes."""
+        return self._total_bytes
+
+    @property
+    def num_shards(self) -> int:
+        """Number of stored (non-empty) shards."""
+        return len(self._extents)
+
+    def extent(self, src_interval: int, dst_interval: int) -> ShardExtent:
+        """Extent of one shard; raises for empty/unknown shards."""
+        try:
+            return self._index[(src_interval, dst_interval)]
+        except KeyError:
+            raise PartitionError(
+                f"no stored shard ({src_interval}, {dst_interval})"
+            ) from None
+
+    def _seeks_for_order(self, order: str) -> int:
+        """Discontinuities when reading all shards in interval order."""
+        if order == "row":
+            return 1  # the file is already in row-major order
+        if order == "col":
+            # Every shard after the first whose predecessor is not its
+            # file neighbour costs a seek.
+            offsets = [
+                self._index[(s.src_interval, s.dst_interval)].offset_bytes
+                for s in self.grid.iter_shards("col")
+            ]
+            seeks = 1
+            expected = None
+            for extent_offset, extent in zip(
+                offsets, self.grid.iter_shards("col")
+            ):
+                if expected is not None and extent_offset != expected:
+                    seeks += 1
+                expected = extent_offset + int(
+                    extent.num_edges * self.disk.bytes_per_edge
+                )
+            return seeks
+        raise PartitionError(f"unknown shard order {order!r}")
+
+    def full_scan_time_s(self, order: str = "row") -> float:
+        """Time to stream every shard in the given interval order."""
+        return self.disk.stream_time_s(
+            self.grid.num_edges, self._seeks_for_order(order)
+        )
+
+    def selective_scan_time_s(self, src_intervals: np.ndarray) -> float:
+        """Time to stream only shards whose source interval is listed.
+
+        The traversal case: per superstep only intervals containing
+        active vertices are fetched; each contiguous run of wanted
+        shards costs one seek.
+        """
+        wanted = set(int(i) for i in np.atleast_1d(src_intervals))
+        edges = 0
+        seeks = 0
+        previous_selected = False
+        for extent in self._extents:
+            selected = extent.src_interval in wanted
+            if selected:
+                edges += extent.num_edges
+                if not previous_selected:
+                    seeks += 1
+            previous_selected = selected
+        return self.disk.stream_time_s(edges, seeks)
+
+
+def estimate_stream_time(
+    grid: ShardGrid, order: str = "row", disk: DiskModel | None = None
+) -> float:
+    """Convenience: full-scan streaming time for a grid."""
+    return ShardStore(grid, disk).full_scan_time_s(order)

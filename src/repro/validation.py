@@ -1,0 +1,166 @@
+"""Programmatic validation battery.
+
+Runs the repository's core correctness cross-checks in one call — the
+same properties the test suite asserts, packaged so an adopter (or a CI
+smoke job) can validate an installation or a modified configuration:
+
+1. engine-vs-golden-reference numerics for every kernel,
+2. engine-vs-array-level-micro event equality (GaaS-X *and* GraphR),
+3. GaaS-X-vs-GraphR functional agreement,
+4. Table I totals against the paper.
+
+Use from code (:func:`run_validation`) or the CLI
+(``python -m repro validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .baselines import reference
+from .baselines.graphr import GraphREngine
+from .baselines.graphr.micro import MicroGraphR
+from .config import (
+    ArchConfig,
+    GraphRConfig,
+    TABLE_I_TOTAL_AREA_MM2,
+    TABLE_I_TOTAL_POWER_W,
+)
+from .core.engine import GaaSXEngine
+from .core.micro import MicroGaaSX
+from .energy.report import totals
+from .graphs.generators import rmat
+
+
+@dataclass
+class Check:
+    """One validation check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """All check outcomes plus a summary."""
+
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            suffix = f"  ({check.detail})" if check.detail else ""
+            lines.append(f"[{mark}] {check.name}{suffix}")
+        verdict = "all checks passed" if self.passed else "FAILURES PRESENT"
+        lines.append(f"-- {verdict} ({len(self.checks)} checks)")
+        return "\n".join(lines)
+
+
+def _dist_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(
+        np.array_equal(
+            np.nan_to_num(a, posinf=-1.0), np.nan_to_num(b, posinf=-1.0)
+        )
+    )
+
+
+def run_validation(
+    num_vertices: int = 96,
+    num_edges: int = 420,
+    seed: int = 5,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ValidationReport:
+    """Execute the full battery on a seeded random graph."""
+    report = ValidationReport()
+
+    def check(name: str, condition: bool, detail: str = "") -> None:
+        report.checks.append(Check(name, bool(condition), detail))
+        if progress is not None:
+            progress(f"{name}: {'ok' if condition else 'FAILED'}")
+
+    graph = rmat(num_vertices, num_edges, seed=seed)
+    engine = GaaSXEngine(graph)
+    graphr = GraphREngine(graph)
+
+    # 1. Engine vs golden references.
+    pr = engine.pagerank(iterations=8)
+    check(
+        "pagerank matches reference",
+        np.allclose(pr.ranks, reference.pagerank(graph, iterations=8)),
+    )
+    bfs = engine.bfs(0)
+    check(
+        "bfs matches reference",
+        _dist_equal(bfs.distances, reference.bfs(graph, 0)),
+    )
+    sssp = engine.sssp(0)
+    check(
+        "sssp matches Dijkstra reference",
+        _dist_equal(sssp.distances, reference.sssp(graph, 0)),
+    )
+
+    # 2. Event-level equality against the array-level simulators.
+    small_config = ArchConfig(num_crossbars=3)
+    fast = GaaSXEngine(graph, config=small_config).pagerank(iterations=2)
+    micro_ranks, micro_events = MicroGaaSX(
+        graph, config=small_config
+    ).pagerank(iterations=2)
+    check(
+        "GaaS-X engine/micro event equality",
+        fast.stats.events.counters_equal(micro_events),
+    )
+    check(
+        "GaaS-X engine/micro numeric equality",
+        np.allclose(fast.ranks, micro_ranks),
+    )
+    graphr_config = GraphRConfig(num_crossbars=2, tile_size=8)
+    graphr_fast = GraphREngine(graph, config=graphr_config).pagerank(
+        iterations=2
+    )
+    _, graphr_micro_events = MicroGraphR(
+        graph, config=graphr_config
+    ).pagerank(iterations=2)
+    check(
+        "GraphR engine/micro event equality",
+        graphr_fast.stats.events.counters_equal(graphr_micro_events),
+    )
+
+    # 3. Cross-engine functional agreement.
+    check(
+        "GaaS-X and GraphR agree on pagerank",
+        np.allclose(pr.ranks, graphr.pagerank(iterations=8).ranks),
+    )
+    check(
+        "GaaS-X and GraphR agree on sssp",
+        _dist_equal(sssp.distances, graphr.sssp(0).distances),
+    )
+
+    # 4. The headline direction and the Table I totals.
+    graphr_pr = graphr.pagerank(iterations=8)
+    check(
+        "GaaS-X faster and greener than GraphR",
+        graphr_pr.stats.total_time_s > pr.stats.total_time_s
+        and graphr_pr.stats.total_energy_j > pr.stats.total_energy_j,
+        detail=(
+            f"speedup {graphr_pr.stats.total_time_s / pr.stats.total_time_s:.1f}x"
+        ),
+    )
+    area, power = totals()
+    check(
+        "Table I totals reproduce",
+        abs(area - TABLE_I_TOTAL_AREA_MM2) / TABLE_I_TOTAL_AREA_MM2 < 0.02
+        and abs(power - TABLE_I_TOTAL_POWER_W) / TABLE_I_TOTAL_POWER_W < 0.02,
+        detail=f"{area:.2f} mm^2 / {power:.2f} W",
+    )
+    return report

@@ -1,0 +1,184 @@
+"""CAM crossbar: ternary content-addressable search.
+
+A :class:`CamCrossbar` stores one bit pattern per row (128 x 128 bits in
+Table I, one bit per complementary ReRAM cell pair, Figure 3b). A
+search broadcasts a key with a ternary mask; every unmasked bit is
+XNOR-compared in parallel and a row's sense amplifier raises a hit when
+all unmasked bits match. :class:`EdgeCam` layers the paper's edge
+layout on top: each row holds a ``(src, dst)`` vertex-id pair and
+searches target either field, producing the hit vector that drives the
+MAC crossbar's word lines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigError
+from ..events import EventLog
+
+
+class CamCrossbar:
+    """A ternary CAM array of ``rows`` x ``width_bits`` bit cells."""
+
+    def __init__(
+        self,
+        rows: int = 128,
+        width_bits: int = 128,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        if rows <= 0 or width_bits <= 0:
+            raise ConfigError("CAM dimensions must be positive")
+        self.rows = rows
+        self.width_bits = width_bits
+        self.events = events if events is not None else EventLog()
+        self._bits = np.zeros((rows, width_bits), dtype=bool)
+        self._valid = np.zeros(rows, dtype=bool)
+
+    def _encode(self, value: int, bits: int) -> np.ndarray:
+        if value < 0 or value >= (1 << bits):
+            raise ConfigError(f"value {value} does not fit in {bits} bits")
+        return np.array(
+            [(value >> (bits - 1 - i)) & 1 for i in range(bits)], dtype=bool
+        )
+
+    def write_row(self, row: int, pattern: np.ndarray) -> None:
+        """Program one row with a boolean bit pattern (MSB first)."""
+        if not 0 <= row < self.rows:
+            raise CapacityError(f"row {row} outside CAM bounds")
+        pattern = np.asarray(pattern, dtype=bool)
+        if pattern.shape != (self.width_bits,):
+            raise ConfigError(f"pattern must have {self.width_bits} bits")
+        self._bits[row] = pattern
+        self._valid[row] = True
+        self.events.cam_row_writes += 1
+        # Each TCAM bit uses two complementary cells.
+        self.events.cam_cell_writes += 2 * self.width_bits
+
+    def invalidate(self) -> None:
+        """Mark every row empty (no write cost; rows are overwritten)."""
+        self._valid[:] = False
+
+    def search(
+        self, key: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Parallel ternary search; returns the boolean hit vector.
+
+        ``key`` is a full-width bit pattern; ``mask`` selects the bits
+        that must match (None = all bits). Invalid (never written) rows
+        never hit. Counts one CAM search event.
+        """
+        key = np.asarray(key, dtype=bool)
+        if key.shape != (self.width_bits,):
+            raise ConfigError(f"key must have {self.width_bits} bits")
+        if mask is None:
+            mask = np.ones(self.width_bits, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.width_bits,):
+                raise ConfigError(f"mask must have {self.width_bits} bits")
+        self.events.cam_searches += 1
+        # XNOR per cell, AND along the match line.
+        matches = ~np.logical_xor(self._bits, key)
+        hit = np.all(matches | ~mask, axis=1)
+        return hit & self._valid
+
+
+class EdgeCam:
+    """A CAM crossbar storing (src, dst) vertex-id pairs, one per row.
+
+    The source id occupies the high bit field, the destination the low
+    field; ternary masking restricts a search to either field, exactly
+    how GaaS-X finds "all edges with destination v" (Figure 7b).
+    """
+
+    def __init__(
+        self,
+        rows: int = 128,
+        vertex_bits: int = 32,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        if 2 * vertex_bits > 128:
+            raise ConfigError("two vertex ids must fit the 128-bit CAM row")
+        self.vertex_bits = vertex_bits
+        self.cam = CamCrossbar(rows, 2 * vertex_bits, events=events)
+        self._src = np.full(rows, -1, dtype=np.int64)
+        self._dst = np.full(rows, -1, dtype=np.int64)
+
+    @property
+    def rows(self) -> int:
+        """Row capacity."""
+        return self.cam.rows
+
+    @property
+    def events(self) -> EventLog:
+        """The underlying event log."""
+        return self.cam.events
+
+    def load_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Load edge endpoint pairs starting at row 0.
+
+        Replaces previous contents; at most ``rows`` edges fit.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ConfigError("src and dst must have the same length")
+        if src.size > self.rows:
+            raise CapacityError(
+                f"{src.size} edges exceed CAM capacity {self.rows}"
+            )
+        self.cam.invalidate()
+        self._src[:] = -1
+        self._dst[:] = -1
+        vb = self.vertex_bits
+        for row in range(src.size):
+            pattern = np.concatenate(
+                [
+                    self.cam._encode(int(src[row]), vb),
+                    self.cam._encode(int(dst[row]), vb),
+                ]
+            )
+            self.cam.write_row(row, pattern)
+        self._src[: src.size] = src
+        self._dst[: dst.size] = dst
+
+    def _field_mask(self, field: str) -> np.ndarray:
+        mask = np.zeros(2 * self.vertex_bits, dtype=bool)
+        if field == "src":
+            mask[: self.vertex_bits] = True
+        elif field == "dst":
+            mask[self.vertex_bits :] = True
+        else:
+            raise ConfigError(f"unknown CAM field {field!r}")
+        return mask
+
+    def search_src(self, vertex: int) -> np.ndarray:
+        """Hit vector of rows whose source id equals ``vertex``."""
+        key = np.concatenate(
+            [
+                self.cam._encode(int(vertex), self.vertex_bits),
+                np.zeros(self.vertex_bits, dtype=bool),
+            ]
+        )
+        return self.cam.search(key, self._field_mask("src"))
+
+    def search_dst(self, vertex: int) -> np.ndarray:
+        """Hit vector of rows whose destination id equals ``vertex``."""
+        key = np.concatenate(
+            [
+                np.zeros(self.vertex_bits, dtype=bool),
+                self.cam._encode(int(vertex), self.vertex_bits),
+            ]
+        )
+        return self.cam.search(key, self._field_mask("dst"))
+
+    def stored_src(self) -> np.ndarray:
+        """Loaded source ids (-1 where empty)."""
+        return self._src.copy()
+
+    def stored_dst(self) -> np.ndarray:
+        """Loaded destination ids (-1 where empty)."""
+        return self._dst.copy()

@@ -1,0 +1,93 @@
+"""ReRAM cell value encoding: fixed point and bit slicing.
+
+A crossbar cell stores ``cell_bits`` of a value's binary representation
+as one of ``2**cell_bits`` conductance levels; a ``value_bits`` number
+therefore occupies ``value_bits / cell_bits`` adjacent cells ("bit
+slices", Table I: 128x16x8 at 2 bits per cell = 16-bit values). This
+module provides the numeric plumbing: fixed-point quantization and
+slicing/unslicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Unsigned fixed-point format with ``total_bits`` and ``frac_bits``.
+
+    Values are clipped to the representable range ``[0, 2**int_bits -
+    2**-frac_bits]``. Graph attributes in the paper's kernels (edge
+    weights, reciprocal out-degrees, ranks, distances) are non-negative,
+    so an unsigned format suffices; signed quantities in collaborative
+    filtering are handled at the SFU, not in the crossbar.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 0:
+            raise ConfigError("total_bits must be positive")
+        if not 0 <= self.frac_bits <= self.total_bits:
+            raise ConfigError("frac_bits must be within [0, total_bits]")
+
+    @property
+    def scale(self) -> float:
+        """Multiplier mapping real values to integer codes."""
+        return float(1 << self.frac_bits)
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable integer code."""
+        return (1 << self.total_bits) - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable non-zero magnitude."""
+        return 1.0 / self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> integer codes (round-to-nearest, clipped)."""
+        codes = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(codes, 0, self.max_code).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> real values."""
+        return np.asarray(codes, dtype=np.float64) / self.scale
+
+
+def slice_values(codes: np.ndarray, cell_bits: int, num_slices: int) -> np.ndarray:
+    """Split integer codes into per-cell slices, most significant first.
+
+    Returns an array with one extra trailing axis of length
+    ``num_slices``; each slice holds ``cell_bits`` bits of the code.
+    """
+    if cell_bits <= 0 or num_slices <= 0:
+        raise ConfigError("cell_bits and num_slices must be positive")
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.size and codes.min() < 0:
+        raise ConfigError("codes must be non-negative")
+    mask = (1 << cell_bits) - 1
+    shifts = [(num_slices - 1 - i) * cell_bits for i in range(num_slices)]
+    return np.stack([(codes >> s) & mask for s in shifts], axis=-1)
+
+
+def unslice_values(slices: np.ndarray, cell_bits: int) -> np.ndarray:
+    """Inverse of :func:`slice_values` (shift-and-add reduction)."""
+    slices = np.asarray(slices, dtype=np.int64)
+    num_slices = slices.shape[-1]
+    result = np.zeros(slices.shape[:-1], dtype=np.int64)
+    for i in range(num_slices):
+        result = (result << cell_bits) + slices[..., i]
+    return result

@@ -1,0 +1,50 @@
+"""Digital-to-analog converter model.
+
+Each crossbar row input is driven through a small DAC (2-bit in
+Table I). Full-precision inputs are streamed over multiple phases; the
+MAC array shift-and-adds the per-phase partial sums. The model performs
+the (lossless) code-to-level mapping and counts conversion events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..events import EventLog
+
+
+class DAC:
+    """An n-bit DAC bank driving crossbar word lines."""
+
+    def __init__(self, bits: int = 2, events: Optional[EventLog] = None) -> None:
+        if bits <= 0:
+            raise ConfigError("DAC resolution must be positive")
+        self.bits = bits
+        self.events = events if events is not None else EventLog()
+
+    @property
+    def levels(self) -> int:
+        """Number of distinct output levels."""
+        return 1 << self.bits
+
+    def convert(self, codes: np.ndarray) -> np.ndarray:
+        """Convert integer codes (one per driven row) to analog levels.
+
+        Codes must already fit the DAC resolution; feeding wider values
+        is a pipeline bug, so it raises instead of clipping silently.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.levels):
+            raise ConfigError(
+                f"DAC codes must be in [0, {self.levels}); stream wider "
+                "inputs over multiple phases"
+            )
+        self.events.dac_conversions += int(codes.size)
+        return codes.astype(np.float64)
+
+    def phases_for(self, input_bits: int) -> int:
+        """Phases needed to stream an ``input_bits``-wide input."""
+        return -(-input_bits // self.bits)

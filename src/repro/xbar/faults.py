@@ -1,0 +1,81 @@
+"""Fault injection: stuck ReRAM cells and dead crossbar rows.
+
+Endurance-limited ReRAM cells fail stuck-at-SET or stuck-at-RESET; a
+stuck match-line transistor kills a whole TCAM row. This module injects
+such faults into the array-level models so reliability studies can
+measure the *algorithmic* blast radius of device failures — a dead CAM
+row silently drops its edge, a stuck MAC cell corrupts one attribute.
+
+Extension beyond the paper (which assumes fault-free arrays); the test
+suite uses it for failure-injection coverage of the kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .cam_array import EdgeCam
+from .mac_array import MacCrossbar
+
+
+class FaultModel:
+    """Random stuck-row / stuck-cell fault injector.
+
+    ``dead_row_fraction`` disables that fraction of CAM rows (their
+    match line never fires); ``stuck_cell_fraction`` pins that fraction
+    of MAC value cells to a random representable level.
+    """
+
+    def __init__(
+        self,
+        dead_row_fraction: float = 0.0,
+        stuck_cell_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= dead_row_fraction <= 1.0:
+            raise ConfigError("dead_row_fraction must be in [0, 1]")
+        if not 0.0 <= stuck_cell_fraction <= 1.0:
+            raise ConfigError("stuck_cell_fraction must be in [0, 1]")
+        self.dead_row_fraction = dead_row_fraction
+        self.stuck_cell_fraction = stuck_cell_fraction
+        self.seed = seed
+
+    def kill_cam_rows(self, cam: EdgeCam) -> np.ndarray:
+        """Disable random CAM rows; returns the dead-row index array.
+
+        Uses the valid-bit plane: a dead match line behaves exactly
+        like an unwritten row (it can never hit).
+        """
+        rng = np.random.default_rng(self.seed)
+        count = int(round(cam.rows * self.dead_row_fraction))
+        dead = rng.choice(cam.rows, size=count, replace=False)
+        cam.cam._valid[dead] = False
+        return np.sort(dead)
+
+    def stick_mac_cells(self, mac: MacCrossbar) -> int:
+        """Pin random MAC cells at random levels; returns the count.
+
+        Applied through ``preset`` (faults are not programming events).
+        """
+        rng = np.random.default_rng(self.seed + 1)
+        values = mac.stored_values()
+        count = int(round(values.size * self.stuck_cell_fraction))
+        if count:
+            flat = rng.choice(values.size, size=count, replace=False)
+            rows, cols = np.unravel_index(flat, values.shape)
+            values[rows, cols] = rng.uniform(
+                0.0, mac.fmt.max_value, size=count
+            )
+            mac.preset(values)
+        return count
+
+
+def edges_lost_to_dead_rows(
+    cam: EdgeCam, dead_rows: np.ndarray
+) -> np.ndarray:
+    """(src, dst) pairs silently dropped by the given dead rows."""
+    src = cam.stored_src()[dead_rows]
+    dst = cam.stored_dst()[dead_rows]
+    present = src >= 0
+    return np.stack([src[present], dst[present]], axis=1)

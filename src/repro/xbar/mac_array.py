@@ -1,0 +1,308 @@
+"""MAC crossbar: selective analog multiply-accumulate.
+
+One :class:`MacCrossbar` models a single ReRAM array from Table I
+(128 rows x 16 value columns, 2 bits/cell, so 8 bit-slices per value).
+Its defining operation here is the *selective* MAC of Section III: the
+hit vector from a CAM search enables a subset of word lines and the
+bit-line currents sum only those rows. At most ``accumulate_limit``
+rows are summed per operation (the paper fixes 16 so a 6-bit ADC
+suffices); larger hit sets are split into multiple operations, each
+counted in the event log.
+
+Two numeric modes:
+
+* ``exact`` (default) — float64 arithmetic. Used when validating the
+  engine against golden references; all events are still counted.
+* quantized — the honest ISAAC-style pipeline: weights in fixed point
+  across 2-bit cells, inputs streamed one bit per phase, every per-phase
+  per-slice bit-line sum pushed through the 6-bit ADC, partial sums
+  recombined by shift-and-add.
+
+Event conventions (shared with the vectorized engine): one MAC op with
+``k`` enabled rows and ``m`` engaged columns records ``k`` DAC
+activations, ``m`` ADC samples and ``k * m`` cell-level multiplies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigError
+from ..events import EventLog
+from .adc import ADC
+from .cells import FixedPointFormat, slice_values
+
+
+class MacCrossbar:
+    """A single MAC-capable crossbar array."""
+
+    def __init__(
+        self,
+        rows: int = 128,
+        cols: int = 16,
+        value_format: Optional[FixedPointFormat] = None,
+        cell_bits: int = 2,
+        accumulate_limit: int = 16,
+        adc_bits: int = 6,
+        exact: bool = True,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigError("crossbar dimensions must be positive")
+        if accumulate_limit <= 0:
+            raise ConfigError("accumulate_limit must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.fmt = value_format if value_format is not None else FixedPointFormat()
+        if self.fmt.total_bits % cell_bits != 0:
+            raise ConfigError("value bits must be a multiple of cell_bits")
+        self.cell_bits = cell_bits
+        self.accumulate_limit = accumulate_limit
+        self.exact = exact
+        self.events = events if events is not None else EventLog()
+        self._adc = ADC(adc_bits, events=self.events)
+        self._weights = np.zeros((rows, cols), dtype=np.float64)
+        self._codes = np.zeros((rows, cols), dtype=np.int64)
+
+    @property
+    def bit_slices(self) -> int:
+        """Physical cells per stored value."""
+        return self.fmt.total_bits // self.cell_bits
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        row_indices: np.ndarray,
+        col_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Program individual cells (scattered write).
+
+        Counts one row-level write pulse per distinct row touched and
+        ``bit_slices`` programmed cells per value.
+        """
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        col_indices = np.asarray(col_indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (row_indices.shape == col_indices.shape == values.shape):
+            raise ConfigError("write arrays must have matching shapes")
+        if row_indices.size and (
+            row_indices.max() >= self.rows or col_indices.max() >= self.cols
+        ):
+            raise CapacityError("write outside crossbar bounds")
+        codes = self.fmt.quantize(values)
+        self._codes[row_indices, col_indices] = codes
+        stored = self.fmt.dequantize(codes) if not self.exact else values
+        self._weights[row_indices, col_indices] = stored
+        self.events.row_writes += int(np.unique(row_indices).size)
+        self.events.cell_writes += int(values.size) * self.bit_slices
+
+    def write_rows(self, row_indices: np.ndarray, values: np.ndarray) -> None:
+        """Program whole rows: ``values`` has shape ``(len(rows), cols)``."""
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (row_indices.size, self.cols):
+            raise ConfigError(
+                f"expected values of shape ({row_indices.size}, {self.cols})"
+            )
+        if row_indices.size and row_indices.max() >= self.rows:
+            raise CapacityError("row index outside crossbar bounds")
+        codes = self.fmt.quantize(values)
+        self._codes[row_indices] = codes
+        self._weights[row_indices] = (
+            values if self.exact else self.fmt.dequantize(codes)
+        )
+        self.events.row_writes += int(row_indices.size)
+        self.events.cell_writes += int(values.size) * self.bit_slices
+
+    def stored_values(self) -> np.ndarray:
+        """Copy of the stored value matrix (as the array would compute)."""
+        return self._weights.copy()
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def _normalize_mask(self, mask: Optional[np.ndarray], size: int) -> np.ndarray:
+        """Accept boolean masks or index arrays; return sorted indices."""
+        if mask is None:
+            return np.arange(size)
+        mask = np.asarray(mask)
+        if mask.dtype == bool:
+            if mask.shape != (size,):
+                raise ConfigError("boolean mask has the wrong length")
+            return np.flatnonzero(mask)
+        indices = np.unique(mask.astype(np.int64))
+        if indices.size and (indices[0] < 0 or indices[-1] >= size):
+            raise ConfigError("mask index outside crossbar bounds")
+        return indices
+
+    def mac(
+        self,
+        inputs: np.ndarray,
+        row_mask: Optional[np.ndarray] = None,
+        col_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Selective MAC: ``out[c] = sum_{r in mask} inputs[r] * W[r, c]``.
+
+        ``inputs`` has one entry per crossbar row (entries outside the
+        mask are ignored). Returns a dense vector of length ``cols``
+        with zeros in unengaged columns. Hit sets larger than the
+        accumulate limit are split into multiple operations whose
+        partial sums the SFU adds digitally (counted as ADC samples per
+        op, not extra SFU ops — the shift-and-add units handle it).
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape != (self.rows,):
+            raise ConfigError(f"inputs must have length {self.rows}")
+        rows = self._normalize_mask(row_mask, self.rows)
+        cols = self._normalize_mask(col_mask, self.cols)
+        out = np.zeros(self.cols, dtype=np.float64)
+        if rows.size == 0 or cols.size == 0:
+            return out
+        for start in range(0, rows.size, self.accumulate_limit):
+            chunk = rows[start : start + self.accumulate_limit]
+            self.events.record_mac(chunk.size, cols.size)
+            self.events.dac_conversions += int(chunk.size)
+            self.events.adc_conversions += int(cols.size)
+            if self.exact:
+                partial = inputs[chunk] @ self._weights[np.ix_(chunk, cols)]
+            else:
+                partial = self._quantized_mac(inputs, chunk, cols)
+            out[cols] += partial
+        return out
+
+    def mac_transposed(
+        self,
+        inputs: np.ndarray,
+        col_mask: Optional[np.ndarray] = None,
+        row_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Column-direction MAC on a transposable crossbar.
+
+        ``out[r] = sum_{c in mask} inputs[c] * W[r, c]`` — used when the
+        accumulation runs over vertex-attribute columns (collaborative
+        filtering's feature vectors, Section III-A's "transposable
+        crossbars"). Accumulation chunks apply to columns here.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape != (self.cols,):
+            raise ConfigError(f"inputs must have length {self.cols}")
+        cols = self._normalize_mask(col_mask, self.cols)
+        rows = self._normalize_mask(row_mask, self.rows)
+        out = np.zeros(self.rows, dtype=np.float64)
+        if rows.size == 0 or cols.size == 0:
+            return out
+        for start in range(0, cols.size, self.accumulate_limit):
+            chunk = cols[start : start + self.accumulate_limit]
+            self.events.record_mac(chunk.size, rows.size)
+            self.events.dac_conversions += int(chunk.size)
+            self.events.adc_conversions += int(rows.size)
+            if self.exact:
+                partial = self._weights[np.ix_(rows, chunk)] @ inputs[chunk]
+            else:
+                partial = self._quantized_mac_t(inputs, rows, chunk)
+            out[rows] += partial
+        return out
+
+    def preset(self, values: np.ndarray) -> None:
+        """Initialize the whole array without programming events.
+
+        Models factory/initialization-time constants such as the
+        all-ones column BFS multiplies distances against (Section IV:
+        BFS runs "without the overhead of loading edge weights into MAC
+        crossbars but setting the edge weight columns to a fixed value
+        of 1").
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.rows, self.cols):
+            raise ConfigError(
+                f"preset expects shape ({self.rows}, {self.cols})"
+            )
+        codes = self.fmt.quantize(values)
+        self._codes[:] = codes
+        self._weights[:] = values if self.exact else self.fmt.dequantize(codes)
+
+    def mac_rowwise(
+        self,
+        inputs: np.ndarray,
+        row_mask: Optional[np.ndarray] = None,
+        col_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-row MAC: ``out[r] = sum_{c in mask} inputs[c] * W[r, c]``
+        for each enabled row — the SpMV-add shape of SSSP/BFS
+        (Figure 9b: every enabled edge row yields its own candidate
+        ``alpha x weight + dist(u) x 1``).
+
+        Event convention matches the engine's op-level abstraction: one
+        MAC op per ``accumulate_limit`` rows enabled, recording the
+        enabled-row count in the Figure 13 histogram and charging one
+        ADC sample per engaged column per op.
+
+        In quantized mode the weights are read at their stored
+        fixed-point values; the two-operand SpMV-add itself is computed
+        at full precision (its operands — a distance and a weight — are
+        digital inputs, not bit-line sums needing an ADC).
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape != (self.cols,):
+            raise ConfigError(f"inputs must have length {self.cols}")
+        rows = self._normalize_mask(row_mask, self.rows)
+        cols = self._normalize_mask(col_mask, self.cols)
+        out = np.zeros(self.rows, dtype=np.float64)
+        if rows.size == 0 or cols.size == 0:
+            return out
+        for start in range(0, rows.size, self.accumulate_limit):
+            chunk = rows[start : start + self.accumulate_limit]
+            self.events.record_mac(chunk.size, cols.size)
+            self.events.dac_conversions += int(chunk.size)
+            self.events.adc_conversions += int(cols.size)
+            out[chunk] = self._weights[np.ix_(chunk, cols)] @ inputs[cols]
+        return out
+
+    # ------------------------------------------------------------------
+    # Quantized pipeline
+    # ------------------------------------------------------------------
+    def _quantized_mac(
+        self, inputs: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Bit-serial, bit-sliced MAC through the real ADC path."""
+        in_codes = self.fmt.quantize(inputs[rows])  # (k,)
+        w_slices = slice_values(
+            self._codes[np.ix_(rows, cols)], self.cell_bits, self.bit_slices
+        )  # (k, m, slices) most-significant first
+        total = np.zeros(cols.size, dtype=np.int64)
+        for phase in range(self.fmt.total_bits - 1, -1, -1):
+            bits = (in_codes >> phase) & 1  # (k,)
+            if not bits.any():
+                continue
+            for s in range(self.bit_slices):
+                analog = bits @ w_slices[:, :, s]  # per-column sums
+                digital = self._adc.convert(analog)
+                shift = phase + (self.bit_slices - 1 - s) * self.cell_bits
+                total += digital.astype(np.int64) << shift
+        # Combined scale: input frac bits + weight frac bits.
+        return total / (self.fmt.scale * self.fmt.scale)
+
+    def _quantized_mac_t(
+        self, inputs: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Transposed-direction quantized MAC."""
+        in_codes = self.fmt.quantize(inputs[cols])  # (k,)
+        w_slices = slice_values(
+            self._codes[np.ix_(rows, cols)], self.cell_bits, self.bit_slices
+        )  # (r, k, slices)
+        total = np.zeros(rows.size, dtype=np.int64)
+        for phase in range(self.fmt.total_bits - 1, -1, -1):
+            bits = (in_codes >> phase) & 1
+            if not bits.any():
+                continue
+            for s in range(self.bit_slices):
+                analog = w_slices[:, :, s] @ bits
+                digital = self._adc.convert(analog)
+                shift = phase + (self.bit_slices - 1 - s) * self.cell_bits
+                total += digital.astype(np.int64) << shift
+        return total / (self.fmt.scale * self.fmt.scale)

@@ -1,0 +1,56 @@
+"""Special function unit: the scalar epilogue of every kernel.
+
+Section III-B: after the MAC phase, SFUs (shift-and-add plus a scalar
+ALU with adders, comparators and multipliers) finish the vertex update —
+the running ``min`` of SSSP/BFS distance candidates, PageRank's damping
+affine, collaborative filtering's error/learning-rate arithmetic. The
+model executes the math in numpy while charging one SFU event per
+scalar operation per element.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..events import EventLog
+
+
+class SpecialFunctionUnit:
+    """Scalar ALU bank with event accounting."""
+
+    def __init__(self, events: Optional[EventLog] = None) -> None:
+        self.events = events if events is not None else EventLog()
+
+    def _charge(self, *arrays: np.ndarray) -> None:
+        size = max(np.asarray(a).size for a in arrays)
+        self.events.sfu_ops += int(size)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise add (one op per output element)."""
+        self._charge(a, b)
+        return np.asarray(a, dtype=np.float64) + np.asarray(b, dtype=np.float64)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise multiply."""
+        self._charge(a, b)
+        return np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64)
+
+    def minimum(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise minimum (comparator bank)."""
+        self._charge(a, b)
+        return np.minimum(
+            np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+        )
+
+    def compare_less(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``a < b`` comparison."""
+        self._charge(a, b)
+        return np.asarray(a, dtype=np.float64) < np.asarray(b, dtype=np.float64)
+
+    def affine(self, x: np.ndarray, scale: float, offset: float) -> np.ndarray:
+        """``scale * x + offset`` — two ops per element (mul + add)."""
+        x = np.asarray(x, dtype=np.float64)
+        self.events.sfu_ops += 2 * int(x.size)
+        return scale * x + offset

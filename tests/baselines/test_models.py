@@ -1,0 +1,200 @@
+"""Unit tests for the workload traces and CPU/GPU/GRAM cost models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CuMFModel,
+    GAPBSModel,
+    GraphChiModel,
+    GraphREngine,
+    GridGraphModel,
+    GunrockModel,
+    trace_cf,
+    trace_pagerank,
+    trace_traversal,
+)
+from repro.baselines.gram import GRAMModel
+from repro.baselines.workload import WorkloadTrace
+from repro.errors import AlgorithmError
+from tests.conftest import make_graph
+
+
+class TestTraces:
+    def test_pagerank_trace(self, small_rmat):
+        tr = trace_pagerank(small_rmat, iterations=4)
+        assert tr.passes == 4
+        assert np.all(tr.edges_per_pass == small_rmat.num_edges)
+        assert tr.total_edges_processed == 4 * small_rmat.num_edges
+
+    def test_traversal_trace_frontier_sizes(self, diamond_graph):
+        tr = trace_traversal(diamond_graph, 0, weighted=False)
+        # Superstep 1 expands vertex 0 (2 out-edges); superstep 2
+        # expands {1, 2} (2 edges); superstep 3 expands {3} (0 edges).
+        assert list(tr.edges_per_pass) == [2, 2, 0]
+        assert list(tr.active_vertices_per_pass) == [1, 2, 1]
+
+    def test_traversal_trace_matches_engine_supersteps(self, medium_rmat):
+        from repro.core.engine import GaaSXEngine
+
+        tr = trace_traversal(medium_rmat, 0, weighted=True)
+        run = GaaSXEngine(medium_rmat).sssp(0)
+        assert tr.passes == run.supersteps
+
+    def test_traversal_source_validation(self, small_rmat):
+        with pytest.raises(AlgorithmError):
+            trace_traversal(small_rmat, -1, weighted=False)
+
+    def test_wcc_trace_matches_engine_supersteps(self, medium_rmat):
+        from repro.baselines.workload import trace_wcc
+        from repro.core.engine import GaaSXEngine
+
+        tr = trace_wcc(medium_rmat)
+        run = GaaSXEngine(medium_rmat).wcc()
+        assert tr.passes == run.supersteps
+        assert tr.algorithm == "cc"
+
+    def test_wcc_trace_counts_both_directions(self):
+        from repro.baselines.workload import trace_wcc
+
+        g = make_graph([(0, 1)], n=2)
+        tr = trace_wcc(g)
+        # Superstep 1: both endpoints active; the edge is visited once
+        # forward (from 0) and once reverse (from 1).
+        assert tr.edges_per_pass[0] == 2
+
+    def test_cf_trace(self, small_bipartite):
+        tr = trace_cf(small_bipartite, epochs=2)
+        assert tr.passes == 2
+        assert np.all(
+            tr.edges_per_pass == 2 * small_bipartite.num_ratings
+        )
+
+
+def _trace(algorithm="pagerank", passes=3, edges=1000, vertices=100):
+    return WorkloadTrace(
+        algorithm,
+        vertices,
+        edges,
+        np.full(passes, edges, dtype=np.int64),
+        np.full(passes, vertices, dtype=np.int64),
+    )
+
+
+class TestCPUModels:
+    def test_gridgraph_monotone_in_edges(self):
+        model = GridGraphModel()
+        small = model.run(_trace(edges=1000))
+        big = model.run(_trace(edges=10000))
+        assert big.time_s > small.time_s
+
+    def test_gridgraph_energy_is_power_times_time(self):
+        model = GridGraphModel()
+        r = model.run(_trace())
+        assert r.energy_j == pytest.approx(r.time_s * model.power_w)
+
+    def test_gridgraph_rejects_cf(self):
+        with pytest.raises(AlgorithmError):
+            GridGraphModel().run(_trace("cf"))
+
+    def test_gridgraph_overfetch_floor(self):
+        """Tiny frontiers still stream a minimum fraction of the grid."""
+        model = GridGraphModel()
+        trace = WorkloadTrace(
+            "bfs", 1000, 100000,
+            np.array([1]), np.array([1]),
+        )
+        scanned = model._scanned_edges(trace)
+        assert scanned[0] >= 100000 * model.min_scan_fraction
+
+    def test_graphchi_slower_than_gridgraph(self):
+        tr = _trace()
+        assert GraphChiModel().run(tr).time_s > GridGraphModel().run(tr).time_s
+
+    def test_graphchi_cf_counts_feature_flops(self, small_bipartite):
+        tr = trace_cf(small_bipartite, epochs=1)
+        few = GraphChiModel().run(tr, num_features=8)
+        many = GraphChiModel().run(tr, num_features=64)
+        assert many.time_s > few.time_s
+
+    def test_gapbs_faster_than_gridgraph(self):
+        tr = _trace()
+        assert GAPBSModel().run(tr).time_s < GridGraphModel().run(tr).time_s
+
+    def test_gapbs_sssp_costlier_than_bfs(self):
+        bfs = GAPBSModel().run(_trace("bfs"))
+        sssp = GAPBSModel().run(_trace("sssp"))
+        assert sssp.time_s > bfs.time_s
+
+    def test_gapbs_rejects_cf(self):
+        with pytest.raises(AlgorithmError):
+            GAPBSModel().run(_trace("cf"))
+
+    def test_gapbs_cc_kernel(self):
+        r = GAPBSModel().run(_trace("cc"))
+        assert r.time_s > 0
+        assert r.algorithm == "cc"
+
+
+class TestGPUModels:
+    def test_gunrock_launch_overhead_dominates_many_supersteps(self):
+        few = GunrockModel().run(_trace("bfs", passes=2, edges=100))
+        many = GunrockModel().run(_trace("bfs", passes=50, edges=100))
+        assert many.time_s > few.time_s
+
+    def test_gunrock_faster_than_gridgraph(self):
+        tr = _trace(edges=10**6)
+        assert GunrockModel().run(tr).time_s < GridGraphModel().run(tr).time_s
+
+    def test_gunrock_rejects_cf(self):
+        with pytest.raises(AlgorithmError):
+            GunrockModel().run(_trace("cf"))
+
+    def test_cumf_only_cf(self):
+        with pytest.raises(AlgorithmError):
+            CuMFModel().run(_trace("pagerank"))
+
+    def test_cumf_scales_with_features(self, small_bipartite):
+        tr = trace_cf(small_bipartite, epochs=1)
+        assert (
+            CuMFModel().run(tr, num_features=64).time_s
+            > CuMFModel().run(tr, num_features=8).time_s
+        )
+
+
+class TestGRAM:
+    def test_scales_graphr(self, small_rmat):
+        run = GraphREngine(small_rmat).pagerank(iterations=3)
+        gram = GRAMModel().from_graphr("pagerank", run.stats)
+        assert gram.time_s < run.stats.total_time_s
+        assert gram.energy_j < run.stats.total_energy_j
+
+    def test_factors_applied(self, small_rmat):
+        run = GraphREngine(small_rmat).pagerank(iterations=3)
+        model = GRAMModel()
+        gram = model.from_graphr("pagerank", run.stats)
+        assert gram.time_s == pytest.approx(
+            run.stats.total_time_s / model.speedup_over_graphr["pagerank"]
+        )
+
+    def test_unknown_algorithm_rejected(self, small_rmat):
+        run = GraphREngine(small_rmat).pagerank(iterations=1)
+        with pytest.raises(AlgorithmError):
+            GRAMModel().from_graphr("cf", run.stats)
+
+
+class TestTesseract:
+    def test_scaled_up_from_graphr(self, small_rmat):
+        from repro.baselines.gram import TesseractModel
+
+        run = GraphREngine(small_rmat).pagerank(iterations=3)
+        tess = TesseractModel().from_graphr("pagerank", run.stats)
+        assert tess.time_s > run.stats.total_time_s
+        assert tess.energy_j > run.stats.total_energy_j
+
+    def test_published_band(self, small_rmat):
+        from repro.baselines.gram import TesseractModel
+
+        model = TesseractModel()
+        assert 1 < model.slowdown_vs_graphr <= 4
+        assert 4 <= model.energy_vs_graphr <= 10

@@ -1,0 +1,96 @@
+"""Unit tests for the golden reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference
+from repro.errors import AlgorithmError
+from tests.conftest import make_graph
+
+
+class TestReferencePageRank:
+    def test_ignores_edge_weights(self):
+        a = make_graph([(0, 1), (1, 0)], weights=[1.0, 1.0], n=2)
+        b = make_graph([(0, 1), (1, 0)], weights=[9.0, 3.0], n=2)
+        assert np.allclose(
+            reference.pagerank(a, iterations=5),
+            reference.pagerank(b, iterations=5),
+        )
+
+    def test_symmetric_cycle_uniform(self):
+        g = make_graph([(0, 1), (1, 2), (2, 0)], n=3)
+        ranks = reference.pagerank(g, iterations=50)
+        assert np.allclose(ranks, ranks[0])
+        assert ranks[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_tolerance_stops_early(self, small_rmat):
+        a = reference.pagerank(small_rmat, iterations=500, tolerance=1e-10)
+        b = reference.pagerank(small_rmat, iterations=500, tolerance=None)
+        assert np.allclose(a, b, atol=1e-6)
+
+
+class TestReferenceBFS:
+    def test_chain(self):
+        g = make_graph([(0, 1), (1, 2), (2, 3)], n=4)
+        assert np.array_equal(reference.bfs(g, 0), [0, 1, 2, 3])
+
+    def test_unreachable(self):
+        g = make_graph([(0, 1)], n=3)
+        d = reference.bfs(g, 0)
+        assert np.isinf(d[2])
+
+    def test_source_validation(self, small_rmat):
+        with pytest.raises(AlgorithmError):
+            reference.bfs(small_rmat, -1)
+
+
+class TestReferenceSSSP:
+    def test_diamond(self, diamond_graph):
+        assert np.array_equal(
+            reference.sssp(diamond_graph, 0), [0.0, 1.0, 4.0, 3.0]
+        )
+
+    def test_rejects_negative_weights(self):
+        g = make_graph([(0, 1)], weights=[-2.0], n=2)
+        with pytest.raises(AlgorithmError):
+            reference.sssp(g, 0)
+
+    def test_source_validation(self, small_rmat):
+        with pytest.raises(AlgorithmError):
+            reference.sssp(small_rmat, 10**6)
+
+    def test_bfs_lower_bounds_weighted_sssp(self, small_rmat):
+        """With weights >= 1, hop count lower-bounds weighted distance."""
+        bfs = reference.bfs(small_rmat, 0)
+        sssp = reference.sssp(small_rmat, 0)
+        mask = np.isfinite(bfs)
+        assert np.array_equal(mask, np.isfinite(sssp))
+        assert np.all(sssp[mask] >= bfs[mask] - 1e-9)
+
+
+class TestReferenceCF:
+    def test_deterministic(self, small_bipartite):
+        a = reference.collaborative_filtering(small_bipartite, 4, 2, seed=3)
+        b = reference.collaborative_filtering(small_bipartite, 4, 2, seed=3)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_shapes(self, small_bipartite):
+        p, q = reference.collaborative_filtering(small_bipartite, 6, 1)
+        assert p.shape == (small_bipartite.num_users, 6)
+        assert q.shape == (small_bipartite.num_items, 6)
+
+    def test_learning_reduces_error(self, small_bipartite):
+        r = small_bipartite.ratings
+
+        def rmse(p, q):
+            pred = np.einsum("ij,ij->i", p[r.rows], q[r.cols])
+            return np.sqrt(np.mean((pred - r.data) ** 2))
+
+        p0, q0 = reference.collaborative_filtering(
+            small_bipartite, 8, 0, learning_rate=0.01, seed=1
+        )
+        p1, q1 = reference.collaborative_filtering(
+            small_bipartite, 8, 25, learning_rate=0.01, seed=1
+        )
+        assert rmse(p1, q1) < rmse(p0, q0)

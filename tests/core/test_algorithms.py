@@ -1,0 +1,229 @@
+"""Functional correctness of the GaaS-X kernels against golden
+references and networkx."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference
+from repro.core.engine import GaaSXEngine
+
+networkx = pytest.importorskip("networkx")
+
+
+def to_nx(graph):
+    g = networkx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for s, d, w in zip(graph.edges.rows, graph.edges.cols, graph.weights):
+        g.add_edge(int(s), int(d), weight=float(w))
+    return g
+
+
+def dist_equal(a, b):
+    mask_a, mask_b = np.isfinite(a), np.isfinite(b)
+    return np.array_equal(mask_a, mask_b) and np.allclose(a[mask_a], b[mask_b])
+
+
+class TestPageRank:
+    def test_matches_reference(self, medium_rmat):
+        engine = GaaSXEngine(medium_rmat)
+        result = engine.pagerank(alpha=0.85, iterations=15)
+        ref = reference.pagerank(medium_rmat, alpha=0.85, iterations=15)
+        assert np.allclose(result.ranks, ref)
+
+    def test_fixed_point_property(self, small_rmat):
+        """At convergence the ranks satisfy Equation 3."""
+        engine = GaaSXEngine(small_rmat)
+        result = engine.pagerank(iterations=200, tolerance=1e-12)
+        ranks = result.ranks
+        out_deg = small_rmat.out_degrees().astype(float)
+        inv = np.divide(1.0, out_deg, out=np.zeros_like(out_deg),
+                        where=out_deg > 0)
+        contrib = np.bincount(
+            small_rmat.edges.cols,
+            weights=ranks[small_rmat.edges.rows] * inv[small_rmat.edges.rows],
+            minlength=small_rmat.num_vertices,
+        )
+        assert np.allclose(ranks, 0.15 + 0.85 * contrib, atol=1e-8)
+
+    def test_sink_only_vertices_get_base_rank(self):
+        from tests.conftest import make_graph
+
+        g = make_graph([(0, 1), (2, 1)], n=3)
+        result = GaaSXEngine(g).pagerank(alpha=0.85, iterations=20)
+        # Vertices 0 and 2 have no in-edges: rank = 1 - alpha.
+        assert result.ranks[0] == pytest.approx(0.15)
+        assert result.ranks[2] == pytest.approx(0.15)
+
+    def test_alpha_zero_gives_uniform(self, small_rmat):
+        result = GaaSXEngine(small_rmat).pagerank(alpha=0.0, iterations=5)
+        assert np.allclose(result.ranks, 1.0)
+
+    def test_figure9_example(self, figure7_graph):
+        """PageRank on the paper's example graph matches the reference."""
+        result = GaaSXEngine(figure7_graph).pagerank(iterations=10)
+        ref = reference.pagerank(figure7_graph, iterations=10)
+        assert np.allclose(result.ranks, ref)
+
+
+class TestBFS:
+    def test_matches_networkx(self, medium_rmat):
+        engine = GaaSXEngine(medium_rmat)
+        result = engine.bfs(0)
+        lengths = networkx.single_source_shortest_path_length(
+            to_nx(medium_rmat), 0
+        )
+        ref = np.full(medium_rmat.num_vertices, np.inf)
+        for v, l in lengths.items():
+            ref[v] = l
+        assert dist_equal(result.distances, ref)
+
+    def test_matches_reference(self, medium_rmat):
+        result = GaaSXEngine(medium_rmat).bfs(5)
+        assert dist_equal(result.distances, reference.bfs(medium_rmat, 5))
+
+    def test_isolated_source(self):
+        from tests.conftest import make_graph
+
+        g = make_graph([(0, 1)], n=4)
+        result = GaaSXEngine(g).bfs(3)
+        assert result.distances[3] == 0
+        assert np.isinf(result.distances[0])
+        assert result.supersteps == 1  # one (empty) frontier check
+
+    def test_supersteps_equal_eccentricity(self, diamond_graph):
+        result = GaaSXEngine(diamond_graph).bfs(0)
+        assert np.array_equal(result.distances, [0, 1, 1, 2])
+        assert result.supersteps == 3  # two expanding steps + one empty check
+
+    def test_reached_mask(self, diamond_graph):
+        result = GaaSXEngine(diamond_graph).bfs(1)
+        assert np.array_equal(result.reached(), [False, True, False, True])
+
+
+class TestSSSP:
+    def test_matches_dijkstra_reference(self, medium_rmat):
+        result = GaaSXEngine(medium_rmat).sssp(0)
+        assert dist_equal(result.distances, reference.sssp(medium_rmat, 0))
+
+    def test_matches_networkx(self, road_grid):
+        result = GaaSXEngine(road_grid).sssp(0)
+        lengths = networkx.single_source_dijkstra_path_length(
+            to_nx(road_grid), 0
+        )
+        ref = np.full(road_grid.num_vertices, np.inf)
+        for v, l in lengths.items():
+            ref[v] = l
+        assert dist_equal(result.distances, ref)
+
+    def test_diamond_shortest_path(self, diamond_graph):
+        result = GaaSXEngine(diamond_graph).sssp(0)
+        assert np.array_equal(result.distances, [0.0, 1.0, 4.0, 3.0])
+
+    def test_bfs_equals_sssp_on_unit_weights(self, medium_rmat):
+        unit = medium_rmat.with_unit_weights()
+        bfs = GaaSXEngine(unit).bfs(0)
+        sssp = GaaSXEngine(unit).sssp(0)
+        assert dist_equal(bfs.distances, sssp.distances)
+
+    def test_triangle_inequality(self, small_rmat):
+        result = GaaSXEngine(small_rmat).sssp(0)
+        d = result.distances
+        for s, t, w in zip(
+            small_rmat.edges.rows, small_rmat.edges.cols, small_rmat.weights
+        ):
+            if np.isfinite(d[s]):
+                assert d[t] <= d[s] + w + 1e-9
+
+    def test_rejects_negative_weights(self):
+        from tests.conftest import make_graph
+
+        g = make_graph([(0, 1)], weights=[-1.0], n=2)
+        with pytest.raises(Exception):
+            GaaSXEngine(g).sssp(0)
+
+
+class TestCollaborativeFiltering:
+    def test_matches_reference(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        result = engine.collaborative_filtering(
+            num_features=8, epochs=3, seed=11
+        )
+        ref_p, ref_q = reference.collaborative_filtering(
+            small_bipartite, num_features=8, epochs=3, seed=11
+        )
+        assert np.allclose(result.user_features, ref_p)
+        assert np.allclose(result.item_features, ref_q)
+
+    def test_training_reduces_rmse(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        r = small_bipartite.ratings
+        short = engine.collaborative_filtering(
+            num_features=8, epochs=1, learning_rate=0.01, seed=1
+        )
+        long = engine.collaborative_filtering(
+            num_features=8, epochs=30, learning_rate=0.01, seed=1
+        )
+        assert long.rmse(r.rows, r.cols, r.data) < short.rmse(
+            r.rows, r.cols, r.data
+        )
+
+    def test_predict_shape(self, small_bipartite):
+        result = GaaSXEngine(small_bipartite).collaborative_filtering(
+            num_features=4, epochs=1
+        )
+        users = np.array([0, 1])
+        items = np.array([0, 1])
+        assert result.predict(users, items).shape == (2,)
+
+    def test_epochs_counted(self, small_bipartite):
+        result = GaaSXEngine(small_bipartite).collaborative_filtering(
+            num_features=4, epochs=5
+        )
+        assert result.epochs == 5
+        assert result.stats.passes == 5
+
+    def test_rejects_bad_features(self, small_bipartite):
+        with pytest.raises(Exception):
+            GaaSXEngine(small_bipartite).collaborative_filtering(
+                num_features=0
+            )
+
+
+class TestPersonalizedPageRank:
+    def test_uniform_personalization_equals_default(self, small_rmat):
+        import numpy as np
+
+        engine = GaaSXEngine(small_rmat)
+        plain = engine.pagerank(iterations=8)
+        uniform = engine.pagerank(
+            iterations=8,
+            personalization=np.ones(small_rmat.num_vertices),
+        )
+        assert np.allclose(plain.ranks, uniform.ranks)
+
+    def test_teleport_mass_concentrates(self, small_rmat):
+        import numpy as np
+
+        engine = GaaSXEngine(small_rmat)
+        pref = np.zeros(small_rmat.num_vertices)
+        pref[7] = 1.0
+        result = engine.pagerank(iterations=20, personalization=pref)
+        plain = engine.pagerank(iterations=20)
+        # The preferred vertex gains rank relative to the uniform run.
+        assert result.ranks[7] > plain.ranks[7]
+
+    def test_validation(self, small_rmat):
+        import numpy as np
+        import pytest as _pytest
+
+        engine = GaaSXEngine(small_rmat)
+        with _pytest.raises(Exception):
+            engine.pagerank(personalization=np.ones(3))
+        with _pytest.raises(Exception):
+            engine.pagerank(
+                personalization=-np.ones(small_rmat.num_vertices)
+            )
+        with _pytest.raises(Exception):
+            engine.pagerank(
+                personalization=np.zeros(small_rmat.num_vertices)
+            )

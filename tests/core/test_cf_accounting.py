@@ -1,0 +1,80 @@
+"""Accounting invariants of the collaborative-filtering kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GaaSXEngine
+
+
+class TestCFEvents:
+    def test_events_scale_with_epochs(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        one = engine.collaborative_filtering(8, epochs=1).stats.events
+        three = engine.collaborative_filtering(8, epochs=3).stats.events
+        # Per-epoch compute triples; one-time loads stay fixed.
+        assert three.mac_ops == 3 * one.mac_ops
+        assert three.cam_searches == 3 * one.cam_searches
+        assert three.cam_row_writes == one.cam_row_writes
+
+    def test_feature_width_drives_segments(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        narrow = engine.collaborative_filtering(16, epochs=1).stats.events
+        wide = engine.collaborative_filtering(32, epochs=1).stats.events
+        # 32 features need two 16-column segments: twice the MAC ops in
+        # the sweeps (cell writes also grow with the feature tables).
+        assert wide.mac_ops == 2 * narrow.mac_ops
+        assert wide.cell_writes > narrow.cell_writes
+
+    def test_both_phases_search_both_fields(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        events = engine.collaborative_filtering(8, epochs=1).stats.events
+        layout = engine.layout("col")
+        item_groups = layout.groups_by("dst").num_groups
+        user_groups = layout.groups_by("src").num_groups
+        # Two sweeps per phase: error dots + accumulation.
+        assert events.cam_searches == 2 * (item_groups + user_groups)
+
+    def test_rating_rows_written_once(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        events = engine.collaborative_filtering(8, epochs=4).stats.events
+        assert events.cam_row_writes == small_bipartite.num_ratings
+
+    def test_positive_time_and_energy(self, small_bipartite):
+        stats = GaaSXEngine(small_bipartite).collaborative_filtering(
+            8, epochs=2
+        ).stats
+        assert stats.load_time_s > 0
+        assert stats.compute_time_s > 0
+        assert stats.total_energy_j > 0
+
+
+class TestCFHyperparameters:
+    def test_zero_learning_rate_freezes_factors(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        frozen = engine.collaborative_filtering(
+            8, epochs=5, learning_rate=0.0, seed=9
+        )
+        initial = engine.collaborative_filtering(
+            8, epochs=0, learning_rate=0.01, seed=9
+        )
+        assert np.allclose(frozen.user_features, initial.user_features)
+        assert np.allclose(frozen.item_features, initial.item_features)
+
+    def test_regularization_shrinks_factors(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        loose = engine.collaborative_filtering(
+            8, epochs=10, learning_rate=0.005, regularization=0.0, seed=3
+        )
+        tight = engine.collaborative_filtering(
+            8, epochs=10, learning_rate=0.005, regularization=0.5, seed=3
+        )
+        assert (
+            np.linalg.norm(tight.user_features)
+            < np.linalg.norm(loose.user_features)
+        )
+
+    def test_seed_controls_init(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        a = engine.collaborative_filtering(8, epochs=1, seed=1)
+        b = engine.collaborative_filtering(8, epochs=1, seed=2)
+        assert not np.allclose(a.user_features, b.user_features)

@@ -1,0 +1,58 @@
+"""Tests for the five-phase execution-plan summary."""
+
+import pytest
+
+from repro.core.controller import build_plan
+from repro.core.engine import GaaSXEngine
+
+
+@pytest.fixture()
+def plan(small_rmat):
+    engine = GaaSXEngine(small_rmat)
+    result = engine.pagerank(iterations=3)
+    return build_plan(result.stats, engine.config), result.stats
+
+
+class TestExecutionPlan:
+    def test_five_phases_in_paper_order(self, plan):
+        names = [p.name for p in plan[0].phases]
+        assert names == [
+            "Initialization",
+            "Data loading",
+            "CAM search",
+            "MAC operation",
+            "Special function",
+        ]
+
+    def test_times_sum_to_total(self, plan):
+        execution_plan, stats = plan
+        total = sum(p.time_s for p in execution_plan.phases)
+        assert total == pytest.approx(stats.total_time_s)
+
+    def test_energy_covers_dynamic(self, plan):
+        execution_plan, stats = plan
+        total = sum(p.energy_j for p in execution_plan.phases)
+        assert total == pytest.approx(stats.energy.dynamic_j)
+
+    def test_operation_counts(self, plan):
+        execution_plan, stats = plan
+        assert (
+            execution_plan.phase("CAM search").operations
+            == stats.events.cam_searches
+        )
+        assert (
+            execution_plan.phase("MAC operation").operations
+            == stats.events.mac_ops
+        )
+
+    def test_phase_lookup_missing(self, plan):
+        with pytest.raises(KeyError):
+            plan[0].phase("Teleportation")
+
+    def test_render(self, plan):
+        text = plan[0].render()
+        assert "CAM search" in text
+        assert "passes: 3" in text
+
+    def test_passes_recorded(self, plan):
+        assert plan[0].passes == 3

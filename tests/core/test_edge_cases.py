@@ -1,0 +1,110 @@
+"""Edge-case coverage: degenerate graphs through the full engine stack."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference
+from repro.baselines.graphr import GraphREngine
+from repro.core.engine import GaaSXEngine
+from repro.graphs import COOMatrix, Graph
+from tests.conftest import make_graph
+
+
+class TestEmptyGraph:
+    @pytest.fixture()
+    def empty(self):
+        return Graph.from_edge_list([], num_vertices=5)
+
+    def test_pagerank(self, empty):
+        result = GaaSXEngine(empty).pagerank(iterations=3)
+        assert np.allclose(result.ranks, 0.15)
+
+    def test_bfs(self, empty):
+        result = GaaSXEngine(empty).bfs(2)
+        assert result.distances[2] == 0
+        assert np.isinf(result.distances).sum() == 4
+
+    def test_wcc(self, empty):
+        result = GaaSXEngine(empty).wcc()
+        assert result.num_components == 5
+
+    def test_graphr(self, empty):
+        result = GraphREngine(empty).pagerank(iterations=3)
+        assert np.allclose(result.ranks, 0.15)
+
+    def test_zero_cost(self, empty):
+        stats = GaaSXEngine(empty).pagerank(iterations=3).stats
+        assert stats.events.cam_searches == 0
+        assert stats.events.mac_ops == 0
+
+
+class TestSelfLoops:
+    @pytest.fixture()
+    def looped(self):
+        # 0 -> 0 (self loop), 0 -> 1.
+        coo = COOMatrix(
+            np.array([0, 0]), np.array([0, 1]),
+            np.array([2.0, 1.0]), (3, 3),
+        )
+        return Graph(coo)
+
+    def test_pagerank_matches_reference(self, looped):
+        result = GaaSXEngine(looped).pagerank(iterations=10)
+        assert np.allclose(
+            result.ranks, reference.pagerank(looped, iterations=10)
+        )
+
+    def test_sssp_ignores_self_loop(self, looped):
+        result = GaaSXEngine(looped).sssp(0)
+        assert result.distances[0] == 0.0
+        assert result.distances[1] == 1.0
+
+    def test_graphr_agrees(self, looped):
+        a = GaaSXEngine(looped).pagerank(iterations=5)
+        b = GraphREngine(looped).pagerank(iterations=5)
+        assert np.allclose(a.ranks, b.ranks)
+
+
+class TestSingleVertex:
+    def test_all_kernels(self):
+        g = Graph.from_edge_list([], num_vertices=1)
+        engine = GaaSXEngine(g)
+        assert engine.pagerank(iterations=2).ranks[0] == pytest.approx(0.15)
+        assert engine.bfs(0).distances[0] == 0
+        assert engine.wcc().num_components == 1
+
+
+class TestParallelEdgesInput:
+    def test_duplicate_edges_flow_through_engine(self):
+        """A caller can hand-build a COO with duplicate (u, v) pairs;
+        the engine treats each stored row as its own edge, exactly like
+        the hardware would store two CAM rows."""
+        coo = COOMatrix(
+            np.array([0, 0]), np.array([1, 1]),
+            np.array([3.0, 5.0]), (2, 2),
+        )
+        g = Graph(coo)
+        result = GaaSXEngine(g).sssp(0)
+        assert result.distances[1] == 3.0  # min over both stored rows
+
+    def test_duplicate_edges_pagerank_counts_multiplicity(self):
+        coo = COOMatrix(
+            np.array([0, 0]), np.array([1, 1]), np.ones(2), (2, 2)
+        )
+        g = Graph(coo)
+        result = GaaSXEngine(g).pagerank(iterations=5)
+        ref = reference.pagerank(g, iterations=5)
+        assert np.allclose(result.ranks, ref)
+
+
+class TestDisconnectedSource:
+    def test_sssp_from_sink(self):
+        g = make_graph([(0, 1), (1, 2)], n=3)
+        result = GaaSXEngine(g).sssp(2)  # vertex 2 has no out-edges
+        assert result.distances[2] == 0
+        assert np.isinf(result.distances[0])
+
+    def test_high_vertex_ids_untouched(self):
+        g = make_graph([(0, 1)], n=1000)
+        result = GaaSXEngine(g).bfs(0)
+        assert result.reached().sum() == 2

@@ -1,0 +1,159 @@
+"""Unit tests for the engine's shared accounting machinery."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.engine import (
+    GaaSXEngine,
+    chunk_histogram,
+    default_interval_size,
+    gather_ranges,
+)
+from repro.errors import AlgorithmError
+from repro.events import EventLog
+from repro.graphs.generators import rmat
+
+
+class TestGatherRanges:
+    def test_basic(self):
+        out = gather_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert np.array_equal(out, [0, 1, 2, 10, 11])
+
+    def test_empty(self):
+        out = gather_ranges(np.array([], dtype=int), np.array([], dtype=int))
+        assert out.size == 0
+
+    def test_zero_length_ranges_skipped(self):
+        out = gather_ranges(np.array([5, 9]), np.array([0, 2]))
+        assert np.array_equal(out, [9, 10])
+
+
+class TestChunkHistogram:
+    def test_under_limit(self):
+        ops, hist = chunk_histogram(np.array([1, 3, 16]), 16)
+        assert np.array_equal(ops, [1, 1, 1])
+        assert hist[1] == 1 and hist[3] == 1 and hist[16] == 1
+
+    def test_over_limit_splits(self):
+        ops, hist = chunk_histogram(np.array([20]), 16)
+        assert ops[0] == 2
+        assert hist[16] == 1 and hist[4] == 1
+
+    def test_exact_multiple(self):
+        ops, hist = chunk_histogram(np.array([32]), 16)
+        assert ops[0] == 2
+        assert hist[16] == 2
+        assert hist[0] == 0
+
+    def test_total_rows_preserved(self):
+        rng = np.random.default_rng(0)
+        hits = rng.integers(1, 100, size=50)
+        _, hist = chunk_histogram(hits, 16)
+        assert (hist * np.arange(hist.size)).sum() == hits.sum()
+
+    def test_ops_equal_hist_total(self):
+        rng = np.random.default_rng(1)
+        hits = rng.integers(1, 100, size=50)
+        ops, hist = chunk_histogram(hits, 16)
+        assert ops.sum() == hist.sum()
+
+
+class TestDefaultIntervalSize:
+    def test_floor(self):
+        assert default_interval_size(10) == 128
+
+    def test_large_graph_64_intervals(self):
+        assert default_interval_size(64_000) == 1000
+
+
+class TestEngineBasics:
+    def test_layout_cached(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        assert engine.layout("col") is engine.layout("col")
+
+    def test_cf_requires_bipartite(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        with pytest.raises(AlgorithmError):
+            engine.collaborative_filtering()
+
+    def test_bipartite_unified(self, small_bipartite):
+        engine = GaaSXEngine(small_bipartite)
+        assert engine.graph.num_vertices == (
+            small_bipartite.num_users + small_bipartite.num_items
+        )
+
+    def test_source_validation(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        with pytest.raises(AlgorithmError):
+            engine.bfs(small_rmat.num_vertices)
+        with pytest.raises(AlgorithmError):
+            engine.sssp(-1)
+
+
+class TestAccountingInvariants:
+    def test_load_charges_once(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        result = engine.pagerank(iterations=7)
+        events = result.stats.events
+        # One MAC row and one CAM row per edge, independent of the
+        # iteration count (the in-place residency model).
+        assert events.row_writes == small_rmat.num_edges
+        assert events.cam_row_writes == small_rmat.num_edges
+
+    def test_pagerank_events_scale_with_iterations(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        one = engine.pagerank(iterations=1).stats.events
+        three = engine.pagerank(iterations=3).stats.events
+        assert three.cam_searches == 3 * one.cam_searches
+        assert three.mac_ops == 3 * one.mac_ops
+
+    def test_bfs_writes_no_mac_cells(self, small_rmat):
+        """BFS presets the weight column to 1 (Section IV)."""
+        engine = GaaSXEngine(small_rmat)
+        events = engine.bfs(0).stats.events
+        assert events.cell_writes == 0
+        assert events.cam_row_writes == small_rmat.num_edges
+
+    def test_sssp_writes_weights(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        events = engine.sssp(0).stats.events
+        config = ArchConfig()
+        assert events.cell_writes == small_rmat.num_edges * config.bit_slices
+
+    def test_dac_counts_equal_rows_driven(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        events = engine.pagerank(iterations=1).stats.events
+        assert events.dac_conversions == events.mac_rows_accumulated
+
+    def test_hist_total_equals_mac_ops(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        events = engine.sssp(0).stats.events
+        assert events.mac_rows_hist.sum() == events.mac_ops
+
+    def test_accumulate_limit_bounds_hist(self, small_rmat):
+        config = ArchConfig(mac_accumulate_limit=8)
+        engine = GaaSXEngine(small_rmat, config=config)
+        events = engine.pagerank(iterations=1).stats.events
+        assert events.mac_rows_hist.size <= 9 or not np.any(
+            events.mac_rows_hist[9:]
+        )
+
+    def test_energy_attached(self, small_rmat):
+        stats = GaaSXEngine(small_rmat).pagerank(iterations=1).stats
+        assert stats.energy is not None
+        assert stats.total_energy_j > 0
+        assert stats.total_time_s > 0
+
+    def test_more_crossbars_not_slower(self, medium_rmat):
+        slow = GaaSXEngine(medium_rmat, config=ArchConfig(num_crossbars=2))
+        fast = GaaSXEngine(medium_rmat, config=ArchConfig(num_crossbars=64))
+        t_slow = slow.pagerank(iterations=2).stats.total_time_s
+        t_fast = fast.pagerank(iterations=2).stats.total_time_s
+        assert t_fast <= t_slow
+
+    def test_tolerance_early_exit(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        result = engine.pagerank(iterations=100, tolerance=1e-3)
+        assert result.iterations < 100
+        assert result.stats.passes == result.iterations

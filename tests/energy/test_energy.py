@@ -1,0 +1,118 @@
+"""Unit tests for the energy accounting subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ArchConfig,
+    TABLE_I_TOTAL_AREA_MM2,
+    TABLE_I_TOTAL_POWER_W,
+    TechnologyParams,
+)
+from repro.energy import EnergyLedger, SRAMBuffer, table1_report
+from repro.energy.buffers import (
+    ATTRIBUTE_BUFFER,
+    INPUT_BUFFER,
+    OUTPUT_BUFFER,
+)
+from repro.energy.report import component_rows, totals
+from repro.errors import ConfigError
+from repro.events import EventLog
+
+
+class TestBuffers:
+    def test_table1_buffer_rows_reproduced(self):
+        # Table I: 16 KB -> 6.4e-3 mm^2 / 8.72 mW, linear in capacity.
+        assert INPUT_BUFFER.area_mm2 == pytest.approx(6.4e-3)
+        assert INPUT_BUFFER.power_mw == pytest.approx(8.72)
+        assert OUTPUT_BUFFER.area_mm2 == pytest.approx(25.6e-3)
+        assert OUTPUT_BUFFER.power_mw == pytest.approx(34.88)
+        assert ATTRIBUTE_BUFFER.area_mm2 == pytest.approx(204.8e-3)
+        assert ATTRIBUTE_BUFFER.power_mw == pytest.approx(279.04)
+
+    def test_access_energy_scales_sublinearly(self):
+        small = SRAMBuffer("s", 16)
+        big = SRAMBuffer("b", 256)
+        assert big.access_energy_j > small.access_energy_j
+        assert big.access_energy_j < 16 * small.access_energy_j
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigError):
+            SRAMBuffer("x", 0)
+
+
+class TestLedger:
+    def test_zero_events_only_static(self):
+        tech = TechnologyParams()
+        ledger = EnergyLedger(tech)
+        breakdown = ledger.price(EventLog(), runtime_s=1.0)
+        assert breakdown.dynamic_j == 0.0
+        assert breakdown.static_j == pytest.approx(tech.static_power_w)
+
+    def test_each_event_category_priced(self):
+        tech = TechnologyParams()
+        ledger = EnergyLedger(tech)
+        events = EventLog(
+            cam_searches=10,
+            mac_ops=5,
+            cell_writes=100,
+            cam_cell_writes=50,
+            adc_conversions=7,
+            dac_conversions=3,
+            sfu_ops=11,
+            buffer_reads=2,
+            buffer_writes=1,
+        )
+        b = ledger.price(events, runtime_s=0.0)
+        assert b.cam_j == pytest.approx(10 * tech.cam_search_energy_j)
+        assert b.mac_j == pytest.approx(5 * tech.mac_energy_j)
+        assert b.write_j == pytest.approx(
+            100 * tech.write_cell_energy_j + 50 * tech.cam_cell_write_energy_j
+        )
+        assert b.adc_j == pytest.approx(7 * tech.adc_energy_j)
+        assert b.dac_j == pytest.approx(3 * tech.dac_energy_j)
+        assert b.sfu_j == pytest.approx(11 * tech.sfu_op_energy_j)
+        assert b.buffer_j == pytest.approx(3 * tech.buffer_access_energy_j)
+        assert b.total_j == pytest.approx(b.dynamic_j)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyLedger().price(EventLog(), runtime_s=-1.0)
+
+    def test_average_power(self):
+        ledger = EnergyLedger(TechnologyParams())
+        power = ledger.average_power_w(EventLog(), runtime_s=2.0)
+        assert power == pytest.approx(TechnologyParams().static_power_w)
+
+    def test_average_power_zero_runtime(self):
+        assert EnergyLedger().average_power_w(EventLog(), 0.0) == 0.0
+
+    def test_as_dict_totals(self):
+        b = EnergyLedger().price(EventLog(mac_ops=1), 0.0)
+        d = b.as_dict()
+        assert d["total"] == pytest.approx(b.total_j)
+        assert d["mac"] == pytest.approx(b.mac_j)
+
+
+class TestTable1Report:
+    def test_totals_match_paper(self):
+        area, power = totals()
+        assert area == pytest.approx(TABLE_I_TOTAL_AREA_MM2, rel=0.02)
+        assert power == pytest.approx(TABLE_I_TOTAL_POWER_W, rel=0.02)
+
+    def test_report_renders_all_components(self):
+        text = table1_report()
+        for name in ("MAC crossbar", "CAM crossbar", "ADC", "SFU",
+                     "Attribute buffer"):
+            assert name in text
+        assert "2.69" in text  # paper total
+
+    def test_crossbar_rows_scale_with_count(self):
+        half = ArchConfig(num_crossbars=1024)
+        rows_full = dict((r[0], r[3]) for r in component_rows())
+        rows_half = dict((r[0], r[3]) for r in component_rows(half))
+        assert rows_half["MAC crossbar"] == pytest.approx(
+            rows_full["MAC crossbar"] / 2
+        )
+        # Controller does not scale with crossbar count.
+        assert rows_half["Central controller"] == rows_full["Central controller"]

@@ -1,0 +1,125 @@
+"""Unit tests for experiment result containers and rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.reporting import (
+    ExperimentResult,
+    Series,
+    geometric_mean,
+)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigError):
+            Series("s", ["a"], [1.0, 2.0])
+
+    def test_geomean(self):
+        s = Series("s", ["a", "b"], [2.0, 8.0])
+        assert s.geomean == pytest.approx(4.0)
+
+
+class TestBarChart:
+    def test_basic_chart(self):
+        from repro.experiments.reporting import bar_chart
+
+        s = Series("Speed", ["a", "bb"], [1.0, 2.0])
+        chart = bar_chart(s, width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "Speed:"
+        assert lines[2].count("#") == 10  # max value fills the width
+        assert lines[1].count("#") == 5
+
+    def test_log_scale(self):
+        from repro.experiments.reporting import bar_chart
+
+        s = Series("S", ["x", "y"], [10.0, 1000.0])
+        chart = bar_chart(s, width=30, log_scale=True)
+        x_bar = chart.splitlines()[1].count("#")
+        y_bar = chart.splitlines()[2].count("#")
+        assert 0 < x_bar < y_bar
+
+    def test_log_scale_rejects_nonpositive(self):
+        from repro.experiments.reporting import bar_chart
+
+        with pytest.raises(ConfigError):
+            bar_chart(Series("S", ["x"], [0.0]), log_scale=True)
+
+    def test_zero_value_renders_empty_bar(self):
+        from repro.experiments.reporting import bar_chart
+
+        chart = bar_chart(Series("S", ["x", "y"], [0.0, 5.0]))
+        assert chart.splitlines()[1].count("#") == 0
+
+    def test_render_chart_on_result(self):
+        r = ExperimentResult(
+            "x", "chart test",
+            series=[Series("A", ["p", "q"], [1.0, 3.0])],
+            notes={"k": "v"},
+        )
+        text = r.render_chart(width=12)
+        assert "chart test" in text
+        assert "#" in text
+        assert "k: v" in text
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            "fig99",
+            "A test figure",
+            series=[
+                Series("Row A", ["x", "y"], [1.5, 2.5]),
+                Series("Row B", ["x", "y"], [100.0, 0.001]),
+            ],
+            notes={"geomean": "2.0x"},
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "fig99" in text
+        assert "Row A" in text and "Row B" in text
+        assert "geomean: 2.0x" in text
+
+    def test_render_column_alignment(self):
+        lines = self.make().render().splitlines()
+        header = lines[1]
+        assert header.rstrip().endswith("y")
+
+    def test_series_by_name(self):
+        r = self.make()
+        assert r.series_by_name("Row A").values == [1.5, 2.5]
+        with pytest.raises(ConfigError):
+            r.series_by_name("missing")
+
+    def test_mismatched_labels_render_as_block(self):
+        r = ExperimentResult(
+            "x", "t",
+            series=[
+                Series("A", ["p"], [1.0]),
+                Series("B", ["q", "r"], [2.0, 3.0]),
+            ],
+        )
+        text = r.render()
+        assert "B:" in text
+
+    def test_render_empty(self):
+        text = ExperimentResult("e", "empty").render()
+        assert "empty" in text

@@ -1,0 +1,173 @@
+"""Unit tests for the COO sparse matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import COOMatrix
+
+
+def coo(rows, cols, data=None, shape=None):
+    return COOMatrix(np.array(rows), np.array(cols), data, shape)
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = coo([0, 1], [1, 2], np.array([2.0, 3.0]))
+        assert m.shape == (2, 3)
+        assert m.nnz == 2
+
+    def test_default_weights_are_ones(self):
+        m = coo([0, 1], [1, 0])
+        assert np.array_equal(m.data, [1.0, 1.0])
+
+    def test_explicit_shape(self):
+        m = coo([0], [0], shape=(5, 7))
+        assert m.shape == (5, 7)
+
+    def test_empty(self):
+        m = COOMatrix(np.array([], dtype=int), np.array([], dtype=int))
+        assert m.nnz == 0
+        assert m.shape == (0, 0)
+        assert m.density == 0.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphFormatError):
+            coo([0, 1], [1])
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(GraphFormatError):
+            coo([-1], [0])
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(GraphFormatError):
+            coo([0], [3], shape=(2, 2))
+
+    def test_rejects_2d_arrays(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix(np.zeros((2, 2), dtype=int), np.zeros((2, 2), dtype=int))
+
+    def test_rejects_wrong_data_length(self):
+        with pytest.raises(GraphFormatError):
+            coo([0, 1], [1, 0], np.array([1.0]))
+
+    def test_density(self):
+        m = coo([0, 1], [0, 1], shape=(2, 2))
+        assert m.density == pytest.approx(0.5)
+
+
+class TestSorting:
+    def test_row_major_sort(self):
+        m = coo([2, 0, 1], [0, 2, 1]).sorted_by("row")
+        assert np.array_equal(m.rows, [0, 1, 2])
+        assert np.array_equal(m.cols, [2, 1, 0])
+
+    def test_col_major_sort(self):
+        m = coo([2, 0, 1], [0, 2, 1]).sorted_by("col")
+        assert np.array_equal(m.cols, [0, 1, 2])
+        assert np.array_equal(m.rows, [2, 1, 0])
+
+    def test_sort_keeps_data_aligned(self):
+        m = coo([1, 0], [0, 0], np.array([5.0, 9.0])).sorted_by("row")
+        assert np.array_equal(m.data, [9.0, 5.0])
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(GraphFormatError):
+            coo([0], [0]).sorted_by("diagonal")
+
+
+class TestDeduplication:
+    def test_sum_combine(self):
+        m = coo([0, 0, 1], [1, 1, 0], np.array([2.0, 3.0, 1.0]))
+        d = m.deduplicated("sum")
+        assert d.nnz == 2
+        dense = d.to_dense()
+        assert dense[0, 1] == 5.0
+
+    def test_min_combine(self):
+        m = coo([0, 0], [1, 1], np.array([2.0, 3.0]))
+        assert m.deduplicated("min").data[0] == 2.0
+
+    def test_max_combine(self):
+        m = coo([0, 0], [1, 1], np.array([2.0, 3.0]))
+        assert m.deduplicated("max").data[0] == 3.0
+
+    def test_last_combine(self):
+        m = coo([0, 0], [1, 1], np.array([2.0, 3.0]))
+        assert m.deduplicated("last").data[0] == 3.0
+
+    def test_unknown_combine_rejected(self):
+        with pytest.raises(GraphFormatError):
+            coo([0], [0]).deduplicated("mean")
+
+    def test_empty_dedup(self):
+        m = COOMatrix(np.array([], dtype=int), np.array([], dtype=int))
+        assert m.deduplicated().nnz == 0
+
+    def test_has_duplicates(self):
+        assert coo([0, 0], [1, 1]).has_duplicates()
+        assert not coo([0, 1], [1, 1]).has_duplicates()
+        assert not coo([0], [1]).has_duplicates()
+
+
+class TestTransforms:
+    def test_transpose_swaps_shape(self):
+        m = coo([0], [2], shape=(2, 5)).transpose()
+        assert m.shape == (5, 2)
+        assert m.rows[0] == 2 and m.cols[0] == 0
+
+    def test_transpose_involution(self):
+        m = coo([0, 1, 2], [2, 0, 1], np.array([1.0, 2.0, 3.0]))
+        assert m.transpose().transpose() == m
+
+    def test_without_self_loops(self):
+        m = coo([0, 1, 1], [0, 1, 2]).without_self_loops()
+        assert m.nnz == 1
+        assert m.rows[0] == 1 and m.cols[0] == 2
+
+
+class TestConversions:
+    def test_dense_roundtrip(self):
+        dense = np.array([[0.0, 2.0], [3.0, 0.0]])
+        assert np.array_equal(COOMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(GraphFormatError):
+            COOMatrix.from_dense(np.array([1.0, 2.0]))
+
+    def test_to_dense_accumulates_duplicates(self):
+        m = coo([0, 0], [0, 0], np.array([1.0, 2.0]), shape=(1, 1))
+        assert m.to_dense()[0, 0] == 3.0
+
+    def test_csr_roundtrip(self):
+        m = coo([2, 0, 1], [1, 2, 0], np.array([1.0, 2.0, 3.0]))
+        assert m.to_csr().to_coo() == m
+
+    def test_csc_roundtrip(self):
+        m = coo([2, 0, 1], [1, 2, 0], np.array([1.0, 2.0, 3.0]))
+        assert m.to_csc().to_coo() == m
+
+
+class TestDegrees:
+    def test_row_degrees(self):
+        m = coo([0, 0, 2], [1, 2, 0], shape=(3, 3))
+        assert np.array_equal(m.row_degrees(), [2, 0, 1])
+
+    def test_col_degrees(self):
+        m = coo([0, 0, 2], [1, 2, 0], shape=(3, 3))
+        assert np.array_equal(m.col_degrees(), [1, 1, 1])
+
+
+class TestEquality:
+    def test_order_insensitive_equality(self):
+        a = coo([0, 1], [1, 0], np.array([1.0, 2.0]))
+        b = coo([1, 0], [0, 1], np.array([2.0, 1.0]))
+        assert a == b
+
+    def test_different_values_not_equal(self):
+        a = coo([0], [1], np.array([1.0]))
+        b = coo([0], [1], np.array([2.0]))
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert coo([0], [1]).__eq__(42) is NotImplemented

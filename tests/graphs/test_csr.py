@@ -1,0 +1,135 @@
+"""Unit tests for CSR/CSC matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import COOMatrix, CSRMatrix, CSCMatrix
+
+
+@pytest.fixture()
+def sample_coo():
+    #      col0 col1 col2
+    # row0   .   2.0  1.0
+    # row1  3.0   .    .
+    # row2   .    .   4.0
+    return COOMatrix(
+        np.array([0, 0, 1, 2]),
+        np.array([1, 2, 0, 2]),
+        np.array([2.0, 1.0, 3.0, 4.0]),
+        (3, 3),
+    )
+
+
+class TestCSR:
+    def test_from_coo_structure(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        assert np.array_equal(csr.indptr, [0, 2, 3, 4])
+        assert np.array_equal(csr.indices, [1, 2, 0, 2])
+
+    def test_row_access(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        cols, vals = csr.row(0)
+        assert np.array_equal(cols, [1, 2])
+        assert np.array_equal(vals, [2.0, 1.0])
+
+    def test_empty_row(self, sample_coo):
+        coo = COOMatrix(np.array([2]), np.array([0]), shape=(4, 4))
+        csr = CSRMatrix.from_coo(coo)
+        cols, vals = csr.row(1)
+        assert cols.size == 0 and vals.size == 0
+
+    def test_row_degrees(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        assert np.array_equal(csr.row_degrees(), [2, 1, 1])
+
+    def test_spmv_matches_dense(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(csr.spmv(x), sample_coo.to_dense() @ x)
+
+    def test_spmv_transposed_matches_dense(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        x = np.array([1.0, -1.0, 2.0])
+        assert np.allclose(
+            csr.spmv_transposed(x), sample_coo.to_dense().T @ x
+        )
+
+    def test_spmv_rejects_bad_length(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        with pytest.raises(GraphFormatError):
+            csr.spmv(np.ones(5))
+        with pytest.raises(GraphFormatError):
+            csr.spmv_transposed(np.ones(5))
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix(np.array([0, 2]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_validation_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix(
+                np.array([0, 2, 1]),
+                np.array([0, 1]),
+                np.array([1.0, 1.0]),
+                (2, 2),
+            )
+
+    def test_validation_rejects_column_out_of_bounds(self):
+        with pytest.raises(GraphFormatError):
+            CSRMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 2))
+
+    def test_nnz(self, sample_coo):
+        assert CSRMatrix.from_coo(sample_coo).nnz == 4
+
+
+class TestCSC:
+    def test_from_coo_structure(self, sample_coo):
+        csc = CSCMatrix.from_coo(sample_coo)
+        assert np.array_equal(csc.indptr, [0, 1, 2, 4])
+        assert np.array_equal(csc.indices, [1, 0, 0, 2])
+
+    def test_col_access(self, sample_coo):
+        csc = CSCMatrix.from_coo(sample_coo)
+        rows, vals = csc.col(2)
+        assert np.array_equal(rows, [0, 2])
+        assert np.array_equal(vals, [1.0, 4.0])
+
+    def test_col_degrees(self, sample_coo):
+        csc = CSCMatrix.from_coo(sample_coo)
+        assert np.array_equal(csc.col_degrees(), [1, 1, 2])
+
+    def test_spmv_matches_dense(self, sample_coo):
+        csc = CSCMatrix.from_coo(sample_coo)
+        x = np.array([2.0, 0.5, -1.0])
+        assert np.allclose(csc.spmv(x), sample_coo.to_dense() @ x)
+
+    def test_spmv_rejects_bad_length(self, sample_coo):
+        with pytest.raises(GraphFormatError):
+            CSCMatrix.from_coo(sample_coo).spmv(np.ones(4))
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSCMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_validation_rejects_row_out_of_bounds(self):
+        with pytest.raises(GraphFormatError):
+            CSCMatrix(
+                np.array([0, 1, 1]), np.array([9]), np.array([1.0]), (2, 2)
+            )
+
+
+class TestCrossFormatAgreement:
+    def test_csr_csc_spmv_agree(self, medium_rmat):
+        csr = medium_rmat.edges.to_csr()
+        csc = medium_rmat.edges.to_csc()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=medium_rmat.num_vertices)
+        assert np.allclose(csr.spmv(x), csc.spmv(x))
+
+    def test_transposed_spmv_equals_transpose_then_spmv(self, medium_rmat):
+        csr = medium_rmat.edges.to_csr()
+        csr_t = medium_rmat.edges.transpose().to_csr()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=medium_rmat.num_vertices)
+        assert np.allclose(csr.spmv_transposed(x), csr_t.spmv(x))

@@ -1,0 +1,85 @@
+"""Unit tests for the dataset registry (Table II stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs import BipartiteGraph, Graph
+from repro.graphs.datasets import (
+    DATASETS,
+    FIGURE_ORDER,
+    load_dataset,
+)
+from repro.graphs.stats import tile_profile
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(DATASETS) == {"WV", "SD", "AZ", "WG", "LJ", "OR", "NF"}
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["WV"].vertices == 7_000
+        assert DATASETS["WV"].edges == 103_000
+        assert DATASETS["OR"].edges == 106_000_000
+        assert DATASETS["NF"].items == 17_800
+
+    def test_figure_order_covers_directed_datasets(self):
+        assert set(FIGURE_ORDER) == set(DATASETS) - {"NF"}
+
+    def test_sizes_profile_validation(self):
+        with pytest.raises(DatasetError):
+            DATASETS["WV"].sizes("huge")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("XX")
+
+
+class TestLoading:
+    def test_tiny_profile_is_small(self):
+        g = load_dataset("WV", "tiny")
+        assert g.num_vertices <= 1024
+        assert isinstance(g, Graph)
+
+    def test_case_insensitive(self):
+        assert load_dataset("wv", "tiny").name == load_dataset("WV", "tiny").name
+
+    def test_deterministic_and_cached(self):
+        a = load_dataset("SD", "tiny")
+        b = load_dataset("SD", "tiny")
+        assert a is b  # lru_cache shares the instance
+
+    def test_netflix_is_bipartite(self):
+        nf = load_dataset("NF", "tiny")
+        assert isinstance(nf, BipartiteGraph)
+
+    def test_netflix_density_preserved(self):
+        nf = load_dataset("NF", "bench")
+        density = nf.num_ratings / (nf.num_users * nf.num_items)
+        # Real Netflix: 99M / (480k x 17.8k) ~ 1.16 %.
+        assert 0.008 < density < 0.016
+
+    def test_bench_profile_full_scale_for_small_graphs(self):
+        g = load_dataset("WV", "bench")
+        assert g.num_vertices == 7_000
+        assert g.num_edges == 103_000
+
+    def test_bench_profile_scales_large_graphs(self):
+        g = load_dataset("LJ", "bench")
+        spec = DATASETS["LJ"]
+        assert g.num_vertices == spec.vertices // spec.profile_divisors["bench"]
+
+    def test_degree_sorted_ids(self):
+        g = load_dataset("WV", "tiny")
+        total = g.out_degrees() + g.in_degrees()
+        assert total[0] == total.max()
+
+    def test_tile_density_matches_paper_band(self):
+        """Section II-C: ~90 % of non-empty tiles at <= 10 % density."""
+        g = load_dataset("WV", "bench")
+        tp = tile_profile(g, 16)
+        assert tp.fraction_below_density(0.10) > 0.80
+        assert 15 < tp.redundant_write_ratio < 80
+
+    def test_names_carry_profile(self):
+        assert load_dataset("AZ", "tiny").name == "AZ-tiny"

@@ -1,0 +1,196 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.generators import (
+    barabasi_albert,
+    bipartite_ratings,
+    degree_sorted_relabel,
+    erdos_renyi,
+    grid_2d,
+    rmat,
+)
+from repro.graphs.stats import degree_skew
+
+
+class TestRmat:
+    def test_exact_edge_count(self):
+        g = rmat(128, 500, seed=1)
+        assert g.num_edges == 500
+        assert g.num_vertices == 128
+
+    def test_deterministic(self):
+        a = rmat(128, 400, seed=9)
+        b = rmat(128, 400, seed=9)
+        assert a.edges == b.edges
+
+    def test_seed_changes_graph(self):
+        a = rmat(128, 400, seed=1)
+        b = rmat(128, 400, seed=2)
+        assert a.edges != b.edges
+
+    def test_no_self_loops(self):
+        g = rmat(64, 300, seed=3)
+        assert np.all(g.edges.rows != g.edges.cols)
+
+    def test_no_duplicate_edges(self):
+        g = rmat(64, 300, seed=3)
+        assert not g.edges.has_duplicates()
+
+    def test_skewed_degrees(self):
+        g = rmat(512, 4000, seed=5)
+        # Scale-free: the hub should dwarf the mean degree.
+        assert degree_skew(g.out_degrees()) > 5.0
+
+    def test_non_power_of_two_vertices(self):
+        g = rmat(100, 300, seed=4)
+        assert g.num_vertices == 100
+        assert g.edges.rows.max() < 100
+        assert g.edges.cols.max() < 100
+
+    def test_weights_in_range(self):
+        g = rmat(64, 200, seed=6, weight_range=(2.0, 5.0))
+        assert g.weights.min() >= 2.0
+        assert g.weights.max() <= 5.0
+
+    def test_shuffle_ids_flattens_locality(self):
+        from repro.graphs.stats import tile_profile
+
+        clustered = rmat(1024, 8000, a=0.8, b=0.08, c=0.08, seed=7)
+        shuffled = rmat(
+            1024, 8000, a=0.8, b=0.08, c=0.08, seed=7, shuffle_ids=True
+        )
+        assert (
+            tile_profile(shuffled, 16).redundant_write_ratio
+            > tile_profile(clustered, 16).redundant_write_ratio
+        )
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GraphFormatError):
+            rmat(64, 100, a=0.9, b=0.2, c=0.2)
+
+    def test_rejects_tiny_vertex_count(self):
+        with pytest.raises(GraphFormatError):
+            rmat(1, 10)
+
+
+class TestDegreeSortedRelabel:
+    def test_preserves_counts(self):
+        g = rmat(128, 500, seed=1)
+        r = degree_sorted_relabel(g)
+        assert r.num_edges == g.num_edges
+        assert r.num_vertices == g.num_vertices
+
+    def test_degrees_descend(self):
+        g = degree_sorted_relabel(rmat(128, 900, seed=2))
+        total = g.out_degrees() + g.in_degrees()
+        # Vertex 0 must be the (joint) highest-degree vertex.
+        assert total[0] == total.max()
+
+    def test_is_isomorphic_by_degree_multiset(self):
+        g = rmat(128, 500, seed=3)
+        r = degree_sorted_relabel(g)
+        assert np.array_equal(
+            np.sort(g.out_degrees()), np.sort(r.out_degrees())
+        )
+
+
+class TestBarabasiAlbert:
+    def test_structure(self):
+        g = barabasi_albert(100, edges_per_vertex=3, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges > 0
+        assert np.all(g.edges.rows != g.edges.cols)
+
+    def test_deterministic(self):
+        assert (
+            barabasi_albert(60, seed=2).edges
+            == barabasi_albert(60, seed=2).edges
+        )
+
+    def test_rejects_too_few_vertices(self):
+        with pytest.raises(GraphFormatError):
+            barabasi_albert(3, edges_per_vertex=4)
+
+    def test_preferential_attachment_creates_hubs(self):
+        g = barabasi_albert(400, edges_per_vertex=2, seed=3)
+        assert degree_skew(g.in_degrees()) > 3.0
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(100, 700, seed=1)
+        assert g.num_edges == 700
+
+    def test_no_duplicates_or_loops(self):
+        g = erdos_renyi(50, 400, seed=2)
+        assert not g.edges.has_duplicates()
+        assert np.all(g.edges.rows != g.edges.cols)
+
+    def test_rejects_impossible_density(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi(4, 100)
+
+    def test_uniform_degrees(self):
+        g = erdos_renyi(256, 4000, seed=3)
+        assert degree_skew(g.out_degrees()) < 3.0
+
+
+class TestGrid2D:
+    def test_vertex_and_edge_counts(self):
+        g = grid_2d(4, 3)
+        assert g.num_vertices == 12
+        # horizontal: 3*3, vertical: 4*2, both directions
+        assert g.num_edges == 2 * (3 * 3 + 4 * 2)
+
+    def test_unidirectional(self):
+        g = grid_2d(4, 3, bidirectional=False)
+        assert g.num_edges == 3 * 3 + 4 * 2
+
+    def test_neighbours_only(self):
+        g = grid_2d(5, 5)
+        x1, y1 = g.edges.rows % 5, g.edges.rows // 5
+        x2, y2 = g.edges.cols % 5, g.edges.cols // 5
+        assert np.all(np.abs(x1 - x2) + np.abs(y1 - y2) == 1)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GraphFormatError):
+            grid_2d(1, 5)
+
+
+class TestBipartiteRatings:
+    def test_counts(self):
+        b = bipartite_ratings(50, 10, 200, seed=1)
+        assert b.num_users == 50
+        assert b.num_items == 10
+        assert b.num_ratings == 200
+
+    def test_rating_levels(self):
+        b = bipartite_ratings(30, 8, 100, seed=2, rating_levels=5)
+        assert b.ratings.data.min() >= 1
+        assert b.ratings.data.max() <= 5
+
+    def test_no_duplicate_pairs(self):
+        b = bipartite_ratings(30, 8, 120, seed=3)
+        assert not b.ratings.has_duplicates()
+
+    def test_popularity_skew(self):
+        b = bipartite_ratings(500, 50, 4000, seed=4, popularity_skew=1.2)
+        deg = b.item_degrees()
+        # Zipf head: most popular item far above median.
+        assert deg.max() > 4 * np.median(deg)
+
+    def test_rejects_overfull(self):
+        with pytest.raises(GraphFormatError):
+            bipartite_ratings(2, 2, 10)
+
+    def test_deterministic(self):
+        a = bipartite_ratings(30, 8, 100, seed=5)
+        b = bipartite_ratings(30, 8, 100, seed=5)
+        assert a.ratings == b.ratings
+
+    def test_weight_range_validation(self):
+        with pytest.raises(GraphFormatError):
+            rmat(64, 100, weight_range=(5.0, 1.0))

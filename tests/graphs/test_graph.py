@@ -1,0 +1,110 @@
+"""Unit tests for the Graph and BipartiteGraph façades."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import BipartiteGraph, COOMatrix, Graph
+
+
+class TestGraph:
+    def test_from_edge_list(self):
+        g = Graph.from_edge_list([(0, 1), (1, 2)], num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 2
+
+    def test_infers_vertex_count(self):
+        g = Graph.from_edge_list([(0, 7)])
+        assert g.num_vertices == 8
+
+    def test_empty_edge_list(self):
+        g = Graph.from_edge_list([], num_vertices=3)
+        assert g.num_edges == 0
+        assert g.num_vertices == 3
+
+    def test_rejects_non_square(self):
+        coo = COOMatrix(np.array([0]), np.array([1]), shape=(2, 3))
+        with pytest.raises(GraphFormatError):
+            Graph(coo)
+
+    def test_rejects_malformed_edge_list(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edge_list([(0, 1, 2)])
+
+    def test_deduplicates_by_default(self):
+        g = Graph.from_edge_list(
+            [(0, 1), (0, 1)], weights=[1.0, 5.0], num_vertices=2
+        )
+        assert g.num_edges == 1
+        assert g.weights[0] == 5.0  # "last" wins
+
+    def test_degrees(self):
+        g = Graph.from_edge_list([(0, 1), (0, 2), (1, 2)], num_vertices=3)
+        assert np.array_equal(g.out_degrees(), [2, 1, 0])
+        assert np.array_equal(g.in_degrees(), [0, 1, 2])
+
+    def test_reversed(self):
+        g = Graph.from_edge_list([(0, 1)], num_vertices=2).reversed()
+        assert g.edges.rows[0] == 1 and g.edges.cols[0] == 0
+
+    def test_with_unit_weights(self):
+        g = Graph.from_edge_list([(0, 1)], weights=[7.0], num_vertices=2)
+        assert g.with_unit_weights().weights[0] == 1.0
+        assert g.weights[0] == 7.0  # original untouched
+
+    def test_with_weights(self):
+        g = Graph.from_edge_list([(0, 1), (1, 0)], num_vertices=2)
+        g2 = g.with_weights(np.array([3.0, 4.0]))
+        assert np.array_equal(g2.weights, [3.0, 4.0])
+
+    def test_with_weights_rejects_bad_length(self):
+        g = Graph.from_edge_list([(0, 1)], num_vertices=2)
+        with pytest.raises(GraphFormatError):
+            g.with_weights(np.array([1.0, 2.0]))
+
+    def test_csr_cached(self, small_rmat):
+        assert small_rmat.csr() is small_rmat.csr()
+
+    def test_csc_cached(self, small_rmat):
+        assert small_rmat.csc() is small_rmat.csc()
+
+    def test_repr(self):
+        g = Graph.from_edge_list([(0, 1)], num_vertices=2, name="x")
+        assert "x" in repr(g) and "2" in repr(g)
+
+
+class TestBipartiteGraph:
+    def make(self):
+        ratings = COOMatrix(
+            np.array([0, 1, 2]),
+            np.array([0, 1, 0]),
+            np.array([5.0, 3.0, 4.0]),
+            (3, 2),
+        )
+        return BipartiteGraph(ratings, name="r")
+
+    def test_counts(self):
+        b = self.make()
+        assert b.num_users == 3
+        assert b.num_items == 2
+        assert b.num_ratings == 3
+
+    def test_degrees(self):
+        b = self.make()
+        assert np.array_equal(b.user_degrees(), [1, 1, 1])
+        assert np.array_equal(b.item_degrees(), [2, 1])
+
+    def test_unified_graph_renumbers_items(self):
+        b = self.make()
+        g = b.as_unified_graph()
+        assert g.num_vertices == 5
+        # items live at ids num_users..num_users+num_items-1
+        assert g.edges.cols.min() >= b.num_users
+
+    def test_unified_graph_preserves_ratings(self):
+        b = self.make()
+        g = b.as_unified_graph()
+        assert np.array_equal(np.sort(g.weights), [3.0, 4.0, 5.0])
+
+    def test_repr(self):
+        assert "users=3" in repr(self.make())

@@ -1,0 +1,110 @@
+"""Unit tests for MatrixMarket I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.io import read_matrix_market, write_matrix_market
+from tests.conftest import make_graph
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        g = make_graph([(0, 1), (2, 0)], weights=[1.5, 2.0], n=3)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        loaded = read_matrix_market(path)
+        assert loaded.edges == g.edges
+
+    def test_roundtrip_random(self, small_rmat, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(small_rmat, path)
+        loaded = read_matrix_market(path)
+        assert loaded.edges == small_rmat.edges
+
+
+class TestReading:
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n"
+            "1 2\n"
+            "3 1\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 2
+        assert np.all(g.weights == 1.0)
+
+    def test_symmetric_mirrors_off_diagonal(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 4.0\n"
+            "3 3 9.0\n"
+        )
+        g = read_matrix_market(path)
+        dense = g.edges.to_dense()
+        assert dense[1, 0] == 4.0 and dense[0, 1] == 4.0
+        assert dense[2, 2] == 9.0  # diagonal not duplicated
+        assert g.num_edges == 3
+
+    def test_comments_after_header_skipped(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 1\n"
+            "1 2 3.0\n"
+        )
+        assert read_matrix_market(path).num_edges == 1
+
+    def test_one_based_indices_converted(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 1.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.edges.rows[0] == 0 and g.edges.cols[0] == 1
+
+
+class TestValidation:
+    def test_rejects_non_mm(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("hello\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_rejects_complex_field(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n2 2 0\n"
+        )
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_rejects_rectangular(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 3 0\n"
+        )
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_rejects_truncated_entries(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n"
+        )
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)

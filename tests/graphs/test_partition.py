@@ -1,0 +1,113 @@
+"""Unit tests for interval partitioning into sub-shards."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graphs import Graph, IntervalPartition, partition_graph
+
+
+class TestIntervalPartition:
+    def test_num_intervals_rounds_up(self):
+        p = IntervalPartition(10, 3)
+        assert p.num_intervals == 4
+
+    def test_exact_division(self):
+        assert IntervalPartition(12, 3).num_intervals == 4
+
+    def test_interval_of_vectorized(self):
+        p = IntervalPartition(10, 3)
+        assert np.array_equal(
+            p.interval_of(np.array([0, 3, 9])), [0, 1, 3]
+        )
+
+    def test_bounds(self):
+        p = IntervalPartition(10, 3)
+        assert p.bounds(0) == (0, 3)
+        assert p.bounds(3) == (9, 10)  # short tail interval
+
+    def test_bounds_out_of_range(self):
+        with pytest.raises(PartitionError):
+            IntervalPartition(10, 3).bounds(4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PartitionError):
+            IntervalPartition(0, 3)
+        with pytest.raises(PartitionError):
+            IntervalPartition(10, 0)
+
+
+class TestShardGrid:
+    def test_every_edge_in_exactly_one_shard(self, medium_rmat):
+        grid = partition_graph(medium_rmat, 64)
+        total = sum(s.num_edges for s in grid.iter_shards())
+        assert total == medium_rmat.num_edges
+
+    def test_shard_interval_membership(self, medium_rmat):
+        grid = partition_graph(medium_rmat, 64)
+        for shard in grid.iter_shards():
+            assert np.all(shard.src // 64 == shard.src_interval)
+            assert np.all(shard.dst // 64 == shard.dst_interval)
+
+    def test_edges_sorted_by_destination_within_shard(self, medium_rmat):
+        grid = partition_graph(medium_rmat, 64)
+        for shard in grid.iter_shards():
+            assert np.all(np.diff(shard.dst) >= 0)
+
+    def test_row_major_order(self, medium_rmat):
+        grid = partition_graph(medium_rmat, 64)
+        coords = [
+            (s.src_interval, s.dst_interval) for s in grid.iter_shards("row")
+        ]
+        assert coords == sorted(coords)
+
+    def test_col_major_order(self, medium_rmat):
+        grid = partition_graph(medium_rmat, 64)
+        coords = [
+            (s.dst_interval, s.src_interval) for s in grid.iter_shards("col")
+        ]
+        assert coords == sorted(coords)
+
+    def test_unknown_order_rejected(self, medium_rmat):
+        grid = partition_graph(medium_rmat, 64)
+        with pytest.raises(PartitionError):
+            list(grid.iter_shards("diagonal"))
+
+    def test_shard_lookup(self):
+        g = Graph.from_edge_list([(0, 0), (0, 5), (5, 0)], num_vertices=6)
+        grid = partition_graph(g, 3)
+        shard = grid.shard(0, 1)
+        assert shard is not None
+        assert shard.num_edges == 1
+        assert shard.src[0] == 0 and shard.dst[0] == 5
+
+    def test_empty_shard_lookup_returns_none(self):
+        g = Graph.from_edge_list([(0, 0)], num_vertices=6)
+        grid = partition_graph(g, 3)
+        assert grid.shard(1, 1) is None
+
+    def test_shard_lookup_out_of_range(self):
+        g = Graph.from_edge_list([(0, 0)], num_vertices=6)
+        grid = partition_graph(g, 3)
+        with pytest.raises(PartitionError):
+            grid.shard(5, 0)
+
+    def test_shard_edge_counts(self, medium_rmat):
+        grid = partition_graph(medium_rmat, 64)
+        counts = grid.shard_edge_counts()
+        assert counts.sum() == medium_rmat.num_edges
+        assert counts.size == grid.num_shards
+        assert np.all(counts > 0)  # only non-empty shards are stored
+
+    def test_single_interval_degenerate(self, small_rmat):
+        grid = partition_graph(small_rmat, small_rmat.num_vertices)
+        assert grid.num_shards == 1
+        assert grid.partition.num_intervals == 1
+
+    def test_interval_size_one(self):
+        g = Graph.from_edge_list([(0, 1), (1, 2)], num_vertices=3)
+        grid = partition_graph(g, 1)
+        assert grid.num_shards == 2
+
+    def test_repr(self, small_rmat):
+        assert "ShardGrid" in repr(partition_graph(small_rmat, 16))

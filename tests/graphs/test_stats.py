@@ -1,0 +1,99 @@
+"""Unit tests for graph structural statistics (Figure 5 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import Graph
+from repro.graphs.stats import (
+    degree_histogram,
+    degree_skew,
+    summarize,
+    tile_profile,
+)
+
+
+class TestDegreeStats:
+    def test_histogram(self):
+        values, counts = degree_histogram(np.array([0, 2, 2, 3]))
+        assert np.array_equal(values, [0, 2, 3])
+        assert np.array_equal(counts, [1, 2, 1])
+
+    def test_skew(self):
+        assert degree_skew(np.array([1, 1, 1, 1])) == pytest.approx(1.0)
+        assert degree_skew(np.array([1, 1, 10])) == pytest.approx(10 / 4)
+
+    def test_skew_of_zeros(self):
+        assert degree_skew(np.zeros(4)) == 0.0
+
+
+class TestTileProfile:
+    def test_single_dense_tile(self):
+        # A 2x2 clique in a 16-vertex graph, tile size 4.
+        g = Graph.from_edge_list(
+            [(0, 1), (1, 0), (0, 2), (2, 0)], num_vertices=16
+        )
+        tp = tile_profile(g, 4)
+        assert tp.num_tiles_total == 16
+        assert tp.num_tiles_nonempty == 1
+        assert tp.tile_nnz[0] == 4
+        assert tp.densities[0] == pytest.approx(4 / 16)
+
+    def test_scattered_edges(self):
+        g = Graph.from_edge_list([(0, 15), (15, 0)], num_vertices=16)
+        tp = tile_profile(g, 4)
+        assert tp.num_tiles_nonempty == 2
+        assert tp.redundant_write_ratio == pytest.approx(2 * 16 / 2)
+
+    def test_nonempty_fraction(self):
+        g = Graph.from_edge_list([(0, 0)], num_vertices=8)
+        tp = tile_profile(g, 4)
+        assert tp.nonempty_fraction == pytest.approx(1 / 4)
+
+    def test_fraction_below_density(self):
+        g = Graph.from_edge_list(
+            [(0, 0), (0, 1), (4, 4)], num_vertices=8
+        )
+        tp = tile_profile(g, 4)
+        # densities: 2/16 and 1/16
+        assert tp.fraction_below_density(1 / 16) == pytest.approx(0.5)
+        assert tp.fraction_below_density(0.5) == 1.0
+
+    def test_dense_cells(self):
+        g = Graph.from_edge_list([(0, 0), (7, 7)], num_vertices=8)
+        tp = tile_profile(g, 4)
+        assert tp.dense_cells == 2 * 16
+
+    def test_rejects_bad_tile_size(self, small_rmat):
+        with pytest.raises(GraphFormatError):
+            tile_profile(small_rmat, 0)
+
+    def test_tile_nnz_sums_to_edges(self, medium_rmat):
+        tp = tile_profile(medium_rmat, 16)
+        assert tp.tile_nnz.sum() == medium_rmat.num_edges
+
+    def test_bigger_tiles_never_increase_tile_count(self, medium_rmat):
+        small = tile_profile(medium_rmat, 8)
+        big = tile_profile(medium_rmat, 32)
+        assert big.num_tiles_nonempty <= small.num_tiles_nonempty
+
+    def test_empty_graph(self):
+        g = Graph.from_edge_list([], num_vertices=8)
+        tp = tile_profile(g, 4)
+        assert tp.num_tiles_nonempty == 0
+        assert tp.redundant_write_ratio == 0.0
+        assert tp.mean_nonempty_density == 0.0
+        assert tp.fraction_below_density(0.1) == 0.0
+
+
+class TestSummarize:
+    def test_fields(self, small_rmat):
+        info = summarize(small_rmat)
+        assert info["vertices"] == small_rmat.num_vertices
+        assert info["edges"] == small_rmat.num_edges
+        assert 0 < info["density"] < 1
+        assert info["max_out_degree"] >= info["mean_out_degree"]
+
+    def test_isolated_vertices_counted(self):
+        g = Graph.from_edge_list([(0, 1)], num_vertices=5)
+        assert summarize(g)["isolated_vertices"] == 3

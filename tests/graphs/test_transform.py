@@ -1,0 +1,120 @@
+"""Unit tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.transform import (
+    compact_ids,
+    largest_component,
+    relabel,
+    subgraph,
+    symmetrize,
+)
+from tests.conftest import make_graph
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        g = symmetrize(make_graph([(0, 1)], n=2))
+        dense = g.edges.to_dense()
+        assert dense[0, 1] == 1.0 and dense[1, 0] == 1.0
+
+    def test_reciprocal_edges_merged_min(self):
+        g = make_graph([(0, 1), (1, 0)], weights=[3.0, 7.0], n=2)
+        sym = symmetrize(g, combine="min")
+        dense = sym.edges.to_dense()
+        assert dense[0, 1] == 3.0 and dense[1, 0] == 3.0
+
+    def test_result_is_symmetric(self, small_rmat):
+        sym = symmetrize(small_rmat)
+        dense_ok = sym.num_vertices <= 128
+        if dense_ok:
+            dense = sym.edges.to_dense()
+            assert np.array_equal(dense > 0, (dense > 0).T)
+
+    def test_degrees_match_after_symmetrize(self, small_rmat):
+        sym = symmetrize(small_rmat)
+        assert np.array_equal(sym.out_degrees(), sym.in_degrees())
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        g = make_graph([(0, 1), (1, 2), (2, 3)], n=4)
+        sub, mapping = subgraph(g, np.array([1, 2]))
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert np.array_equal(mapping, [1, 2])
+        assert sub.edges.rows[0] == 0 and sub.edges.cols[0] == 1
+
+    def test_weights_preserved(self):
+        g = make_graph([(0, 1)], weights=[5.5], n=3)
+        sub, _ = subgraph(g, np.array([0, 1]))
+        assert sub.weights[0] == 5.5
+
+    def test_out_of_range_rejected(self, small_rmat):
+        with pytest.raises(GraphFormatError):
+            subgraph(small_rmat, np.array([10**6]))
+
+    def test_duplicate_vertices_deduped(self):
+        g = make_graph([(0, 1)], n=2)
+        sub, mapping = subgraph(g, np.array([0, 0, 1]))
+        assert sub.num_vertices == 2
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        g = make_graph([(0, 1), (1, 2), (4, 5)], n=6)
+        sub, mapping = largest_component(g)
+        assert sub.num_vertices == 3
+        assert np.array_equal(mapping, [0, 1, 2])
+
+    def test_direction_ignored(self):
+        g = make_graph([(1, 0), (2, 1), (4, 5)], n=6)
+        sub, mapping = largest_component(g)
+        assert np.array_equal(mapping, [0, 1, 2])
+
+    def test_whole_graph_connected(self):
+        g = make_graph([(0, 1), (1, 2), (2, 0)], n=3)
+        sub, mapping = largest_component(g)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+
+class TestCompactIds:
+    def test_drops_isolated(self):
+        g = make_graph([(0, 5)], n=10)
+        sub, mapping = compact_ids(g)
+        assert sub.num_vertices == 2
+        assert np.array_equal(mapping, [0, 5])
+
+    def test_nothing_to_drop(self, small_rmat):
+        deg = small_rmat.out_degrees() + small_rmat.in_degrees()
+        sub, mapping = compact_ids(small_rmat)
+        assert sub.num_vertices == int(np.count_nonzero(deg))
+
+
+class TestRelabel:
+    def test_permutation_applied(self):
+        g = make_graph([(0, 1)], n=3)
+        out = relabel(g, np.array([2, 0, 1]))
+        assert out.edges.rows[0] == 2 and out.edges.cols[0] == 0
+
+    def test_identity(self, small_rmat):
+        out = relabel(small_rmat, np.arange(small_rmat.num_vertices))
+        assert out.edges == small_rmat.edges
+
+    def test_rejects_non_bijection(self):
+        g = make_graph([(0, 1)], n=3)
+        with pytest.raises(GraphFormatError):
+            relabel(g, np.array([0, 0, 1]))
+        with pytest.raises(GraphFormatError):
+            relabel(g, np.array([0, 1]))
+
+    def test_degree_multiset_invariant(self, small_rmat):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(small_rmat.num_vertices)
+        out = relabel(small_rmat, perm)
+        assert np.array_equal(
+            np.sort(out.out_degrees()), np.sort(small_rmat.out_degrees())
+        )

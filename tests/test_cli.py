@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("fig5", "fig11", "fig17", "table1", "abl-residency"):
+            assert expected in out
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MAC crossbar" in out
+
+    def test_run_with_profile(self, capsys):
+        assert main(["run", "abl-locality", "--profile", "tiny"]) == 0
+        assert "Shuffled ids" in capsys.readouterr().out
+
+    def test_run_saves_output(self, capsys, tmp_path):
+        assert main(["run", "table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+
+class TestDatasets:
+    def test_datasets_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "WikiVote" in out
+        assert "106,000,000" in out  # Orkut edge count
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+
+class TestArgs:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--profile", "huge"])

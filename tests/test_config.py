@@ -1,0 +1,116 @@
+"""Unit tests for architecture configurations."""
+
+import pytest
+
+from repro.config import (
+    ArchConfig,
+    GraphRConfig,
+    TABLE_I_COMPONENTS,
+    TABLE_I_TOTAL_AREA_MM2,
+    TABLE_I_TOTAL_POWER_W,
+    TechnologyParams,
+)
+from repro.errors import ConfigError
+
+
+class TestArchConfig:
+    def test_defaults_match_table1(self):
+        config = ArchConfig()
+        assert config.num_crossbars == 2048
+        assert config.cam_rows == 128
+        assert config.mac_cols == 16
+        assert config.mac_accumulate_limit == 16
+        assert config.adc_bits == 6
+        assert config.dac_bits == 2
+
+    def test_bit_slices(self):
+        assert ArchConfig().bit_slices == 8  # 16-bit / 2-bit cells
+
+    def test_edges_per_batch(self):
+        assert ArchConfig().edges_per_batch == 2048 * 128
+
+    def test_replace(self):
+        config = ArchConfig().replace(num_crossbars=64)
+        assert config.num_crossbars == 64
+        assert config.cam_rows == 128
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ConfigError):
+            ArchConfig(cam_rows=64, mac_rows=128)
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ConfigError):
+            ArchConfig(mac_accumulate_limit=0)
+        with pytest.raises(ConfigError):
+            ArchConfig(mac_accumulate_limit=200)
+
+    def test_rejects_indivisible_value_bits(self):
+        with pytest.raises(ConfigError):
+            ArchConfig(value_bits=15)
+
+    def test_rejects_nonpositive_crossbars(self):
+        with pytest.raises(ConfigError):
+            ArchConfig(num_crossbars=0)
+
+    def test_rejects_bad_converters(self):
+        with pytest.raises(ConfigError):
+            ArchConfig(adc_bits=0)
+
+    def test_max_resident_attributes(self):
+        # 512 KB at 16-bit values = 256K attributes.
+        assert ArchConfig().max_resident_attributes == 256 * 1024
+
+    def test_attribute_fit_check(self):
+        from repro.core.engine import GaaSXEngine
+        from repro.graphs import Graph
+
+        g = Graph.from_edge_list([(0, 1)], num_vertices=1000)
+        assert GaaSXEngine(g).attributes_fit_buffer
+        huge_interval = GaaSXEngine(g, interval_size=10**6)
+        assert not huge_interval.attributes_fit_buffer
+
+
+class TestGraphRConfig:
+    def test_defaults(self):
+        config = GraphRConfig()
+        assert config.tile_size == 16
+        assert config.num_crossbars == 2048
+
+    def test_tiles_per_crossbar_accounts_for_bit_slicing(self):
+        config = GraphRConfig()
+        # 128/16 = 8 tile rows; 128 cols / (16 values x 8 slices) = 1.
+        assert config.tiles_per_crossbar == 8
+
+    def test_tiles_per_batch(self):
+        config = GraphRConfig()
+        assert config.tiles_per_batch == 2048 * 8
+
+    def test_smaller_tiles_pack_more(self):
+        assert (
+            GraphRConfig(tile_size=8).tiles_per_crossbar
+            > GraphRConfig(tile_size=16).tiles_per_crossbar
+        )
+
+    def test_rejects_indivisible_tile(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(tile_size=24)
+
+    def test_rejects_nonpositive_tile(self):
+        with pytest.raises(ConfigError):
+            GraphRConfig(tile_size=0)
+
+
+class TestTable1Data:
+    def test_component_count(self):
+        assert len(TABLE_I_COMPONENTS) == 10
+
+    def test_totals_consistent_with_rows(self):
+        area = sum(c.area_mm2 for c in TABLE_I_COMPONENTS)
+        power = sum(c.power_mw for c in TABLE_I_COMPONENTS) / 1000
+        assert area == pytest.approx(TABLE_I_TOTAL_AREA_MM2, rel=0.02)
+        assert power == pytest.approx(TABLE_I_TOTAL_POWER_W, rel=0.02)
+
+    def test_latencies_match_paper(self):
+        tech = TechnologyParams()
+        assert tech.mac_latency_s == pytest.approx(30e-9)
+        assert tech.cam_latency_s == pytest.approx(4e-9)

@@ -1,0 +1,134 @@
+"""Unit tests for the hardware event log."""
+
+import numpy as np
+import pytest
+
+from repro.events import EventLog
+
+
+class TestRecordMac:
+    def test_scalar(self):
+        log = EventLog()
+        log.record_mac(5, cols=3)
+        assert log.mac_ops == 1
+        assert log.mac_rows_accumulated == 5
+        assert log.mac_cell_ops == 15
+        assert log.mac_rows_hist[5] == 1
+
+    def test_array(self):
+        log = EventLog()
+        log.record_mac(np.array([1, 1, 16]), cols=2)
+        assert log.mac_ops == 3
+        assert log.mac_rows_accumulated == 18
+        assert log.mac_rows_hist[1] == 2
+        assert log.mac_rows_hist[16] == 1
+
+    def test_empty_array_noop(self):
+        log = EventLog()
+        log.record_mac(np.array([], dtype=int))
+        assert log.mac_ops == 0
+
+    def test_hist_grows(self):
+        log = EventLog()
+        log.record_mac(100)
+        assert log.mac_rows_hist.size == 101
+
+
+class TestMerge:
+    def test_merge_adds_all_counters(self):
+        a = EventLog(cam_searches=1, sfu_ops=2, cell_writes=3)
+        b = EventLog(cam_searches=10, sfu_ops=20, cell_writes=30)
+        a.merge(b)
+        assert a.cam_searches == 11
+        assert a.sfu_ops == 22
+        assert a.cell_writes == 33
+
+    def test_merge_hist_different_sizes(self):
+        a = EventLog()
+        a.record_mac(3)
+        b = EventLog()
+        b.record_mac(50)
+        a.merge(b)
+        assert a.mac_rows_hist[3] == 1
+        assert a.mac_rows_hist[50] == 1
+
+    def test_iadd(self):
+        a = EventLog(cam_searches=1)
+        a += EventLog(cam_searches=2)
+        assert a.cam_searches == 3
+
+    def test_merge_returns_self(self):
+        a = EventLog()
+        assert a.merge(EventLog()) is a
+
+
+class TestScaled:
+    def test_scales_counters_and_hist(self):
+        log = EventLog(cam_searches=2, buffer_reads=3)
+        log.record_mac(4)
+        s = log.scaled(5)
+        assert s.cam_searches == 10
+        assert s.buffer_reads == 15
+        assert s.mac_rows_hist[4] == 5
+        # Original untouched.
+        assert log.cam_searches == 2
+
+    def test_zero_scale(self):
+        log = EventLog(cam_searches=2)
+        assert log.scaled(0).cam_searches == 0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().scaled(-1)
+
+
+class TestComparisons:
+    def test_counters_equal(self):
+        a = EventLog(cam_searches=1)
+        a.record_mac(3)
+        b = EventLog(cam_searches=1)
+        b.record_mac(3)
+        assert a.counters_equal(b)
+
+    def test_counters_differ(self):
+        assert not EventLog(cam_searches=1).counters_equal(EventLog())
+
+    def test_hist_difference_detected(self):
+        a = EventLog()
+        a.record_mac(2)
+        b = EventLog()
+        b.record_mac(3)
+        # Scalar counters match (1 op, but different rows) — rows differ
+        assert not a.counters_equal(b)
+
+    def test_hist_padding_equal(self):
+        a = EventLog()
+        a.record_mac(1)
+        b = EventLog()
+        b.record_mac(1)
+        b._grow_hist(50)
+        assert a.counters_equal(b)
+
+
+class TestDerived:
+    def test_rows_hist_cdf(self):
+        log = EventLog()
+        log.record_mac(np.array([1, 1, 2, 4]))
+        cdf = log.rows_hist_cdf()
+        assert cdf[1] == pytest.approx(0.5)
+        assert cdf[2] == pytest.approx(0.75)
+        assert cdf[4] == pytest.approx(1.0)
+
+    def test_empty_cdf(self):
+        assert EventLog().rows_hist_cdf().sum() == 0
+
+    def test_as_dict_keys_match_fields(self):
+        log = EventLog()
+        d = log.as_dict()
+        for key in d:
+            assert hasattr(log, key)
+
+    def test_repr_only_nonzero(self):
+        log = EventLog(cam_searches=5)
+        assert "cam_searches=5" in repr(log)
+        assert "sfu_ops" not in repr(log)

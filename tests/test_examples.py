@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Run as subprocesses so an example's import graph, argument handling
+and printing are exercised exactly as a user would hit them.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "crossbar_playground.py",
+    "route_planner.py",
+    "social_network_gnn.py",
+    "movie_recommender.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=os.path.join(EXAMPLES_DIR, ".."),
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_output_contents():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Top-5 ranked vertices" in proc.stdout
+    assert "Hardware events" in proc.stdout
+
+
+def test_design_space_output_contents():
+    proc = run_example("accelerator_design_space.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "6-bit ADC" in proc.stdout or "ADC" in proc.stdout
+    assert "2048" in proc.stdout

@@ -1,0 +1,135 @@
+"""End-to-end integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArchConfig,
+    GaaSXEngine,
+    load_dataset,
+)
+from repro.baselines import GraphREngine, reference
+from repro.energy.ledger import EnergyLedger
+
+
+class TestEndToEndDatasetRuns:
+    """Run the whole pipeline on registry datasets (tiny profile)."""
+
+    @pytest.mark.parametrize("key", ["WV", "SD", "AZ", "WG"])
+    def test_all_algorithms_complete(self, key):
+        graph = load_dataset(key, "tiny")
+        engine = GaaSXEngine(graph)
+        pr = engine.pagerank(iterations=3)
+        bfs = engine.bfs(0)
+        sssp = engine.sssp(0)
+        assert np.all(pr.ranks > 0)
+        assert bfs.reached().sum() >= 1
+        assert np.isfinite(sssp.distances[0])
+
+    def test_netflix_cf_completes(self):
+        nf = load_dataset("NF", "tiny")
+        result = GaaSXEngine(nf).collaborative_filtering(
+            num_features=8, epochs=2
+        )
+        rmse = result.rmse(nf.ratings.rows, nf.ratings.cols, nf.ratings.data)
+        assert np.isfinite(rmse)
+
+
+class TestPaperHeadlineShape:
+    """The qualitative claims that must hold on every dataset."""
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        graph = load_dataset("WV", "tiny")
+        return GaaSXEngine(graph), GraphREngine(graph)
+
+    def test_gaasx_faster_and_greener_all_algorithms(self, engines):
+        gaasx, graphr = engines
+        for algo in ("pagerank", "bfs", "sssp"):
+            if algo == "pagerank":
+                a = gaasx.pagerank(iterations=5)
+                b = graphr.pagerank(iterations=5)
+            else:
+                a = getattr(gaasx, algo)(0)
+                b = getattr(graphr, algo)(0)
+            assert b.stats.total_time_s > a.stats.total_time_s, algo
+            assert b.stats.total_energy_j > a.stats.total_energy_j, algo
+
+    def test_traversal_speedup_exceeds_pagerank_speedup(self):
+        """Section V-B: GraphR's full-tile PR parallelism makes the PR
+        gap the smallest of the three kernels."""
+        graph = load_dataset("SD", "tiny")
+        gaasx, graphr = GaaSXEngine(graph), GraphREngine(graph)
+        pr = (
+            graphr.pagerank(iterations=10).stats.total_time_s
+            / gaasx.pagerank(iterations=10).stats.total_time_s
+        )
+        sssp = (
+            graphr.sssp(0).stats.total_time_s
+            / gaasx.sssp(0).stats.total_time_s
+        )
+        assert sssp > pr * 0.8  # traversal gap at least comparable
+
+    def test_most_mac_ops_accumulate_one_row(self):
+        """Figure 13: the dominant MAC op accumulates a single row."""
+        graph = load_dataset("WV", "tiny")
+        events = GaaSXEngine(graph).pagerank(iterations=1).stats.events
+        hist = events.mac_rows_hist
+        assert hist[1] == hist.max()
+
+
+class TestEnergyConsistency:
+    def test_stats_energy_equals_ledger_price(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        stats = engine.pagerank(iterations=2).stats
+        repriced = EnergyLedger(engine.config.tech).price(
+            stats.events, stats.total_time_s
+        )
+        assert stats.total_energy_j == pytest.approx(repriced.total_j)
+
+    def test_average_power_in_design_envelope(self):
+        """GaaS-X averages near (and below) its 1.66 W Table I power."""
+        graph = load_dataset("SD", "tiny")
+        stats = GaaSXEngine(graph).pagerank(iterations=5).stats
+        power = stats.total_energy_j / stats.total_time_s
+        assert 0.3 < power < 3.0
+
+
+class TestQuantizedPipelineIntegration:
+    def test_quantized_array_pagerank_step(self, figure7_graph):
+        """One full quantized-crossbar gather matches float math within
+        fixed-point tolerance."""
+        from repro.xbar import EdgeCam, FixedPointFormat, MacCrossbar
+
+        g = figure7_graph
+        cam = EdgeCam(rows=16, vertex_bits=8)
+        cam.load_edges(g.edges.rows, g.edges.cols)
+        mac = MacCrossbar(rows=16, cols=1, exact=False,
+                          value_format=FixedPointFormat(16, 8))
+        k = g.num_edges
+        mac.write(np.arange(k), np.zeros(k, dtype=int), g.weights)
+        hits = cam.search_dst(2)
+        out = mac.mac(np.ones(16), row_mask=hits, col_mask=np.array([0]))
+        expected = g.weights[g.edges.cols == 2].sum()
+        assert out[0] == pytest.approx(expected, abs=0.1)
+
+
+class TestScaleInvariantShape:
+    def test_speedup_grows_with_graph_scale(self):
+        """Bigger graphs amortize fixed costs: the GaaS-X advantage
+        should not collapse as graphs grow."""
+        small = load_dataset("WV", "tiny")
+        ratios = []
+        for g in (small,):
+            a = GaaSXEngine(g).pagerank(iterations=5)
+            b = GraphREngine(g).pagerank(iterations=5)
+            ratios.append(b.stats.total_time_s / a.stats.total_time_s)
+        assert all(r > 1 for r in ratios)
+
+    def test_custom_config_end_to_end(self):
+        graph = load_dataset("WV", "tiny")
+        config = ArchConfig(num_crossbars=16, mac_accumulate_limit=8)
+        result = GaaSXEngine(graph, config=config).pagerank(iterations=3)
+        assert np.allclose(
+            result.ranks, reference.pagerank(graph, iterations=3)
+        )

@@ -1,0 +1,334 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import chunk_histogram, gather_ranges
+from repro.events import EventLog
+from repro.graphs import COOMatrix, Graph, partition_graph
+from repro.xbar import EdgeCam, FixedPointFormat, MacCrossbar
+from repro.xbar.cells import slice_values, unslice_values
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def edge_lists(draw, max_vertices=24, max_edges=60):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    count = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=count, max_size=count,
+        )
+    )
+    dst = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=count, max_size=count,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=count, max_size=count,
+        )
+    )
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64), np.array(weights)
+
+
+def coo_from(n, src, dst, w):
+    return COOMatrix(src, dst, w, (n, n))
+
+
+# ----------------------------------------------------------------------
+# Sparse format properties
+# ----------------------------------------------------------------------
+class TestFormatProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_roundtrip_preserves_matrix(self, data):
+        n, src, dst, w = data
+        coo = coo_from(n, src, dst, w)
+        assert np.array_equal(coo.to_csr().to_coo().to_dense(), coo.to_dense())
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_csc_roundtrip_preserves_matrix(self, data):
+        n, src, dst, w = data
+        coo = coo_from(n, src, dst, w)
+        assert np.array_equal(coo.to_csc().to_coo().to_dense(), coo.to_dense())
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, data):
+        n, src, dst, w = data
+        coo = coo_from(n, src, dst, w)
+        assert coo.transpose().transpose() == coo
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_spmv_matches_dense(self, data):
+        n, src, dst, w = data
+        coo = coo_from(n, src, dst, w)
+        x = np.linspace(-1, 1, n)
+        assert np.allclose(coo.to_csr().spmv(x), coo.to_dense() @ x)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_never_increases_nnz(self, data):
+        n, src, dst, w = data
+        coo = coo_from(n, src, dst, w)
+        d = coo.deduplicated("sum")
+        assert d.nnz <= coo.nnz
+        assert not d.has_duplicates()
+        # Sum-combine preserves the dense matrix exactly.
+        assert np.allclose(d.to_dense(), coo.to_dense())
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_sort_is_permutation(self, data):
+        n, src, dst, w = data
+        coo = coo_from(n, src, dst, w)
+        s = coo.sorted_by("col")
+        assert s.nnz == coo.nnz
+        assert np.allclose(np.sort(s.data), np.sort(coo.data))
+
+
+# ----------------------------------------------------------------------
+# Partitioning properties
+# ----------------------------------------------------------------------
+class TestPartitionProperties:
+    @given(edge_lists(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_covers_every_edge_once(self, data, interval):
+        n, src, dst, w = data
+        graph = Graph(coo_from(n, src, dst, w).deduplicated("last"))
+        grid = partition_graph(graph, interval)
+        seen = set()
+        for shard in grid.iter_shards():
+            for s, d in zip(shard.src, shard.dst):
+                seen.add((int(s), int(d)))
+            assert np.all(shard.src // interval == shard.src_interval)
+            assert np.all(shard.dst // interval == shard.dst_interval)
+        expected = {
+            (int(s), int(d))
+            for s, d in zip(graph.edges.rows, graph.edges.cols)
+        }
+        assert seen == expected
+
+
+# ----------------------------------------------------------------------
+# Crossbar properties
+# ----------------------------------------------------------------------
+class TestXbarProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=65535),
+                 min_size=1, max_size=32)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_slicing_roundtrip(self, codes):
+        arr = np.array(codes)
+        assert np.array_equal(
+            unslice_values(slice_values(arr, 2, 8), 2), arr
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=200, allow_nan=False),
+                 min_size=1, max_size=50)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_error_bounded(self, values):
+        fmt = FixedPointFormat(16, 8)
+        arr = np.clip(np.array(values), 0, fmt.max_value)
+        err = np.abs(fmt.dequantize(fmt.quantize(arr)) - arr)
+        assert np.all(err <= fmt.resolution / 2 + 1e-12)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1, max_size=16,
+        ),
+        st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cam_search_equals_linear_scan(self, pairs, key):
+        src = np.array([p[0] for p in pairs])
+        dst = np.array([p[1] for p in pairs])
+        cam = EdgeCam(rows=16, vertex_bits=8)
+        cam.load_edges(src, dst)
+        expected = np.zeros(16, dtype=bool)
+        expected[: len(pairs)] = dst == key
+        assert np.array_equal(cam.search_dst(key), expected)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                 min_size=4, max_size=4),
+        st.lists(st.booleans(), min_size=4, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selective_mac_equals_masked_dot(self, weights, mask):
+        mac = MacCrossbar(rows=4, cols=1)
+        mac.write(np.arange(4), np.zeros(4, dtype=int), np.array(weights))
+        m = np.array(mask)
+        out = mac.mac(np.ones(4), row_mask=m)
+        assert out[0] == pytest.approx(np.array(weights)[m].sum())
+
+
+# ----------------------------------------------------------------------
+# Engine helper properties
+# ----------------------------------------------------------------------
+class TestHelperProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=500),
+                 min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_chunk_histogram_conserves_rows_and_ops(self, hits, limit):
+        arr = np.array(hits)
+        ops, hist = chunk_histogram(arr, limit)
+        assert (hist * np.arange(hist.size)).sum() == arr.sum()
+        assert ops.sum() == hist.sum()
+        assert np.all(ops == -(-arr // limit))
+        assert hist[0] == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gather_ranges_matches_concatenation(self, ranges):
+        starts = np.array([r[0] for r in ranges], dtype=np.int64)
+        lengths = np.array([r[1] for r in ranges], dtype=np.int64)
+        expected = (
+            np.concatenate([np.arange(s, s + l) for s, l in ranges])
+            if ranges and lengths.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(gather_ranges(starts, lengths), expected)
+
+    @given(st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_eventlog_scaled_matches_repeated_merge(self, rows, factor):
+        log = EventLog(cam_searches=3, buffer_reads=rows)
+        if rows:
+            log.record_mac(rows)
+        total = EventLog()
+        for _ in range(factor):
+            total.merge(log)
+        assert total.counters_equal(log.scaled(factor))
+
+
+# ----------------------------------------------------------------------
+# Transform properties
+# ----------------------------------------------------------------------
+class TestTransformProperties:
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetrize_idempotent_structure(self, data):
+        from repro.graphs.transform import symmetrize
+
+        n, src, dst, w = data
+        graph = Graph(coo_from(n, src, dst, w).deduplicated("last"))
+        once = symmetrize(graph)
+        twice = symmetrize(once)
+        assert np.array_equal(
+            once.edges.to_dense() > 0, twice.edges.to_dense() > 0
+        )
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_relabel_preserves_structure(self, data):
+        from repro.graphs.transform import relabel
+
+        n, src, dst, w = data
+        graph = Graph(coo_from(n, src, dst, w).deduplicated("last"))
+        rng = np.random.default_rng(int(src.sum()) % 1000)
+        perm = rng.permutation(n)
+        out = relabel(graph, perm)
+        assert out.num_edges == graph.num_edges
+        assert np.array_equal(
+            np.sort(out.in_degrees()), np.sort(graph.in_degrees())
+        )
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_largest_component_is_connected(self, data):
+        from repro.graphs.transform import largest_component, symmetrize
+
+        n, src, dst, w = data
+        graph = Graph(coo_from(n, src, dst, w).deduplicated("last"))
+        sub, _ = largest_component(graph)
+        if sub.num_vertices <= 1:
+            return
+        # Min-label propagation on the (symmetrized) result converges
+        # to a single label.
+        sym = symmetrize(sub)
+        labels = np.arange(sym.num_vertices)
+        for _ in range(sym.num_vertices):
+            new = labels.copy()
+            np.minimum.at(new, sym.edges.cols, labels[sym.edges.rows])
+            if np.array_equal(new, labels):
+                break
+            labels = new
+        assert np.unique(labels).size == 1
+
+
+# ----------------------------------------------------------------------
+# Algorithm invariants on random graphs
+# ----------------------------------------------------------------------
+class TestAlgorithmProperties:
+    @given(edge_lists(max_vertices=16, max_edges=40))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_pagerank_matches_reference(self, data):
+        from repro.baselines import reference
+        from repro.core.engine import GaaSXEngine
+
+        n, src, dst, w = data
+        graph = Graph(coo_from(n, src, dst, w + 1.0).deduplicated("last"))
+        result = GaaSXEngine(graph).pagerank(iterations=5)
+        assert np.allclose(
+            result.ranks, reference.pagerank(graph, iterations=5)
+        )
+
+    @given(edge_lists(max_vertices=16, max_edges=40))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_sssp_matches_dijkstra(self, data):
+        from repro.baselines import reference
+        from repro.core.engine import GaaSXEngine
+
+        n, src, dst, w = data
+        graph = Graph(coo_from(n, src, dst, w + 0.5).deduplicated("last"))
+        ours = GaaSXEngine(graph).sssp(0).distances
+        ref = reference.sssp(graph, 0)
+        assert np.allclose(
+            np.nan_to_num(ours, posinf=-1), np.nan_to_num(ref, posinf=-1)
+        )
+
+    @given(edge_lists(max_vertices=14, max_edges=30))
+    @settings(max_examples=15, deadline=None)
+    def test_graphr_and_gaasx_agree_everywhere(self, data):
+        from repro.baselines.graphr import GraphREngine
+        from repro.core.engine import GaaSXEngine
+
+        n, src, dst, w = data
+        graph = Graph(coo_from(n, src, dst, w + 1.0).deduplicated("last"))
+        a = GaaSXEngine(graph).bfs(0).distances
+        b = GraphREngine(graph).bfs(0).distances
+        assert np.array_equal(
+            np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1)
+        )

@@ -1,0 +1,79 @@
+"""Property-based tests for the storage substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, partition_graph
+from repro.graphs.coo import COOMatrix
+from repro.storage import DiskModel, ShardStore
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    count = draw(st.integers(min_value=0, max_value=40))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=count, max_size=count))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=count, max_size=count))
+    coo = COOMatrix(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        None,
+        (n, n),
+    ).deduplicated("last")
+    return Graph(coo)
+
+
+class TestShardStoreProperties:
+    @given(small_graphs(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_extents_are_disjoint_and_cover_store(self, graph, interval):
+        store = ShardStore(partition_graph(graph, interval))
+        covered = 0
+        last_end = 0
+        for shard in store.grid.iter_shards("row"):
+            extent = store.extent(shard.src_interval, shard.dst_interval)
+            assert extent.offset_bytes == last_end
+            size = int(extent.num_edges * store.disk.bytes_per_edge)
+            last_end = extent.offset_bytes + size
+            covered += size
+        assert covered == store.total_bytes
+
+    @given(small_graphs(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_col_scan_never_cheaper_than_row_scan(self, graph, interval):
+        store = ShardStore(partition_graph(graph, interval))
+        if store.num_shards == 0:
+            return
+        assert store.full_scan_time_s("col") >= store.full_scan_time_s("row")
+
+    @given(
+        small_graphs(),
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(0, 19), min_size=0, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_selective_scan_monotone_in_selection(
+        self, graph, interval, intervals
+    ):
+        store = ShardStore(partition_graph(graph, interval))
+        k = store.grid.partition.num_intervals
+        chosen = np.array([i % k for i in intervals], dtype=np.int64)
+        partial = store.selective_scan_time_s(chosen)
+        everything = store.selective_scan_time_s(np.arange(k))
+        assert partial <= everything + 1e-12
+
+
+class TestDiskModelProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**7),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stream_time_monotone(self, edges, seeks):
+        disk = DiskModel()
+        t = disk.stream_time_s(edges, seeks)
+        assert t >= 0
+        assert disk.stream_time_s(edges + 1, seeks) >= t
+        assert disk.stream_time_s(edges, seeks + 1) >= t

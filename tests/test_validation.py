@@ -1,0 +1,45 @@
+"""Tests for the programmatic validation battery."""
+
+import pytest
+
+from repro.validation import Check, ValidationReport, run_validation
+
+
+class TestValidationBattery:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_validation(num_vertices=64, num_edges=250, seed=2)
+
+    def test_all_checks_pass(self, report):
+        assert report.passed, report.render()
+
+    def test_expected_checks_present(self, report):
+        names = {c.name for c in report.checks}
+        assert "pagerank matches reference" in names
+        assert "GaaS-X engine/micro event equality" in names
+        assert "GraphR engine/micro event equality" in names
+        assert "Table I totals reproduce" in names
+
+    def test_render(self, report):
+        text = report.render()
+        assert "PASS" in text
+        assert "all checks passed" in text
+
+    def test_progress_callback(self):
+        messages = []
+        run_validation(
+            num_vertices=64, num_edges=250, seed=2,
+            progress=messages.append,
+        )
+        assert len(messages) >= 8
+
+
+class TestReportMechanics:
+    def test_failed_report(self):
+        report = ValidationReport(
+            checks=[Check("good", True), Check("bad", False, "boom")]
+        )
+        assert not report.passed
+        text = report.render()
+        assert "[FAIL] bad  (boom)" in text
+        assert "FAILURES PRESENT" in text

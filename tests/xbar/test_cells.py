@@ -1,0 +1,75 @@
+"""Unit tests for fixed-point formats and bit slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.xbar.cells import FixedPointFormat, slice_values, unslice_values
+
+
+class TestFixedPointFormat:
+    def test_scale_and_range(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.scale == 256
+        assert fmt.max_code == 65535
+        assert fmt.max_value == pytest.approx(65535 / 256)
+        assert fmt.resolution == pytest.approx(1 / 256)
+
+    def test_quantize_roundtrip_exact_values(self):
+        fmt = FixedPointFormat(16, 8)
+        values = np.array([0.0, 1.0, 2.5, 100.25])
+        assert np.array_equal(fmt.dequantize(fmt.quantize(values)), values)
+
+    def test_quantize_rounds_to_nearest(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.quantize(np.array([0.06]))[0] == 1  # 0.06*16 = 0.96 -> 1
+
+    def test_quantize_clips(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.quantize(np.array([1e9]))[0] == fmt.max_code
+        assert fmt.quantize(np.array([-5.0]))[0] == 0
+
+    def test_quantization_error_bounded(self):
+        fmt = FixedPointFormat(16, 8)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, fmt.max_value, size=1000)
+        err = np.abs(fmt.dequantize(fmt.quantize(values)) - values)
+        assert err.max() <= fmt.resolution / 2 + 1e-12
+
+    def test_integer_only_format(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.quantize(np.array([3.4]))[0] == 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            FixedPointFormat(0, 0)
+        with pytest.raises(ConfigError):
+            FixedPointFormat(8, 9)
+
+
+class TestBitSlicing:
+    def test_slice_unslice_roundtrip(self):
+        codes = np.array([0, 1, 255, 65535, 43690])
+        slices = slice_values(codes, 2, 8)
+        assert np.array_equal(unslice_values(slices, 2), codes)
+
+    def test_slices_most_significant_first(self):
+        slices = slice_values(np.array([0b11_00_01_10]), 2, 4)
+        assert np.array_equal(slices[0], [3, 0, 1, 2])
+
+    def test_slice_values_bounded_by_cell_bits(self):
+        slices = slice_values(np.arange(1000), 2, 8)
+        assert slices.max() <= 3
+        assert slices.min() >= 0
+
+    def test_matrix_slicing_shape(self):
+        codes = np.arange(12).reshape(3, 4)
+        assert slice_values(codes, 2, 8).shape == (3, 4, 8)
+
+    def test_rejects_negative_codes(self):
+        with pytest.raises(ConfigError):
+            slice_values(np.array([-1]), 2, 8)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            slice_values(np.array([1]), 0, 4)

@@ -1,0 +1,104 @@
+"""Failure-injection tests: stuck cells and dead CAM rows."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.xbar import EdgeCam, MacCrossbar
+from repro.xbar.faults import FaultModel, edges_lost_to_dead_rows
+
+
+def loaded_cam(rows=16):
+    cam = EdgeCam(rows=rows, vertex_bits=8)
+    cam.load_edges(np.arange(8), np.arange(8) + 1)
+    return cam
+
+
+class TestDeadCamRows:
+    def test_dead_rows_never_hit(self):
+        cam = loaded_cam()
+        model = FaultModel(dead_row_fraction=0.5, seed=1)
+        dead = model.kill_cam_rows(cam)
+        for row in dead:
+            if row < 8:  # row actually held an edge
+                assert not cam.search_src(int(row))[row]
+
+    def test_healthy_rows_unaffected(self):
+        cam = loaded_cam()
+        dead = FaultModel(dead_row_fraction=0.25, seed=2).kill_cam_rows(cam)
+        alive = [r for r in range(8) if r not in set(dead.tolist())]
+        for row in alive:
+            assert cam.search_src(row)[row]
+
+    def test_zero_fraction_no_faults(self):
+        cam = loaded_cam()
+        dead = FaultModel(dead_row_fraction=0.0).kill_cam_rows(cam)
+        assert dead.size == 0
+
+    def test_lost_edges_reported(self):
+        cam = loaded_cam()
+        dead = FaultModel(dead_row_fraction=0.5, seed=3).kill_cam_rows(cam)
+        lost = edges_lost_to_dead_rows(cam, dead)
+        for s, d in lost:
+            assert d == s + 1  # the loaded pattern
+
+    def test_deterministic(self):
+        a = FaultModel(dead_row_fraction=0.5, seed=7).kill_cam_rows(loaded_cam())
+        b = FaultModel(dead_row_fraction=0.5, seed=7).kill_cam_rows(loaded_cam())
+        assert np.array_equal(a, b)
+
+
+class TestStuckMacCells:
+    def test_cells_changed_without_events(self):
+        mac = MacCrossbar(rows=8, cols=4)
+        mac.write_rows(np.arange(8), np.full((8, 4), 2.0))
+        writes_before = mac.events.cell_writes
+        count = FaultModel(stuck_cell_fraction=0.25, seed=1).stick_mac_cells(mac)
+        assert count == 8  # 25 % of 32 cells
+        assert mac.events.cell_writes == writes_before
+        assert not np.array_equal(mac.stored_values(), np.full((8, 4), 2.0))
+
+    def test_zero_fraction_identity(self):
+        mac = MacCrossbar(rows=8, cols=4)
+        mac.write_rows(np.arange(8), np.full((8, 4), 2.0))
+        FaultModel(stuck_cell_fraction=0.0).stick_mac_cells(mac)
+        assert np.array_equal(mac.stored_values(), np.full((8, 4), 2.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultModel(dead_row_fraction=1.5)
+        with pytest.raises(ConfigError):
+            FaultModel(stuck_cell_fraction=-0.1)
+
+
+class TestAlgorithmicBlastRadius:
+    def test_dead_rows_drop_reachability(self):
+        """A dead CAM row silently removes its edge: SSSP through that
+        edge must degrade, and the damage equals exactly the lost
+        edges."""
+        from repro.baselines import reference
+        from repro.graphs import Graph
+        from repro.graphs.generators import rmat
+
+        graph = rmat(32, 120, seed=4)
+        cam = EdgeCam(rows=128, vertex_bits=8)
+        cam.load_edges(graph.edges.rows, graph.edges.cols)
+        dead = FaultModel(dead_row_fraction=0.3, seed=5).kill_cam_rows(cam)
+        lost = {tuple(e) for e in edges_lost_to_dead_rows(cam, dead)}
+        keep = [
+            i
+            for i in range(graph.num_edges)
+            if (graph.edges.rows[i], graph.edges.cols[i]) not in lost
+        ]
+        degraded = Graph.from_edge_list(
+            np.stack(
+                [graph.edges.rows[keep], graph.edges.cols[keep]], axis=1
+            ),
+            weights=graph.weights[keep],
+            num_vertices=32,
+        )
+        healthy = reference.sssp(graph, 0)
+        faulty = reference.sssp(degraded, 0)
+        # Losing edges can only lengthen (or disconnect) paths.
+        both = np.isfinite(healthy) & np.isfinite(faulty)
+        assert np.all(faulty[both] >= healthy[both] - 1e-9)

@@ -1,0 +1,61 @@
+"""Tests for the device-variation model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.xbar import MacCrossbar
+from repro.xbar.noise import VariationModel, mac_error_vs_rows
+
+
+class TestVariationModel:
+    def test_zero_sigma_identity(self):
+        model = VariationModel(0.0)
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(model.perturb(values), values)
+
+    def test_perturb_is_multiplicative(self):
+        model = VariationModel(0.05, seed=1)
+        values = np.array([2.0, 4.0])
+        out = model.perturb(values)
+        assert np.all(out > 0)
+        assert not np.array_equal(out, values)
+
+    def test_deterministic_per_seed(self):
+        a = VariationModel(0.05, seed=3).perturb(np.ones(10))
+        b = VariationModel(0.05, seed=3).perturb(np.ones(10))
+        assert np.array_equal(a, b)
+
+    def test_error_scale_tracks_sigma(self):
+        rng_values = np.ones(20_000)
+        small = VariationModel(0.02, seed=1).perturb(rng_values)
+        large = VariationModel(0.10, seed=1).perturb(rng_values)
+        assert np.std(np.log(large)) > np.std(np.log(small))
+        assert np.std(np.log(small)) == pytest.approx(0.02, rel=0.1)
+
+    def test_apply_to_crossbar_no_write_events(self):
+        mac = MacCrossbar(rows=8, cols=4)
+        mac.write_rows(np.arange(8), np.ones((8, 4)))
+        writes_before = mac.events.cell_writes
+        VariationModel(0.05, seed=2).apply_to(mac)
+        assert mac.events.cell_writes == writes_before
+        assert not np.array_equal(mac.stored_values(), np.ones((8, 4)))
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigError):
+            VariationModel(-0.1)
+
+
+class TestMacErrorStudy:
+    def test_error_positive_and_bounded(self):
+        err = mac_error_vs_rows(0.05, 16, trials=50)
+        assert 0 < err < 0.2
+
+    def test_error_grows_with_sigma(self):
+        low = mac_error_vs_rows(0.02, 16, trials=100)
+        high = mac_error_vs_rows(0.10, 16, trials=100)
+        assert high > low
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ConfigError):
+            mac_error_vs_rows(0.05, 0)

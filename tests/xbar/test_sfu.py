@@ -1,0 +1,58 @@
+"""Unit tests for the special function unit."""
+
+import numpy as np
+
+from repro.events import EventLog
+from repro.xbar import SpecialFunctionUnit
+
+
+def make():
+    events = EventLog()
+    return SpecialFunctionUnit(events=events), events
+
+
+class TestOps:
+    def test_add(self):
+        sfu, events = make()
+        out = sfu.add(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert np.array_equal(out, [4.0, 6.0])
+        assert events.sfu_ops == 2
+
+    def test_multiply(self):
+        sfu, events = make()
+        out = sfu.multiply(np.array([2.0, 3.0]), np.array([4.0, 5.0]))
+        assert np.array_equal(out, [8.0, 15.0])
+        assert events.sfu_ops == 2
+
+    def test_minimum(self):
+        sfu, events = make()
+        out = sfu.minimum(np.array([1.0, 9.0]), np.array([5.0, 2.0]))
+        assert np.array_equal(out, [1.0, 2.0])
+        assert events.sfu_ops == 2
+
+    def test_minimum_handles_infinity(self):
+        sfu, _ = make()
+        out = sfu.minimum(np.array([np.inf]), np.array([3.0]))
+        assert out[0] == 3.0
+
+    def test_compare_less(self):
+        sfu, events = make()
+        out = sfu.compare_less(np.array([1.0, 5.0]), np.array([2.0, 2.0]))
+        assert np.array_equal(out, [True, False])
+        assert events.sfu_ops == 2
+
+    def test_affine_counts_two_ops_per_element(self):
+        sfu, events = make()
+        out = sfu.affine(np.array([1.0, 2.0, 3.0]), 0.85, 0.15)
+        assert np.allclose(out, [1.0, 1.85, 2.7])
+        assert events.sfu_ops == 6
+
+    def test_scalar_broadcast_charges_max_size(self):
+        sfu, events = make()
+        sfu.add(np.array([1.0, 2.0, 3.0]), np.array(1.0))
+        assert events.sfu_ops == 3
+
+    def test_default_event_log(self):
+        sfu = SpecialFunctionUnit()
+        sfu.add(np.array([1.0]), np.array([1.0]))
+        assert sfu.events.sfu_ops == 1
