@@ -2,10 +2,16 @@
 
 Usage::
 
-    python -m repro list                      # registered experiments
-    python -m repro run fig11 --profile tiny  # regenerate one figure
-    python -m repro run-all --out reports/    # everything, persisted
-    python -m repro datasets                  # Table II registry
+    python -m repro list                       # registered experiments
+    python -m repro run fig11 --profile tiny   # regenerate one figure
+    python -m repro run-all --jobs 4 --out r/  # everything, in parallel
+    python -m repro datasets                   # Table II registry
+
+``run`` and ``run-all`` dispatch through the parallel cache-aware
+executor: ``--jobs N`` sizes the worker pool (default: all cores),
+repeated runs reuse the on-disk layout cache (``--no-cache`` opts out,
+``$REPRO_CACHE_DIR`` relocates it), and a cache/timing summary goes to
+stderr so stdout stays byte-identical across job counts.
 """
 
 from __future__ import annotations
@@ -16,8 +22,30 @@ from typing import Optional, Sequence
 
 from .errors import ReproError
 from .experiments.registry import EXPERIMENTS
-from .experiments.runner import run_experiment
+from .experiments.runner import RunRequest, RunSession
 from .graphs.datasets import DATASETS
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="bench", choices=("tiny", "bench", "full"),
+        help="dataset scale (default: bench)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for reports + manifest"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="stdout rendering (default: text)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk layout cache for this run",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,17 +62,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
-    run.add_argument(
-        "--profile", default="bench", choices=("tiny", "bench", "full"),
-        help="dataset scale (default: bench)",
-    )
-    run.add_argument("--out", default=None, help="directory for the report")
+    _add_run_options(run)
 
     run_all_p = sub.add_parser("run-all", help="run every experiment")
+    _add_run_options(run_all_p)
     run_all_p.add_argument(
-        "--profile", default="bench", choices=("tiny", "bench", "full"),
+        "--only", action="append", default=None, metavar="ID",
+        help="restrict to this experiment id (repeatable)",
     )
-    run_all_p.add_argument("--out", default=None)
 
     sub.add_parser("datasets", help="show the Table II dataset registry")
 
@@ -55,9 +80,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _takes_profile(experiment_id: str) -> bool:
-    # table1 and the pure-model ablation are profile-independent.
-    return experiment_id not in ("table1", "abl-variation")
+def _run_session(args: argparse.Namespace, experiment_id) -> int:
+    request = RunRequest(
+        experiment_id=experiment_id,
+        profile=args.profile,
+        jobs=args.jobs,
+        output_dir=args.out,
+        format=args.format,
+        use_disk_cache=not args.no_cache,
+    )
+    session = RunSession(request)
+    results = session.run()
+    for index, experiment_id_ in enumerate(results):
+        print(session.rendered(experiment_id_))
+        if index < len(results) - 1:
+            print()
+    print(f"[repro] {session.manifest.summary()}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -71,27 +110,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{spec.description}"
                 )
         elif args.command == "run":
-            kwargs = (
-                {"profile": args.profile}
-                if _takes_profile(args.experiment_id)
-                else {}
-            )
-            result = run_experiment(
-                args.experiment_id, output_dir=args.out, **kwargs
-            )
-            print(result.render())
+            return _run_session(args, args.experiment_id)
         elif args.command == "run-all":
-            for experiment_id in EXPERIMENTS:
-                kwargs = (
-                    {"profile": args.profile}
-                    if _takes_profile(experiment_id)
-                    else {}
-                )
-                result = run_experiment(
-                    experiment_id, output_dir=args.out, **kwargs
-                )
-                print(result.render())
-                print()
+            return _run_session(args, tuple(args.only) if args.only else None)
         elif args.command == "validate":
             from .validation import run_validation
 

@@ -1,5 +1,13 @@
 """GaaS-X: the paper's accelerator — controller, loader, engine, kernels."""
 
+from .cache import (
+    LayoutCache,
+    config_fingerprint,
+    disable_disk_cache,
+    enable_disk_cache,
+    get_cache,
+    graph_fingerprint,
+)
 from .engine import GaaSXEngine
 from .loader import CrossbarLayout, build_layout
 from .stats import CFResult, PageRankResult, RunStats, TraversalResult
@@ -8,6 +16,12 @@ __all__ = [
     "GaaSXEngine",
     "CrossbarLayout",
     "build_layout",
+    "LayoutCache",
+    "get_cache",
+    "enable_disk_cache",
+    "disable_disk_cache",
+    "config_fingerprint",
+    "graph_fingerprint",
     "RunStats",
     "PageRankResult",
     "TraversalResult",

@@ -1,0 +1,413 @@
+"""Content-keyed memoization for the expensive shared pipeline stages.
+
+Every experiment in the harness replays the same preprocessing before
+it can charge a single hardware event: ``partition_graph`` lexsorts the
+edge set into a shard grid, and ``build_layout`` packs that grid into
+CAM/MAC crossbar pairs. A ``run-all`` sweep rebuilds identical grids
+and layouts dozens of times for the same (dataset, interval, order,
+config) tuples; this module makes each distinct tuple a one-time cost.
+
+Two tiers:
+
+* an in-process LRU (:class:`LayoutCache`) holding live
+  :class:`~repro.graphs.partition.ShardGrid` and
+  :class:`~repro.core.loader.CrossbarLayout` objects, and
+* an optional on-disk cache of the underlying arrays (``.npz`` files
+  under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so a *new*
+  process — a pool worker, or tomorrow's ``run-all`` — skips the
+  sort/pack work entirely.
+
+Keys are content hashes, not object identities: a graph is fingerprinted
+by its edge arrays, a config by its field values, so two engines built
+from equal inputs share one cached artifact. :data:`CACHE_VERSION` is
+folded into every key; bumping it (on any change to the grid/layout
+construction algorithms or the serialized format) invalidates all
+previously written disk entries at once. Unreadable or stale files are
+treated as misses and silently rewritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import ArchConfig
+    from ..graphs.graph import Graph
+    from ..graphs.partition import ShardGrid
+    from .loader import CrossbarLayout
+
+#: Bump on any change to grid/layout construction or the on-disk format.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_FINGERPRINT_ATTR = "_repro_content_fingerprint"
+
+
+def default_cache_dir() -> str:
+    """Resolved on-disk cache directory (env override, else XDG-ish)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def config_fingerprint(config: "ArchConfig") -> str:
+    """Stable content hash of a machine configuration.
+
+    Two configs with equal field values (including nested technology
+    parameters) fingerprint identically regardless of object identity.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def graph_fingerprint(graph: "Graph") -> str:
+    """Stable content hash of a graph's vertex count and edge arrays.
+
+    Memoized on the graph instance: the arrays are immutable by
+    convention (``load_dataset`` hands out shared instances), so the
+    hash is computed once per object.
+    """
+    cached = getattr(graph, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    edges = graph.edges
+    h = hashlib.sha256()
+    h.update(str(graph.num_vertices).encode("ascii"))
+    for arr in (edges.rows, edges.cols, edges.data):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    digest = h.hexdigest()[:16]
+    try:
+        setattr(graph, _FINGERPRINT_ATTR, digest)
+    except AttributeError:  # slotted/frozen graph stand-ins
+        pass
+    return digest
+
+
+def _entry_key(kind: str, *parts: object) -> str:
+    payload = "|".join([f"v{CACHE_VERSION}", kind, *map(str, parts)])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`LayoutCache`.
+
+    ``*_hits`` count in-process LRU hits, ``*_disk_hits`` count entries
+    rehydrated from the on-disk store (a new process's warm start), and
+    ``*_misses`` count full recomputations.
+    """
+
+    grid_hits: int = 0
+    grid_disk_hits: int = 0
+    grid_misses: int = 0
+    layout_hits: int = 0
+    layout_disk_hits: int = 0
+    layout_misses: int = 0
+    graph_disk_hits: int = 0
+    graph_misses: int = 0
+    disk_writes: int = 0
+
+    @property
+    def hits(self) -> int:
+        """All lookups that avoided recomputation."""
+        return (
+            self.grid_hits
+            + self.grid_disk_hits
+            + self.layout_hits
+            + self.layout_disk_hits
+        )
+
+    @property
+    def lookups(self) -> int:
+        """Total grid + layout lookups."""
+        return self.hits + self.grid_misses + self.layout_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either cache tier."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Counter snapshot for manifests."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def delta(
+        before: Dict[str, int], after: Dict[str, int]
+    ) -> Dict[str, int]:
+        """Per-counter difference between two ``to_dict`` snapshots."""
+        return {k: after[k] - before.get(k, 0) for k in after}
+
+
+class LayoutCache:
+    """Two-tier memo for shard grids and crossbar layouts.
+
+    Parameters
+    ----------
+    max_grids, max_layouts:
+        LRU capacities for the in-process tier.
+    disk_dir:
+        Directory for the persistent tier; ``None`` disables it.
+    """
+
+    def __init__(
+        self,
+        max_grids: int = 32,
+        max_layouts: int = 64,
+        disk_dir: Optional[str] = None,
+    ) -> None:
+        self.max_grids = max_grids
+        self.max_layouts = max_layouts
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+        self._grids: "OrderedDict[str, ShardGrid]" = OrderedDict()
+        self._layouts: "OrderedDict[str, CrossbarLayout]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Grid tier
+    # ------------------------------------------------------------------
+    def grid(self, graph: "Graph", interval_size: int) -> "ShardGrid":
+        """``partition_graph`` memoized by (graph content, interval)."""
+        from ..graphs.partition import ShardGrid, partition_graph
+
+        key = _entry_key(
+            "grid", graph_fingerprint(graph), int(interval_size)
+        )
+        with self._lock:
+            hit = self._grids.get(key)
+            if hit is not None:
+                self._grids.move_to_end(key)
+                self.stats.grid_hits += 1
+                return hit
+        arrays = self._disk_load(key)
+        if arrays is not None:
+            grid = ShardGrid.from_sorted_arrays(
+                graph,
+                int(interval_size),
+                src=arrays["src"],
+                dst=arrays["dst"],
+                weight=arrays["weight"],
+                keys=arrays["keys"],
+                starts=arrays["starts"],
+            )
+            self.stats.grid_disk_hits += 1
+        else:
+            grid = partition_graph(graph, interval_size)
+            self.stats.grid_misses += 1
+            self._disk_store(
+                key,
+                src=grid.src,
+                dst=grid.dst,
+                weight=grid.weight,
+                keys=grid._keys,
+                starts=grid._starts,
+            )
+        with self._lock:
+            self._grids[key] = grid
+            self._grids.move_to_end(key)
+            while len(self._grids) > self.max_grids:
+                self._grids.popitem(last=False)
+        return grid
+
+    # ------------------------------------------------------------------
+    # Layout tier
+    # ------------------------------------------------------------------
+    def layout(
+        self,
+        graph: "Graph",
+        grid: "ShardGrid",
+        order: str,
+        config: "ArchConfig",
+    ) -> "CrossbarLayout":
+        """``build_layout`` memoized by (graph, interval, order, config)."""
+        from .loader import CrossbarLayout, build_layout
+
+        key = _entry_key(
+            "layout",
+            graph_fingerprint(graph),
+            grid.partition.interval_size,
+            order,
+            config_fingerprint(config),
+        )
+        with self._lock:
+            hit = self._layouts.get(key)
+            if hit is not None:
+                self._layouts.move_to_end(key)
+                self.stats.layout_hits += 1
+                return hit
+        arrays = self._disk_load(key)
+        if arrays is not None:
+            layout = CrossbarLayout(
+                config=config,
+                order=order,
+                src=arrays["src"],
+                dst=arrays["dst"],
+                weight=arrays["weight"],
+                xbar_of_edge=arrays["xbar_of_edge"],
+                num_xbars=int(arrays["num_xbars"]),
+            )
+            self.stats.layout_disk_hits += 1
+        else:
+            layout = build_layout(grid, order, config)
+            self.stats.layout_misses += 1
+            self._disk_store(
+                key,
+                src=layout.src,
+                dst=layout.dst,
+                weight=layout.weight,
+                xbar_of_edge=layout.xbar_of_edge,
+                num_xbars=np.int64(layout.num_xbars),
+            )
+        with self._lock:
+            self._layouts[key] = layout
+            self._layouts.move_to_end(key)
+            while len(self._layouts) > self.max_layouts:
+                self._layouts.popitem(last=False)
+        return layout
+
+    # ------------------------------------------------------------------
+    # Graph tier (generated synthetic datasets)
+    # ------------------------------------------------------------------
+    def cached_graph(self, tag: str, builder) -> "Graph":
+        """Memoize an expensive deterministic graph construction.
+
+        ``tag`` must uniquely describe the construction (generator name,
+        sizes, seed, post-processing); ``builder`` is a zero-argument
+        callable producing the :class:`~repro.graphs.graph.Graph`. Only
+        the disk tier applies — callers keep their own in-process memo
+        (``load_dataset`` is ``lru_cache``'d) — so a repeated run skips
+        R-MAT generation, the sweep's dominant cost at small profiles.
+        """
+        from ..graphs.coo import COOMatrix
+        from ..graphs.graph import Graph
+
+        key = _entry_key("graphobj", tag)
+        arrays = self._disk_load(key)
+        if arrays is not None:
+            coo = COOMatrix(
+                arrays["rows"],
+                arrays["cols"],
+                arrays["data"],
+                (int(arrays["num_rows"]), int(arrays["num_cols"])),
+            )
+            self.stats.graph_disk_hits += 1
+            return Graph(coo, name=str(arrays["name"]))
+        graph = builder()
+        self.stats.graph_misses += 1
+        edges = graph.edges
+        self._disk_store(
+            key,
+            rows=edges.rows,
+            cols=edges.cols,
+            data=edges.data,
+            num_rows=np.int64(edges.shape[0]),
+            num_cols=np.int64(edges.shape[1]),
+            name=np.str_(graph.name),
+        )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"{key}.npz")  # type: ignore[arg-type]
+
+    def _disk_load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        if self.disk_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            with np.load(path) as payload:
+                return {name: payload[name] for name in payload.files}
+        except (OSError, ValueError, KeyError):
+            return None  # absent or unreadable: treat as a miss
+
+    def _disk_store(self, key: str, **arrays: np.ndarray) -> None:
+        if self.disk_dir is None:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            # Write-then-rename so concurrent pool workers never read a
+            # half-written entry.
+            fd, tmp = tempfile.mkstemp(
+                dir=self.disk_dir, suffix=".tmp.npz"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, **arrays)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            self.stats.disk_writes += 1
+        except OSError:
+            pass  # read-only or full cache dir: stay in-process only
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop the in-process tier (disk entries stay)."""
+        with self._lock:
+            self._grids.clear()
+            self._layouts.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-global cache
+# ----------------------------------------------------------------------
+_global_cache: Optional[LayoutCache] = None
+_global_lock = threading.Lock()
+
+
+def get_cache() -> LayoutCache:
+    """The process-wide cache every engine shares.
+
+    Created lazily with the disk tier *disabled*; call
+    :func:`enable_disk_cache` to attach the persistent tier.
+    """
+    global _global_cache
+    with _global_lock:
+        if _global_cache is None:
+            _global_cache = LayoutCache()
+        return _global_cache
+
+
+def enable_disk_cache(path: Optional[str] = None) -> str:
+    """Attach the on-disk tier to the global cache; returns its path.
+
+    Resolution order: explicit ``path``, then ``$REPRO_CACHE_DIR``,
+    then ``~/.cache/repro``.
+    """
+    cache = get_cache()
+    cache.disk_dir = path if path is not None else default_cache_dir()
+    return cache.disk_dir
+
+
+def disable_disk_cache() -> None:
+    """Detach the on-disk tier from the global cache."""
+    get_cache().disk_dir = None
+
+
+def reset_cache() -> None:
+    """Drop the global cache entirely (tests and pool hygiene)."""
+    global _global_cache
+    with _global_lock:
+        _global_cache = None
+
+
+def stats_snapshot() -> Dict[str, int]:
+    """Counter snapshot of the global cache (for manifest deltas)."""
+    return get_cache().stats.to_dict()

@@ -40,8 +40,8 @@ from ..energy.ledger import EnergyLedger
 from ..errors import AlgorithmError
 from ..events import EventLog
 from ..graphs.graph import BipartiteGraph, Graph
-from ..graphs.partition import partition_graph
-from .loader import CrossbarLayout, GroupIndex, build_layout
+from .cache import get_cache
+from .loader import CrossbarLayout, GroupIndex
 from .stats import (
     CFResult,
     ComponentsResult,
@@ -142,7 +142,10 @@ class GaaSXEngine:
         if interval_size is None:
             interval_size = default_interval_size(self.graph.num_vertices)
         self.interval_size = interval_size
-        self._grid = partition_graph(self.graph, interval_size)
+        # Grids and layouts are shared through the process-wide
+        # content-keyed cache: engines over equal (graph, interval,
+        # order, config) tuples reuse one materialization.
+        self._grid = get_cache().grid(self.graph, interval_size)
         self._layouts: dict = {}
 
     @property
@@ -159,7 +162,9 @@ class GaaSXEngine:
     def layout(self, order: str) -> CrossbarLayout:
         """The pass layout for the given shard streaming order (cached)."""
         if order not in self._layouts:
-            self._layouts[order] = build_layout(self._grid, order, self.config)
+            self._layouts[order] = get_cache().layout(
+                self.graph, self._grid, order, self.config
+            )
         return self._layouts[order]
 
     # ------------------------------------------------------------------
@@ -304,6 +309,37 @@ class GaaSXEngine:
     # ------------------------------------------------------------------
     # Public kernels (implemented in repro.core.algorithms)
     # ------------------------------------------------------------------
+    #: Unified dispatch names accepted by :meth:`run`.
+    ALGORITHMS = ("pagerank", "bfs", "sssp", "wcc", "cf", "gnn")
+
+    def run(self, algorithm: str, **params: object):
+        """Run any kernel by name with uniform dispatch.
+
+        ``algorithm`` is one of :data:`ALGORITHMS` (``"cf"`` is
+        collaborative filtering, ``"gnn"`` the GCN forward pass);
+        ``params`` pass through to the kernel method unchanged and the
+        kernel's usual typed result comes back. Unknown names raise
+        :class:`~repro.errors.AlgorithmError` listing the valid ones —
+        this is the single entry point the experiment executor and CLI
+        drive kernels through.
+        """
+        methods = {
+            "pagerank": self.pagerank,
+            "bfs": self.bfs,
+            "sssp": self.sssp,
+            "wcc": self.wcc,
+            "cf": self.collaborative_filtering,
+            "gnn": self.gnn_forward,
+        }
+        try:
+            method = methods[algorithm]
+        except KeyError:
+            raise AlgorithmError(
+                f"unknown algorithm {algorithm!r}; valid names: "
+                f"{list(self.ALGORITHMS)}"
+            ) from None
+        return method(**params)
+
     def pagerank(
         self,
         alpha: float = 0.85,

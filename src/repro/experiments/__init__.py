@@ -1,9 +1,16 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
+from .executor import ExecutionReport, ManifestEntry, RunManifest, execute
 from .harness import CellResult, ComparisonMatrix, comparison_matrix
 from .registry import EXPERIMENTS, ExperimentSpec
 from .reporting import ExperimentResult, Series, geometric_mean
-from .runner import run_experiment
+from .runner import (
+    RunRequest,
+    RunSession,
+    persist_result,
+    run_all,
+    run_experiment,
+)
 
 __all__ = [
     "ComparisonMatrix",
@@ -12,7 +19,15 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
     "ExperimentResult",
+    "ExecutionReport",
+    "ManifestEntry",
+    "RunManifest",
+    "RunRequest",
+    "RunSession",
     "Series",
+    "execute",
     "geometric_mean",
+    "persist_result",
+    "run_all",
     "run_experiment",
 ]

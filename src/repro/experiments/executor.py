@@ -1,0 +1,272 @@
+"""Parallel, cache-aware execution engine for the experiment layer.
+
+``run-all`` used to replay ~20 experiments strictly serially, rebuilding
+identical partition grids and crossbar layouts dozens of times. This
+module turns the sweep into a scheduled batch job:
+
+* experiments are **grouped by cache affinity** — specs declaring the
+  same dataset needs (:attr:`ExperimentSpec.cache_group`) land on the
+  same worker, where the process-wide layout cache and the shared
+  comparison matrix serve every member after the first;
+* groups run **across a process pool** (``jobs`` workers, default
+  ``os.cpu_count()``); ``jobs=1`` (or a single group) degrades to
+  in-process execution with identical results;
+* every worker reads/writes the **on-disk layout cache**, so a repeated
+  sweep — or a worker joining mid-run — starts warm;
+* each experiment contributes a **manifest entry** (wall time, cache
+  hit/miss deltas, worker id, config fingerprint) so the bench
+  trajectory can track where the time went.
+
+Results are returned in registry order and are exactly what the serial
+path produces: the same driver call with the same keywords, so report
+payloads are byte-identical regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ArchConfig
+from ..core import cache as layout_cache
+from ..errors import ConfigError
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
+from .reporting import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """Execution record of one experiment."""
+
+    experiment_id: str
+    wall_time_s: float
+    worker: int  # pid of the process that ran the driver
+    group: Tuple[str, ...]  # cache-affinity group (dataset keys)
+    config_fingerprint: str
+    cache: Dict[str, int]  # CacheStats delta attributable to this run
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "experiment_id": self.experiment_id,
+            "wall_time_s": self.wall_time_s,
+            "worker": self.worker,
+            "group": list(self.group),
+            "config_fingerprint": self.config_fingerprint,
+            "cache": dict(self.cache),
+        }
+
+
+@dataclass
+class RunManifest:
+    """Per-run execution manifest emitted next to the JSON reports."""
+
+    profile: str
+    jobs: int
+    cache_version: int = layout_cache.CACHE_VERSION
+    cache_dir: Optional[str] = None
+    wall_time_s: float = 0.0
+    entries: List[ManifestEntry] = field(default_factory=list)
+
+    @property
+    def cache_totals(self) -> Dict[str, int]:
+        """Summed cache counters across all entries."""
+        totals: Dict[str, int] = {}
+        for entry in self.entries:
+            for key, value in entry.cache.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of grid/layout lookups served from either tier."""
+        t = self.cache_totals
+        hits = (
+            t.get("grid_hits", 0)
+            + t.get("grid_disk_hits", 0)
+            + t.get("layout_hits", 0)
+            + t.get("layout_disk_hits", 0)
+        )
+        lookups = hits + t.get("grid_misses", 0) + t.get("layout_misses", 0)
+        return hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (written as ``manifest.json``)."""
+        return {
+            "profile": self.profile,
+            "jobs": self.jobs,
+            "cache_version": self.cache_version,
+            "cache_dir": self.cache_dir,
+            "wall_time_s": self.wall_time_s,
+            "cache_totals": self.cache_totals,
+            "cache_hit_rate": self.cache_hit_rate,
+            "experiments": [e.to_dict() for e in self.entries],
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI."""
+        t = self.cache_totals
+        hits = (
+            t.get("grid_hits", 0)
+            + t.get("grid_disk_hits", 0)
+            + t.get("layout_hits", 0)
+            + t.get("layout_disk_hits", 0)
+        )
+        misses = t.get("grid_misses", 0) + t.get("layout_misses", 0)
+        return (
+            f"{len(self.entries)} experiments in {self.wall_time_s:.2f}s "
+            f"({self.jobs} worker{'s' if self.jobs != 1 else ''}); "
+            f"layout/grid cache: {hits} hits / {misses} misses "
+            f"({self.cache_hit_rate:.0%} hit rate)"
+        )
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one executor invocation produced."""
+
+    results: Dict[str, ExperimentResult]
+    manifest: RunManifest
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker-count default: ``os.cpu_count()`` when unspecified."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def plan_groups(
+    specs: Sequence[ExperimentSpec],
+) -> List[Tuple[ExperimentSpec, ...]]:
+    """Partition specs into cache-affinity groups.
+
+    Specs with equal :attr:`ExperimentSpec.cache_group` (the datasets
+    their drivers load) share partition grids, layouts, and — for the
+    figure experiments — the whole comparison matrix, so scheduling
+    them on one worker converts recomputation into in-process cache
+    hits. Groups come back largest-first so the pool starts its longest
+    work earliest.
+    """
+    by_group: Dict[Tuple[str, ...], List[ExperimentSpec]] = {}
+    for spec in specs:
+        by_group.setdefault(spec.cache_group, []).append(spec)
+    groups = [tuple(members) for members in by_group.values()]
+    groups.sort(key=len, reverse=True)
+    return groups
+
+
+def _run_group(
+    experiment_ids: Tuple[str, ...],
+    profile: str,
+    disk_cache_dir: Optional[str],
+) -> List[Tuple[str, ExperimentResult, dict]]:
+    """Run one affinity group serially (in a worker or in-process).
+
+    Returns ``(experiment_id, result, manifest_fields)`` triples; the
+    cache counters are deltas against the group-local snapshot so each
+    experiment's manifest entry reflects only its own lookups.
+    """
+    if disk_cache_dir is not None:
+        layout_cache.enable_disk_cache(disk_cache_dir)
+    fingerprint = layout_cache.config_fingerprint(ArchConfig())
+    out: List[Tuple[str, ExperimentResult, dict]] = []
+    for experiment_id in experiment_ids:
+        spec = get_experiment(experiment_id)
+        before = layout_cache.stats_snapshot()
+        start = time.perf_counter()
+        result = spec.driver(**spec.profile_kwargs(profile))
+        wall = time.perf_counter() - start
+        after = layout_cache.stats_snapshot()
+        out.append(
+            (
+                experiment_id,
+                result,
+                {
+                    "wall_time_s": wall,
+                    "worker": os.getpid(),
+                    "group": spec.cache_group,
+                    "config_fingerprint": fingerprint,
+                    "cache": layout_cache.CacheStats.delta(before, after),
+                },
+            )
+        )
+    return out
+
+
+def execute(
+    experiment_ids: Optional[Sequence[str]] = None,
+    profile: str = "bench",
+    jobs: Optional[int] = None,
+    disk_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> ExecutionReport:
+    """Run experiments across the pool and return results + manifest.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Subset to run, in any order; ``None`` means every registered
+        experiment. Results always come back in registry order.
+    profile:
+        Dataset scale passed to every driver that accepts it.
+    jobs:
+        Worker processes; ``None`` uses ``os.cpu_count()``. With one
+        effective worker everything runs in-process (no pool).
+    disk_cache:
+        Attach the persistent layout cache (``cache_dir``,
+        ``$REPRO_CACHE_DIR``, or ``~/.cache/repro``) so repeated runs
+        and pool workers start warm.
+    """
+    if experiment_ids is None:
+        specs = list(EXPERIMENTS.values())
+    else:
+        specs = [get_experiment(i) for i in experiment_ids]
+    jobs = resolve_jobs(jobs)
+    resolved_dir: Optional[str] = None
+    if disk_cache:
+        resolved_dir = layout_cache.enable_disk_cache(cache_dir)
+    groups = plan_groups(specs)
+    id_groups = [
+        tuple(spec.experiment_id for spec in group) for group in groups
+    ]
+    manifest = RunManifest(
+        profile=profile, jobs=min(jobs, max(len(groups), 1)),
+        cache_dir=resolved_dir,
+    )
+    start = time.perf_counter()
+    raw: Dict[str, Tuple[ExperimentResult, dict]] = {}
+    if manifest.jobs <= 1:
+        for ids in id_groups:
+            for experiment_id, result, meta in _run_group(
+                ids, profile, resolved_dir
+            ):
+                raw[experiment_id] = (result, meta)
+    else:
+        with ProcessPoolExecutor(max_workers=manifest.jobs) as pool:
+            futures = [
+                pool.submit(_run_group, ids, profile, resolved_dir)
+                for ids in id_groups
+            ]
+            for future in futures:
+                for experiment_id, result, meta in future.result():
+                    raw[experiment_id] = (result, meta)
+    manifest.wall_time_s = time.perf_counter() - start
+    ordered = [
+        spec.experiment_id
+        for spec in EXPERIMENTS.values()
+        if spec.experiment_id in raw
+    ]
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id in ordered:
+        result, meta = raw[experiment_id]
+        results[experiment_id] = result
+        manifest.entries.append(
+            ManifestEntry(experiment_id=experiment_id, **meta)
+        )
+    return ExecutionReport(results=results, manifest=manifest)

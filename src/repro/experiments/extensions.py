@@ -80,6 +80,7 @@ def scaling_study(
     one dataset size.
     """
     from ..baselines.graphr import GraphREngine
+    from ..core.cache import get_cache
     from ..graphs.generators import degree_sorted_relabel, rmat
 
     labels = []
@@ -87,8 +88,11 @@ def scaling_study(
     energy_ratios = []
     gaasx_times = []
     for n, e in sizes:
-        graph = degree_sorted_relabel(
-            rmat(n, e, a=0.8, b=0.08, c=0.08, seed=seed)
+        graph = get_cache().cached_graph(
+            f"rmat-degsorted|{n}|{e}|0.8|0.08|0.08|{seed}",
+            lambda: degree_sorted_relabel(
+                rmat(n, e, a=0.8, b=0.08, c=0.08, seed=seed)
+            ),
         )
         a = GaaSXEngine(graph).pagerank(iterations=iterations)
         b = GraphREngine(graph).pagerank(iterations=iterations)

@@ -1,18 +1,33 @@
 """Registry mapping experiment ids to their drivers.
 
-The ids follow DESIGN.md's per-experiment index; ``run_experiment``
-dispatches through this table, and the benchmark suite contains one
-target per entry.
+The ids follow DESIGN.md's per-experiment index; the runner and the
+parallel executor dispatch through this table, and the benchmark suite
+contains one target per entry.
+
+Each :class:`ExperimentSpec` declares what its driver needs:
+
+* ``accepts_profile`` — whether the driver takes the dataset-scale
+  ``profile`` keyword. Pure device-model studies (``table1``,
+  ``abl-variation``, ``abl-precision``, ``ext-scaling``) do not; the
+  runner uses this flag instead of a hard-coded id list.
+* ``datasets`` — the Table II dataset keys the driver loads at its
+  defaults. Experiments with equal dataset needs share partition grids
+  and crossbar layouts, so the executor groups them onto the same
+  worker where the in-process cache serves all of them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from ..errors import ConfigError
+from ..graphs.datasets import FIGURE_ORDER
 from . import ablations, extensions, figures, tables
 from .reporting import ExperimentResult
+
+#: Datasets behind the shared (dataset x algorithm) comparison matrix.
+_MATRIX_DATASETS: Tuple[str, ...] = FIGURE_ORDER
 
 
 @dataclass(frozen=True)
@@ -23,6 +38,21 @@ class ExperimentSpec:
     paper_artifact: str
     description: str
     driver: Callable[..., ExperimentResult]
+    #: Whether the driver accepts the ``profile`` keyword.
+    accepts_profile: bool = True
+    #: Dataset keys the driver loads at its default arguments (the
+    #: executor's cache-affinity hint; empty for synthetic-only studies).
+    datasets: Tuple[str, ...] = ()
+
+    @property
+    def cache_group(self) -> Tuple[str, ...]:
+        """Grouping key: experiments sharing it reuse cached grids and
+        layouts, so the executor schedules them on one worker."""
+        return self.datasets
+
+    def profile_kwargs(self, profile: str) -> Dict[str, str]:
+        """The profile keyword to pass the driver, if it takes one."""
+        return {"profile": profile} if self.accepts_profile else {}
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
@@ -31,125 +61,149 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "table1", "Table I",
             "Architecture parameters: component area and power",
-            lambda **kw: tables.table1(),
+            tables.table1,
+            accepts_profile=False,
         ),
         ExperimentSpec(
             "table2", "Table II",
             "Graph datasets and characteristics",
             tables.table2,
+            datasets=("WV", "SD", "AZ", "WG", "LJ", "OR", "NF"),
         ),
         ExperimentSpec(
             "fig5", "Figure 5",
             "Redundant writes/computations of dense vs sparse mapping",
             figures.fig5,
+            datasets=_MATRIX_DATASETS,
         ),
         ExperimentSpec(
             "fig11", "Figure 11",
             "Speedup in execution time compared to GraphR",
             figures.fig11,
+            datasets=_MATRIX_DATASETS,
         ),
         ExperimentSpec(
             "fig12", "Figure 12",
             "Energy savings compared to GraphR",
             figures.fig12,
+            datasets=_MATRIX_DATASETS,
         ),
         ExperimentSpec(
             "fig13", "Figure 13",
             "CDF of rows accumulated per MAC operation",
             figures.fig13,
+            datasets=_MATRIX_DATASETS,
         ),
         ExperimentSpec(
             "fig14", "Figure 14",
             "Speedup and energy savings compared to GRAM",
             figures.fig14,
+            datasets=("AZ", "WV", "LJ"),
         ),
         ExperimentSpec(
             "fig15", "Figure 15",
             "Speedup compared to CPU (GridGraph) and GPU (Gunrock)",
             figures.fig15,
+            datasets=_MATRIX_DATASETS,
         ),
         ExperimentSpec(
             "fig16", "Figure 16",
             "Energy savings compared to CPU and GPU",
             figures.fig16,
+            datasets=_MATRIX_DATASETS,
         ),
         ExperimentSpec(
             "gapbs", "Section V-B text",
             "Speedup and energy savings compared to GAPBS",
             figures.gapbs_comparison,
+            datasets=_MATRIX_DATASETS,
         ),
         ExperimentSpec(
             "fig17", "Figure 17",
             "Collaborative filtering vs GraphChi, cuMF and GraphR",
             figures.fig17,
+            datasets=("NF",),
         ),
         ExperimentSpec(
             "abl-maclimit", "Ablation",
             "MAC accumulation-limit sweep",
             ablations.mac_limit_sweep,
+            datasets=("WV",),
         ),
         ExperimentSpec(
             "abl-tile", "Ablation",
             "GraphR tile-size sweep",
             ablations.tile_size_sweep,
+            datasets=("WV", "SD", "AZ"),
         ),
         ExperimentSpec(
             "abl-xbar", "Ablation",
             "Crossbar-count scaling",
             ablations.crossbar_count_sweep,
+            datasets=("SD",),
         ),
         ExperimentSpec(
             "abl-locality", "Ablation",
             "Vertex-id locality vs dense-mapping overhead",
             ablations.locality_ablation,
+            datasets=("WV", "SD"),
         ),
         ExperimentSpec(
             "abl-residency", "Ablation",
             "Resident vs streaming GaaS-X storage model",
             ablations.residency_ablation,
+            datasets=("SD",),
         ),
         ExperimentSpec(
             "abl-interval", "Ablation",
             "Shard interval size vs cost and hit-group shape",
             ablations.interval_size_ablation,
+            datasets=("WV",),
         ),
         ExperimentSpec(
             "abl-precision", "Ablation",
             "Fixed-point value precision vs accuracy",
             # Device/pipeline study on a fixed synthetic graph.
-            lambda profile="bench", **kw: ablations.precision_ablation(**kw),
+            ablations.precision_ablation,
+            accepts_profile=False,
         ),
         ExperimentSpec(
             "abl-disk", "Ablation",
             "Shard-fetch bandwidth vs load time",
             ablations.disk_bandwidth_ablation,
+            datasets=("SD",),
         ),
         ExperimentSpec(
             "abl-variation", "Ablation",
             "Analog device variation vs rows per MAC",
             # Pure device-model study; dataset profile does not apply.
-            lambda profile="bench", **kw: ablations.variation_ablation(**kw),
+            ablations.variation_ablation,
+            accepts_profile=False,
         ),
         ExperimentSpec(
             "ext-wcc", "Extension",
             "Weakly connected components kernel characterization",
             extensions.wcc_characterization,
+            datasets=("WV", "SD", "AZ"),
         ),
         ExperimentSpec(
             "ext-gnn", "Extension",
             "GCN forward pass (the paper's deferred workload)",
             extensions.gnn_characterization,
+            datasets=("WV",),
         ),
         ExperimentSpec(
             "ext-energy", "Extension",
             "Per-component energy breakdown of each kernel",
             extensions.energy_breakdown,
+            datasets=("SD",),
         ),
         ExperimentSpec(
             "ext-scaling", "Extension",
             "Accelerator advantage vs graph scale",
             # Synthetic size sweep; dataset profile does not apply.
-            lambda profile="bench", **kw: extensions.scaling_study(**kw),
+            extensions.scaling_study,
+            accepts_profile=False,
         ),
     )
 }

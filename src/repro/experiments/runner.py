@@ -1,15 +1,190 @@
-"""Experiment runner: dispatch, render, optionally persist."""
+"""Experiment runner: the typed run API over the parallel executor.
+
+The public surface is :class:`RunRequest` (what to run) plus
+:class:`RunSession` (owns execution, output persistence, and the run
+manifest). A session dispatches through
+:mod:`repro.experiments.executor`, so one request transparently gets
+cache-affinity grouping, the process pool, and the layout cache.
+
+::
+
+    from repro.experiments import RunRequest, RunSession
+
+    session = RunSession(RunRequest(profile="tiny", jobs=4,
+                                    output_dir="reports/"))
+    results = session.run()           # id -> ExperimentResult
+    print(session.manifest.summary())
+
+``run_experiment`` / ``run_all`` remain as thin deprecated shims over
+the old ad-hoc ``**kwargs`` signature.
+"""
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
 
-from .registry import get_experiment
+from ..errors import ConfigError
+from ..graphs.datasets import PROFILES
+from .executor import RunManifest, execute
+from .registry import EXPERIMENTS, get_experiment
 from .reporting import ExperimentResult
 
+#: Output formats a request may ask for.
+FORMATS = ("text", "json")
 
+
+@dataclass(frozen=True)
+class RunRequest:
+    """A validated, typed description of one experiment run.
+
+    Parameters
+    ----------
+    experiment_id:
+        A single registered id, a sequence of ids, or ``None`` to run
+        every experiment.
+    profile:
+        Dataset scale (``tiny``/``bench``/``full``), forwarded to every
+        driver whose spec declares ``accepts_profile``.
+    jobs:
+        Worker processes; ``None`` defaults to ``os.cpu_count()``.
+    output_dir:
+        When set, rendered reports, JSON payloads, and the run manifest
+        are persisted there.
+    format:
+        Rendering used for display output: ``"text"`` (ASCII tables) or
+        ``"json"``.
+    use_disk_cache:
+        Attach the persistent layout cache for this run.
+    cache_dir:
+        Explicit cache directory (overrides ``$REPRO_CACHE_DIR``).
+    """
+
+    experiment_id: Union[str, Sequence[str], None] = None
+    profile: str = "bench"
+    jobs: Optional[int] = None
+    output_dir: Optional[str] = None
+    format: str = "text"
+    use_disk_cache: bool = True
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.experiment_id is not None and not isinstance(
+            self.experiment_id, str
+        ):
+            object.__setattr__(
+                self, "experiment_id", tuple(self.experiment_id)
+            )
+        for experiment_id in self.experiment_ids:
+            get_experiment(experiment_id)  # raises on unknown ids
+        if self.profile not in PROFILES:
+            raise ConfigError(
+                f"unknown profile {self.profile!r}; expected one of "
+                f"{PROFILES}"
+            )
+        if self.format not in FORMATS:
+            raise ConfigError(
+                f"unknown format {self.format!r}; expected one of {FORMATS}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+
+    @property
+    def experiment_ids(self) -> Tuple[str, ...]:
+        """The concrete ids this request resolves to."""
+        if self.experiment_id is None:
+            return tuple(EXPERIMENTS)
+        if isinstance(self.experiment_id, str):
+            return (self.experiment_id,)
+        return tuple(self.experiment_id)
+
+
+class RunSession:
+    """Executes a :class:`RunRequest` and owns its outputs.
+
+    ``run()`` returns the results (registry order) and, when the
+    request names an ``output_dir``, persists ``<id>.txt``,
+    ``<id>.json``, and a ``manifest.json`` describing wall time and
+    cache behaviour per experiment.
+    """
+
+    def __init__(self, request: RunRequest) -> None:
+        self.request = request
+        self._results: Optional[Dict[str, ExperimentResult]] = None
+        self._manifest: Optional[RunManifest] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> Dict[str, ExperimentResult]:
+        """Results of the completed run (raises before ``run()``)."""
+        if self._results is None:
+            raise ConfigError("session has not run yet")
+        return self._results
+
+    @property
+    def manifest(self) -> RunManifest:
+        """Execution manifest of the completed run."""
+        if self._manifest is None:
+            raise ConfigError("session has not run yet")
+        return self._manifest
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, ExperimentResult]:
+        """Execute the request; returns id -> :class:`ExperimentResult`."""
+        request = self.request
+        report = execute(
+            experiment_ids=request.experiment_ids,
+            profile=request.profile,
+            jobs=request.jobs,
+            disk_cache=request.use_disk_cache,
+            cache_dir=request.cache_dir,
+        )
+        self._results = report.results
+        self._manifest = report.manifest
+        if request.output_dir is not None:
+            for result in report.results.values():
+                persist_result(result, request.output_dir)
+            self._write_manifest(request.output_dir)
+        return report.results
+
+    def rendered(self, experiment_id: str) -> str:
+        """One result rendered in the request's format."""
+        result = self.results[experiment_id]
+        if self.request.format == "json":
+            return json.dumps(result.to_dict(), indent=2)
+        return result.render()
+
+    # ------------------------------------------------------------------
+    def _write_manifest(self, output_dir: str) -> None:
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, "manifest.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+
+def persist_result(result: ExperimentResult, output_dir: str) -> None:
+    """Write one result's text and JSON reports under ``output_dir``.
+
+    The on-disk format is unchanged from the original serial runner, so
+    payloads are byte-identical however the run was executed.
+    """
+    os.makedirs(output_dir, exist_ok=True)
+    path = os.path.join(output_dir, f"{result.experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.render() + "\n")
+    json_path = os.path.join(output_dir, f"{result.experiment_id}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims (the pre-RunRequest surface)
+# ----------------------------------------------------------------------
 def run_experiment(
     experiment_id: str,
     output_dir: Optional[str] = None,
@@ -17,31 +192,49 @@ def run_experiment(
 ) -> ExperimentResult:
     """Run one registered experiment and optionally save its report.
 
-    ``kwargs`` pass through to the driver (e.g. ``profile="tiny"``).
-    When ``output_dir`` is given, the rendered report is written to
-    ``<output_dir>/<experiment_id>.txt``.
+    .. deprecated::
+        Use :class:`RunRequest` / :class:`RunSession` instead. This
+        shim keeps the old ad-hoc ``**kwargs`` passthrough working:
+        keywords go straight to the driver, except that ``profile`` is
+        dropped for specs that declare ``accepts_profile=False`` (the
+        behaviour the registry's lambda wrappers used to provide).
     """
+    warnings.warn(
+        "run_experiment(**kwargs) is deprecated; use "
+        "RunRequest/RunSession",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     spec = get_experiment(experiment_id)
+    if not spec.accepts_profile:
+        kwargs.pop("profile", None)
     result = spec.driver(**kwargs)
     if output_dir is not None:
-        os.makedirs(output_dir, exist_ok=True)
-        path = os.path.join(output_dir, f"{experiment_id}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(result.render() + "\n")
-        json_path = os.path.join(output_dir, f"{experiment_id}.json")
-        with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle, indent=2)
-            handle.write("\n")
+        persist_result(result, output_dir)
     return result
 
 
-def run_all(output_dir: Optional[str] = None, **kwargs: object) -> dict:
-    """Run every registered experiment; returns id -> result."""
-    from .registry import EXPERIMENTS
+def run_all(
+    output_dir: Optional[str] = None, **kwargs: object
+) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment; returns id -> result.
 
-    results = {}
-    for experiment_id in EXPERIMENTS:
-        results[experiment_id] = run_experiment(
-            experiment_id, output_dir=output_dir, **kwargs
-        )
+    .. deprecated::
+        Use ``RunSession(RunRequest(...))`` — it adds parallelism,
+        caching, and the run manifest.
+    """
+    warnings.warn(
+        "run_all(**kwargs) is deprecated; use RunRequest/RunSession",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id, spec in EXPERIMENTS.items():
+        driver_kwargs = dict(kwargs)
+        if not spec.accepts_profile:
+            driver_kwargs.pop("profile", None)
+        result = spec.driver(**driver_kwargs)
+        if output_dir is not None:
+            persist_result(result, output_dir)
+        results[experiment_id] = result
     return results

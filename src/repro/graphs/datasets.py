@@ -177,13 +177,23 @@ def load_dataset(key: str, profile: str = "bench") -> Graph | BipartiteGraph:
     # Cap the edge request below what a simple digraph of this size can
     # actually hold (generators reject impossible densities).
     edges = min(edges, vertices * (vertices - 1) // 2)
-    # a=0.8 concentrates edges the way SNAP crawl-ordered graphs do:
-    # the resulting 16x16 tile profile (~90 % of non-empty tiles at
-    # <= 10 % density, dense/sparse write ratio in the 25-55x band)
-    # matches the paper's Section II-C measurements.
-    graph = rmat(
-        vertices, edges, a=0.80, b=0.08, c=0.08, seed=spec.seed, name=name
-    )
-    # Degree-sorted ids reproduce SNAP-like tile locality (see
-    # generators.degree_sorted_relabel).
-    return degree_sorted_relabel(graph)
+
+    def _build() -> Graph:
+        # a=0.8 concentrates edges the way SNAP crawl-ordered graphs
+        # do: the resulting 16x16 tile profile (~90 % of non-empty
+        # tiles at <= 10 % density, dense/sparse write ratio in the
+        # 25-55x band) matches the paper's Section II-C measurements.
+        graph = rmat(
+            vertices, edges, a=0.80, b=0.08, c=0.08, seed=spec.seed,
+            name=name,
+        )
+        # Degree-sorted ids reproduce SNAP-like tile locality (see
+        # generators.degree_sorted_relabel).
+        return degree_sorted_relabel(graph)
+
+    # Generation is deterministic in (key, profile); route it through
+    # the persistent content cache so repeated sessions skip the R-MAT
+    # build entirely. The lru_cache above keeps the in-process tier.
+    from ..core.cache import get_cache
+
+    return get_cache().cached_graph(f"dataset|{spec.key}|{profile}", _build)

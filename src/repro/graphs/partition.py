@@ -109,6 +109,37 @@ class ShardGrid:
         self._keys = unique_keys
         self._starts = np.append(starts, sorted_keys.size)
 
+    @classmethod
+    def from_sorted_arrays(
+        cls,
+        graph: Graph,
+        interval_size: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: np.ndarray,
+        keys: np.ndarray,
+        starts: np.ndarray,
+    ) -> "ShardGrid":
+        """Rehydrate a grid from previously sorted arrays.
+
+        Used by the layout cache to skip the lexsort when an identical
+        (graph content, interval size) grid was already materialized —
+        the arrays must come from a grid built over an equal graph.
+        """
+        grid = cls.__new__(cls)
+        grid.graph = graph
+        grid.partition = IntervalPartition(graph.num_vertices, interval_size)
+        grid.src = np.asarray(src, dtype=np.int64)
+        grid.dst = np.asarray(dst, dtype=np.int64)
+        grid.weight = np.asarray(weight, dtype=np.float64)
+        grid._keys = np.asarray(keys, dtype=np.int64)
+        grid._starts = np.asarray(starts, dtype=np.int64)
+        if grid.src.size != graph.num_edges:
+            raise PartitionError(
+                "cached shard arrays do not cover the graph's edge set"
+            )
+        return grid
+
     # ------------------------------------------------------------------
     @property
     def num_shards(self) -> int:

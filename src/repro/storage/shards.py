@@ -107,7 +107,11 @@ class ShardStore:
 
         The traversal case: per superstep only intervals containing
         active vertices are fetched; each contiguous run of wanted
-        shards costs one seek.
+        shards costs one seek. A fragmented selection's seek cost can
+        exceed the single seek of streaming the whole file (2 seeks of
+        a few dozen microseconds vs one sequential pass), so the result
+        is capped at the contiguous full-scan cost — a real scheduler
+        would fall back to scanning everything and discarding.
         """
         wanted = set(int(i) for i in np.atleast_1d(src_intervals))
         edges = 0
@@ -120,7 +124,10 @@ class ShardStore:
                 if not previous_selected:
                     seeks += 1
             previous_selected = selected
-        return self.disk.stream_time_s(edges, seeks)
+        return min(
+            self.disk.stream_time_s(edges, seeks),
+            self.full_scan_time_s("row"),
+        )
 
 
 def estimate_stream_time(

@@ -1,0 +1,80 @@
+"""Tests for GaaSXEngine.run(): uniform kernel dispatch by name."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GaaSXEngine
+from repro.errors import AlgorithmError
+
+
+class TestDispatch:
+    def test_algorithms_registry(self):
+        assert GaaSXEngine.ALGORITHMS == (
+            "pagerank", "bfs", "sssp", "wcc", "cf", "gnn"
+        )
+
+    def test_pagerank_matches_direct_call(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        via_run = engine.run("pagerank", iterations=5)
+        direct = engine.pagerank(iterations=5)
+        np.testing.assert_allclose(via_run.ranks, direct.ranks)
+
+    def test_bfs_matches_direct_call(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        via_run = engine.run("bfs", source=0)
+        direct = engine.bfs(0)
+        np.testing.assert_array_equal(via_run.distances, direct.distances)
+
+    def test_sssp_matches_direct_call(self, diamond_graph):
+        engine = GaaSXEngine(diamond_graph)
+        via_run = engine.run("sssp", source=0)
+        direct = engine.sssp(0)
+        np.testing.assert_allclose(via_run.distances, direct.distances)
+
+    def test_wcc_matches_direct_call(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        assert (
+            engine.run("wcc").num_components
+            == engine.wcc().num_components
+        )
+
+    def test_cf_dispatches_to_collaborative_filtering(
+        self, small_bipartite
+    ):
+        engine = GaaSXEngine(small_bipartite)
+        via_run = engine.run("cf", num_features=4, epochs=1)
+        direct = engine.collaborative_filtering(num_features=4, epochs=1)
+        np.testing.assert_allclose(
+            via_run.user_features, direct.user_features
+        )
+
+    def test_gnn_matches_direct_call(self, small_rmat):
+        rng = np.random.default_rng(0)
+        features = rng.uniform(size=(small_rmat.num_vertices, 8))
+        weights = [rng.normal(size=(8, 4))]
+        engine = GaaSXEngine(small_rmat)
+        via_run = engine.run("gnn", features=features, weights=weights)
+        direct = engine.gnn_forward(features, weights)
+        np.testing.assert_allclose(via_run.embeddings, direct.embeddings)
+
+
+class TestErrors:
+    def test_unknown_algorithm_raises(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            engine.run("page-rank")
+
+    def test_error_lists_valid_names(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        with pytest.raises(AlgorithmError) as excinfo:
+            engine.run("nope")
+        message = str(excinfo.value)
+        for name in GaaSXEngine.ALGORITHMS:
+            assert name in message
+
+    def test_kernel_kwargs_pass_through(self, small_rmat):
+        engine = GaaSXEngine(small_rmat)
+        with pytest.raises(TypeError):
+            engine.run("pagerank", not_a_kwarg=1)

@@ -1,0 +1,137 @@
+"""Tests for the parallel cache-aware executor."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import cache as layout_cache
+from repro.errors import ConfigError
+from repro.experiments.executor import (
+    execute,
+    plan_groups,
+    resolve_jobs,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+#: Cheap single-dataset experiments from two distinct affinity groups.
+FAST_IDS = ("abl-interval", "abl-maclimit", "abl-xbar")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_global_cache():
+    yield
+    layout_cache.reset_cache()
+
+
+class TestResolveJobs:
+    def test_default_is_cpu_count(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            resolve_jobs(0)
+
+
+class TestPlanGroups:
+    def test_equal_dataset_needs_share_a_group(self):
+        specs = [get_experiment(i) for i in FAST_IDS]
+        groups = plan_groups(specs)
+        assert len(groups) == 2  # {abl-interval, abl-maclimit}, {abl-xbar}
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 2]
+        for group in groups:
+            assert len({spec.cache_group for spec in group}) == 1
+
+    def test_groups_sorted_largest_first(self):
+        groups = plan_groups(list(EXPERIMENTS.values()))
+        lengths = [len(g) for g in groups]
+        assert lengths == sorted(lengths, reverse=True)
+        assert sum(lengths) == len(EXPERIMENTS)
+
+
+class TestExecute:
+    def test_results_in_registry_order(self, tmp_path):
+        report = execute(
+            experiment_ids=("abl-interval", "abl-xbar"),  # reversed
+            profile="tiny",
+            jobs=1,
+            cache_dir=str(tmp_path),
+        )
+        # Registry order puts abl-xbar first, whatever the request order.
+        assert list(report.results) == ["abl-xbar", "abl-interval"]
+
+    def test_parallel_results_identical_to_serial(self, tmp_path):
+        serial = execute(
+            experiment_ids=FAST_IDS, profile="tiny", jobs=1,
+            cache_dir=str(tmp_path / "serial"),
+        )
+        layout_cache.reset_cache()
+        parallel = execute(
+            experiment_ids=FAST_IDS, profile="tiny", jobs=2,
+            cache_dir=str(tmp_path / "parallel"),
+        )
+        assert parallel.manifest.jobs == 2
+        assert list(parallel.results) == list(serial.results)
+        for experiment_id in FAST_IDS:
+            assert (
+                parallel.results[experiment_id].to_dict()
+                == serial.results[experiment_id].to_dict()
+            )
+
+    def test_second_run_hits_the_cache(self, tmp_path):
+        cache_dir = str(tmp_path)
+        execute(
+            experiment_ids=("abl-interval",), profile="tiny", jobs=1,
+            cache_dir=cache_dir,
+        )
+        layout_cache.reset_cache()  # fresh process stand-in
+        second = execute(
+            experiment_ids=("abl-interval",), profile="tiny", jobs=1,
+            cache_dir=cache_dir,
+        )
+        totals = second.manifest.cache_totals
+        assert totals.get("grid_disk_hits", 0) > 0
+        assert second.manifest.cache_hit_rate > 0
+
+    def test_manifest_entries(self, tmp_path):
+        report = execute(
+            experiment_ids=("abl-interval",), profile="tiny", jobs=1,
+            cache_dir=str(tmp_path),
+        )
+        manifest = report.manifest
+        assert manifest.profile == "tiny"
+        assert manifest.jobs == 1
+        assert manifest.cache_dir == str(tmp_path)
+        assert manifest.cache_version == layout_cache.CACHE_VERSION
+        assert manifest.wall_time_s > 0
+        (entry,) = manifest.entries
+        assert entry.experiment_id == "abl-interval"
+        assert entry.wall_time_s > 0
+        assert entry.worker == os.getpid()  # single job runs in-process
+        assert entry.group == ("WV",)
+        assert len(entry.config_fingerprint) == 16
+        payload = manifest.to_dict()
+        assert payload["experiments"][0]["experiment_id"] == "abl-interval"
+        assert "cache_hit_rate" in payload
+
+    def test_no_disk_cache(self):
+        report = execute(
+            experiment_ids=("abl-interval",), profile="tiny", jobs=1,
+            disk_cache=False,
+        )
+        assert report.manifest.cache_dir is None
+        assert report.manifest.cache_totals.get("disk_writes", 0) == 0
+
+    def test_summary_mentions_hit_rate(self, tmp_path):
+        report = execute(
+            experiment_ids=("abl-interval",), profile="tiny", jobs=1,
+            cache_dir=str(tmp_path),
+        )
+        summary = report.manifest.summary()
+        assert "hit rate" in summary
+        assert "1 experiments" in summary

@@ -1,0 +1,147 @@
+"""Tests for the typed RunRequest/RunSession API and deprecated shims."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import cache as layout_cache
+from repro.errors import ConfigError
+from repro.experiments import (
+    EXPERIMENTS,
+    RunRequest,
+    RunSession,
+    run_all,
+    run_experiment,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_global_cache():
+    yield
+    layout_cache.reset_cache()
+
+
+class TestRunRequest:
+    def test_defaults_resolve_to_all_experiments(self):
+        request = RunRequest()
+        assert request.experiment_ids == tuple(EXPERIMENTS)
+
+    def test_single_id(self):
+        assert RunRequest("fig11").experiment_ids == ("fig11",)
+
+    def test_sequence_normalized_to_tuple(self):
+        request = RunRequest(experiment_id=["fig11", "fig12"])
+        assert request.experiment_id == ("fig11", "fig12")
+        assert request.experiment_ids == ("fig11", "fig12")
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigError, match="fig99"):
+            RunRequest("fig99")
+
+    def test_unknown_id_in_sequence_rejected(self):
+        with pytest.raises(ConfigError):
+            RunRequest(experiment_id=["fig11", "fig99"])
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ConfigError, match="profile"):
+            RunRequest("fig11", profile="huge")
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ConfigError, match="format"):
+            RunRequest("fig11", format="yaml")
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            RunRequest("fig11", jobs=0)
+
+    def test_frozen(self):
+        request = RunRequest("fig11")
+        with pytest.raises(AttributeError):
+            request.profile = "tiny"
+
+
+class TestRunSession:
+    def test_results_unavailable_before_run(self):
+        session = RunSession(RunRequest("abl-interval"))
+        with pytest.raises(ConfigError, match="has not run"):
+            session.results
+        with pytest.raises(ConfigError, match="has not run"):
+            session.manifest
+
+    def test_run_and_persist(self, tmp_path):
+        out = tmp_path / "reports"
+        request = RunRequest(
+            "abl-interval", profile="tiny", jobs=1,
+            output_dir=str(out), cache_dir=str(tmp_path / "cache"),
+        )
+        session = RunSession(request)
+        results = session.run()
+        assert list(results) == ["abl-interval"]
+        assert (out / "abl-interval.txt").exists()
+        assert (out / "abl-interval.json").exists()
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["profile"] == "tiny"
+        ids = [e["experiment_id"] for e in manifest["experiments"]]
+        assert ids == ["abl-interval"]
+        saved = json.loads((out / "abl-interval.json").read_text())
+        assert saved == results["abl-interval"].to_dict()
+
+    def test_rendered_json(self, tmp_path):
+        request = RunRequest(
+            "abl-interval", profile="tiny", jobs=1, format="json",
+            cache_dir=str(tmp_path),
+        )
+        session = RunSession(request)
+        session.run()
+        payload = json.loads(session.rendered("abl-interval"))
+        assert payload["experiment_id"] == "abl-interval"
+
+    def test_rendered_text(self, tmp_path):
+        request = RunRequest(
+            "abl-interval", profile="tiny", jobs=1,
+            cache_dir=str(tmp_path),
+        )
+        session = RunSession(request)
+        session.run()
+        rendered = session.rendered("abl-interval")
+        assert "abl-interval" in rendered
+
+
+class TestDeprecatedShims:
+    def test_run_experiment_warns(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="RunRequest"):
+            result = run_experiment(
+                "abl-interval", profile="tiny",
+                output_dir=str(tmp_path),
+            )
+        assert result.experiment_id == "abl-interval"
+        assert (tmp_path / "abl-interval.txt").exists()
+
+    def test_run_experiment_drops_profile_when_unsupported(self):
+        spec = EXPERIMENTS["table1"]
+        assert not spec.accepts_profile
+        with pytest.warns(DeprecationWarning):
+            result = run_experiment("table1", profile="tiny")
+        assert result.experiment_id == "table1"
+
+    def test_run_all_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunRequest"):
+            with pytest.raises(TypeError):
+                # The warning fires before any driver runs; an invalid
+                # driver keyword keeps the full sweep from executing.
+                run_all(no_such_keyword=True)
+
+
+class TestSpecMetadata:
+    def test_every_spec_declares_profile_support(self):
+        for spec in EXPERIMENTS.values():
+            assert isinstance(spec.accepts_profile, bool)
+            assert isinstance(spec.datasets, tuple)
+
+    def test_profile_kwargs(self):
+        assert EXPERIMENTS["fig11"].profile_kwargs("tiny") == {
+            "profile": "tiny"
+        }
+        assert EXPERIMENTS["table1"].profile_kwargs("tiny") == {}

@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.core import cache as layout_cache
+
+
+@pytest.fixture()
+def cache_sandbox(monkeypatch, tmp_path):
+    """Point the layout cache at a throwaway directory for one test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield tmp_path
+    layout_cache.reset_cache()
 
 
 class TestList:
@@ -28,8 +39,65 @@ class TestRun:
         assert (tmp_path / "table1.txt").exists()
 
     def test_unknown_experiment_rejected(self, capsys):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run", "fig99"])
+        assert excinfo.value.code == 2
+
+    def test_run_with_jobs(self, capsys, cache_sandbox):
+        code = main(
+            ["run", "abl-interval", "--profile", "tiny", "--jobs", "2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "abl-interval" in captured.out
+        assert "hit rate" in captured.err  # manifest summary on stderr
+
+    def test_run_format_json(self, capsys, cache_sandbox):
+        code = main(
+            ["run", "abl-interval", "--profile", "tiny", "--jobs", "1",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "abl-interval"
+
+    def test_bad_jobs_is_an_error_exit(self, capsys, cache_sandbox):
+        assert main(
+            ["run", "abl-interval", "--profile", "tiny", "--jobs", "0"]
+        ) == 1
+        assert "jobs" in capsys.readouterr().err
+
+    def test_no_cache_flag(self, capsys, cache_sandbox):
+        code = main(
+            ["run", "abl-interval", "--profile", "tiny", "--jobs", "1",
+             "--no-cache"]
+        )
+        assert code == 0
+        assert not (cache_sandbox / "cache").exists()
+
+
+class TestRunAll:
+    def test_only_subset_with_manifest(self, capsys, cache_sandbox):
+        out = cache_sandbox / "reports"
+        code = main(
+            ["run-all", "--profile", "tiny", "--jobs", "2",
+             "--only", "abl-interval", "--only", "abl-xbar",
+             "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "abl-interval" in stdout
+        assert "abl-xbar" in stdout
+        assert (out / "abl-interval.txt").exists()
+        assert (out / "abl-xbar.json").exists()
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert {e["experiment_id"] for e in manifest["experiments"]} == {
+            "abl-interval", "abl-xbar"
+        }
+
+    def test_unknown_only_id_exits_one(self, capsys, cache_sandbox):
+        assert main(["run-all", "--only", "fig99"]) == 1
+        assert "fig99" in capsys.readouterr().err
 
 
 class TestDatasets:
