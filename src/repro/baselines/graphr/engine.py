@@ -33,8 +33,11 @@ import numpy as np
 from ...config import GraphRConfig
 from ...core.algorithms.cf import initial_factors, reference_epoch
 from ...core.algorithms.pagerank import reference_iteration
+from ...core.controller import build_plan, record_plan
 from ...core.engine import gather_ranges
 from ...core.stats import CFResult, PageRankResult, RunStats, TraversalResult
+from ...obs.metrics import observe_event_counts
+from ...obs.trace import get_tracer
 from ...energy.ledger import EnergyLedger
 from ...errors import AlgorithmError
 from ...events import EventLog
@@ -154,6 +157,11 @@ class GraphREngine:
             batches_loaded=self.layout.num_batches,
         )
         stats.energy = self.ledger.price(events, stats.total_time_s)
+        # GraphRConfig duck-types ArchConfig for build_plan (it carries
+        # the same TechnologyParams); gated exactly like GaaSXEngine.
+        if get_tracer().enabled:
+            record_plan(build_plan(stats, self.config), engine="graphr")
+            observe_event_counts(events.as_dict())
         return stats
 
     # ------------------------------------------------------------------
@@ -166,6 +174,18 @@ class GraphREngine:
         tolerance: Optional[float] = None,
     ) -> PageRankResult:
         """PageRank with GraphR's full-tile parallel MAC per sub-block."""
+        with get_tracer().span(
+            "engine.run", category="engine",
+            engine="graphr", algorithm="pagerank",
+        ):
+            return self._pagerank(alpha, iterations, tolerance)
+
+    def _pagerank(
+        self,
+        alpha: float,
+        iterations: int,
+        tolerance: Optional[float],
+    ) -> PageRankResult:
         graph = self.graph
         n = graph.num_vertices
         out_deg = graph.out_degrees().astype(np.float64)
@@ -203,6 +223,13 @@ class GraphREngine:
         return PageRankResult(ranks=ranks, iterations=executed, stats=stats)
 
     def _traversal(self, source: int, weighted: bool) -> TraversalResult:
+        with get_tracer().span(
+            "engine.run", category="engine",
+            engine="graphr", algorithm="sssp" if weighted else "bfs",
+        ):
+            return self._traversal_impl(source, weighted)
+
+    def _traversal_impl(self, source: int, weighted: bool) -> TraversalResult:
         graph = self.graph
         n = graph.num_vertices
         if not 0 <= source < n:
@@ -286,6 +313,22 @@ class GraphREngine:
         """
         if self.bipartite is None:
             raise AlgorithmError("collaborative filtering needs a bipartite graph")
+        with get_tracer().span(
+            "engine.run", category="engine",
+            engine="graphr", algorithm="cf",
+        ):
+            return self._collaborative_filtering(
+                num_features, epochs, learning_rate, regularization, seed
+            )
+
+    def _collaborative_filtering(
+        self,
+        num_features: int,
+        epochs: int,
+        learning_rate: float,
+        regularization: float,
+        seed: int,
+    ) -> CFResult:
         bi = self.bipartite
         users, items = bi.ratings.rows, bi.ratings.cols
         values = bi.ratings.data

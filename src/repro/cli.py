@@ -5,13 +5,19 @@ Usage::
     python -m repro list                       # registered experiments
     python -m repro run fig11 --profile tiny   # regenerate one figure
     python -m repro run-all --jobs 4 --out r/  # everything, in parallel
+    python -m repro run-all --trace t.json     # … with a Perfetto trace
+    python -m repro trace-summary t.json       # per-phase table
     python -m repro datasets                   # Table II registry
 
 ``run`` and ``run-all`` dispatch through the parallel cache-aware
 executor: ``--jobs N`` sizes the worker pool (default: all cores),
 repeated runs reuse the on-disk layout cache (``--no-cache`` opts out,
-``$REPRO_CACHE_DIR`` relocates it), and a cache/timing summary goes to
-stderr so stdout stays byte-identical across job counts.
+``$REPRO_CACHE_DIR`` relocates it). Operational output goes to stderr
+as structured JSON lines (``--log-level`` / ``$REPRO_LOG_LEVEL``
+control verbosity), so stdout stays byte-identical across job counts
+and log levels. ``--trace PATH`` records spans for the whole run —
+runs, shard groups, experiments, and the five controller phases — as
+JSONL or Chrome trace-event JSON (``--trace-format``).
 """
 
 from __future__ import annotations
@@ -24,6 +30,10 @@ from .errors import ReproError
 from .experiments.registry import EXPERIMENTS
 from .experiments.runner import RunRequest, RunSession
 from .graphs.datasets import DATASETS
+from .obs.log import LEVELS, configure_logging, get_logger
+from .obs.trace import TRACE_FORMATS
+
+log = get_logger("repro.cli")
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +55,18 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk layout cache for this run",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--trace-format", default="chrome", choices=TRACE_FORMATS,
+        help="trace file format (default: chrome, Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--log-level", default=None, choices=sorted(LEVELS),
+        help="stderr log verbosity (default: $REPRO_LOG_LEVEL or info)",
     )
 
 
@@ -77,6 +99,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate",
         help="run the correctness cross-check battery",
     )
+
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="per-phase time/event table from a recorded trace",
+    )
+    trace_summary.add_argument(
+        "trace_path", metavar="PATH", help="trace file (jsonl or chrome)"
+    )
     return parser
 
 
@@ -88,6 +118,8 @@ def _run_session(args: argparse.Namespace, experiment_id) -> int:
         output_dir=args.out,
         format=args.format,
         use_disk_cache=not args.no_cache,
+        trace_path=args.trace,
+        trace_format=args.trace_format,
     )
     session = RunSession(request)
     results = session.run()
@@ -95,13 +127,14 @@ def _run_session(args: argparse.Namespace, experiment_id) -> int:
         print(session.rendered(experiment_id_))
         if index < len(results) - 1:
             print()
-    print(f"[repro] {session.manifest.summary()}", file=sys.stderr)
+    log.info("run.summary", summary=session.manifest.summary())
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", None))
     try:
         if args.command == "list":
             for spec in EXPERIMENTS.values():
@@ -119,6 +152,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report = run_validation()
             print(report.render())
             return 0 if report.passed else 2
+        elif args.command == "trace-summary":
+            from .obs.summary import load_trace, render_summary
+
+            print(render_summary(load_trace(args.trace_path)))
+            return 0
         elif args.command == "datasets":
             header = (
                 f"{'key':<4} {'name':<12} {'vertices':>10} {'edges':>12}  "
@@ -133,7 +171,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{spec.description}"
                 )
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("command.failed", command=args.command, error=str(exc))
         return 1
     return 0
 

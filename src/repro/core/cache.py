@@ -40,6 +40,10 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs.log import get_logger
+
+log = get_logger("repro.cache")
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..config import ArchConfig
     from ..graphs.graph import Graph
@@ -333,8 +337,15 @@ class LayoutCache:
         try:
             with np.load(path) as payload:
                 return {name: payload[name] for name in payload.files}
-        except (OSError, ValueError, KeyError):
-            return None  # absent or unreadable: treat as a miss
+        except FileNotFoundError:
+            return None  # a plain miss; not worth a log line
+        except (OSError, ValueError, KeyError) as exc:
+            # Present but unreadable (corrupt, truncated, stale format):
+            # still a miss, but one worth surfacing.
+            log.warning(
+                "cache.disk_entry_unreadable", path=path, error=str(exc)
+            )
+            return None
 
     def _disk_store(self, key: str, **arrays: np.ndarray) -> None:
         if self.disk_dir is None:
@@ -354,8 +365,12 @@ class LayoutCache:
                 os.unlink(tmp)
                 raise
             self.stats.disk_writes += 1
-        except OSError:
-            pass  # read-only or full cache dir: stay in-process only
+        except OSError as exc:
+            # Read-only or full cache dir: stay in-process only.
+            log.warning(
+                "cache.disk_store_failed", dir=self.disk_dir,
+                error=str(exc),
+            )
 
     # ------------------------------------------------------------------
     def clear(self) -> None:

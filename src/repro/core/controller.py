@@ -10,11 +10,21 @@ users the paper's mental model as an inspectable object.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..config import ArchConfig
 from ..core.stats import RunStats
+
+#: Canonical names of the five execution phases, in paper order.
+PHASE_NAMES = (
+    "Initialization",
+    "Data loading",
+    "CAM search",
+    "MAC operation",
+    "Special function",
+)
 
 
 @dataclass(frozen=True)
@@ -120,3 +130,54 @@ def build_plan(
         ),
     ]
     return ExecutionPlan(phases=phases, passes=stats.passes)
+
+
+def _phase_slug(name: str) -> str:
+    return name.lower().replace(" ", "_")
+
+
+def record_plan(plan: ExecutionPlan, engine: str = "gaasx") -> None:
+    """Publish a finished plan to the tracer and metrics registry.
+
+    Each phase becomes one ``phase``-category span nested under the
+    caller's open span (typically the engine-run span). The spans'
+    durations are the phases' *modelled* hardware seconds — flagged
+    ``"modelled": true`` in their args — laid out sequentially from
+    the moment of emission so the five phases render side by side on
+    the run's timeline. The same pass folds per-phase operation counts
+    and modelled seconds into ``phase.<slug>.*`` metrics.
+
+    Engines call this only when tracing is enabled; building the plan
+    costs a few array reductions, so the disabled path must not reach
+    here.
+    """
+    from ..obs.metrics import get_metrics
+    from ..obs.trace import PHASE_CATEGORY, get_tracer
+
+    tracer = get_tracer()
+    registry = get_metrics()
+    cursor = time.time_ns() // 1_000
+    for phase in plan.phases:
+        dur_us = max(int(phase.time_s * 1e6), 0)
+        tracer.add_span(
+            phase.name,
+            PHASE_CATEGORY,
+            ts_us=cursor,
+            dur_us=dur_us,
+            args={
+                "operations": phase.operations,
+                "energy_j": phase.energy_j,
+                "engine": engine,
+                "modelled": True,
+            },
+        )
+        cursor += dur_us
+        slug = _phase_slug(phase.name)
+        if phase.operations:
+            registry.counter(f"phase.{slug}.operations").inc(
+                phase.operations
+            )
+        if phase.time_s:
+            registry.counter(f"phase.{slug}.modelled_s").inc(phase.time_s)
+        if phase.energy_j:
+            registry.counter(f"phase.{slug}.energy_j").inc(phase.energy_j)

@@ -40,7 +40,10 @@ from ..energy.ledger import EnergyLedger
 from ..errors import AlgorithmError
 from ..events import EventLog
 from ..graphs.graph import BipartiteGraph, Graph
+from ..obs.metrics import observe_event_counts
+from ..obs.trace import get_tracer
 from .cache import get_cache
+from .controller import build_plan, record_plan
 from .loader import CrossbarLayout, GroupIndex
 from .stats import (
     CFResult,
@@ -304,6 +307,11 @@ class GaaSXEngine:
             batches_loaded=batches,
         )
         stats.energy = self.ledger.price(events, stats.total_time_s)
+        # Tracing-gated: building the plan costs a few reductions, so
+        # the disabled path never reaches the controller.
+        if get_tracer().enabled:
+            record_plan(build_plan(stats, self.config), engine="gaasx")
+            observe_event_counts(events.as_dict())
         return stats
 
     # ------------------------------------------------------------------
@@ -338,7 +346,13 @@ class GaaSXEngine:
                 f"unknown algorithm {algorithm!r}; valid names: "
                 f"{list(self.ALGORITHMS)}"
             ) from None
-        return method(**params)
+        with get_tracer().span(
+            "engine.run", category="engine",
+            engine="gaasx", algorithm=algorithm,
+            vertices=self.graph.num_vertices,
+            edges=self.graph.num_edges,
+        ):
+            return method(**params)
 
     def pagerank(
         self,

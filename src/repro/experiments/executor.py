@@ -33,8 +33,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import ArchConfig
 from ..core import cache as layout_cache
 from ..errors import ConfigError
+from ..obs.log import get_logger
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
 from .reporting import ExperimentResult
+
+log = get_logger("repro.executor")
 
 
 @dataclass(frozen=True)
@@ -108,6 +113,13 @@ class RunManifest:
 
     def summary(self) -> str:
         """One-line human summary for the CLI."""
+        if not self.entries:
+            # An empty run (e.g. ``--only`` matching nothing) has no
+            # cache lookups; reporting a hit rate would be nonsense.
+            return (
+                f"0 experiments (nothing matched the request); "
+                f"{self.wall_time_s:.2f}s elapsed"
+            )
         t = self.cache_totals
         hits = (
             t.get("grid_hits", 0)
@@ -165,38 +177,63 @@ def _run_group(
     experiment_ids: Tuple[str, ...],
     profile: str,
     disk_cache_dir: Optional[str],
-) -> List[Tuple[str, ExperimentResult, dict]]:
+    trace: bool = False,
+) -> Tuple[List[Tuple[str, ExperimentResult, dict]], List[dict]]:
     """Run one affinity group serially (in a worker or in-process).
 
-    Returns ``(experiment_id, result, manifest_fields)`` triples; the
-    cache counters are deltas against the group-local snapshot so each
-    experiment's manifest entry reflects only its own lookups.
+    Returns ``(experiment_id, result, manifest_fields)`` triples plus
+    the spans this group recorded; the cache counters are deltas
+    against the group-local snapshot so each experiment's manifest
+    entry reflects only its own lookups.
+
+    ``trace=True`` is the *pool-worker* protocol: it enables the
+    worker-local tracer and drains its buffer into the second return
+    element for the parent to merge. In-process callers leave it False
+    — their spans land directly in the calling process's tracer.
     """
+    tracer = get_tracer()
+    if trace:
+        tracer.enabled = True
     if disk_cache_dir is not None:
         layout_cache.enable_disk_cache(disk_cache_dir)
     fingerprint = layout_cache.config_fingerprint(ArchConfig())
     out: List[Tuple[str, ExperimentResult, dict]] = []
-    for experiment_id in experiment_ids:
-        spec = get_experiment(experiment_id)
-        before = layout_cache.stats_snapshot()
-        start = time.perf_counter()
-        result = spec.driver(**spec.profile_kwargs(profile))
-        wall = time.perf_counter() - start
-        after = layout_cache.stats_snapshot()
-        out.append(
-            (
-                experiment_id,
-                result,
-                {
-                    "wall_time_s": wall,
-                    "worker": os.getpid(),
-                    "group": spec.cache_group,
-                    "config_fingerprint": fingerprint,
-                    "cache": layout_cache.CacheStats.delta(before, after),
-                },
+    with tracer.span(
+        "shard", category="shard",
+        experiments=list(experiment_ids), worker=os.getpid(),
+    ):
+        for experiment_id in experiment_ids:
+            spec = get_experiment(experiment_id)
+            before = layout_cache.stats_snapshot()
+            start = time.perf_counter()
+            with tracer.span(
+                experiment_id, category="experiment", profile=profile
+            ):
+                result = spec.driver(**spec.profile_kwargs(profile))
+            wall = time.perf_counter() - start
+            after = layout_cache.stats_snapshot()
+            log.debug(
+                "experiment.complete", experiment_id=experiment_id,
+                wall_time_s=round(wall, 4), worker=os.getpid(),
             )
-        )
-    return out
+            out.append(
+                (
+                    experiment_id,
+                    result,
+                    {
+                        "wall_time_s": wall,
+                        "worker": os.getpid(),
+                        "group": spec.cache_group,
+                        "config_fingerprint": fingerprint,
+                        "cache": layout_cache.CacheStats.delta(
+                            before, after
+                        ),
+                    },
+                )
+            )
+    # Only drain for pool workers; the in-process path's spans stay in
+    # (and are exported from) the caller's own tracer.
+    return out, (tracer.drain() if trace else [])
 
 
 def execute(
@@ -222,6 +259,12 @@ def execute(
         Attach the persistent layout cache (``cache_dir``,
         ``$REPRO_CACHE_DIR``, or ``~/.cache/repro``) so repeated runs
         and pool workers start warm.
+
+    When the calling process's tracer is enabled, the whole invocation
+    is one ``run`` span with ``shard`` (affinity group) and
+    ``experiment`` spans nested beneath; pool workers trace into their
+    own buffers, which are merged back here, so one trace file covers
+    every process.
     """
     if experiment_ids is None:
         specs = list(EXPERIMENTS.values())
@@ -239,23 +282,37 @@ def execute(
         profile=profile, jobs=min(jobs, max(len(groups), 1)),
         cache_dir=resolved_dir,
     )
+    tracer = get_tracer()
+    log.info(
+        "run.start", profile=profile, experiments=len(specs),
+        groups=len(id_groups), jobs=manifest.jobs,
+        cache_dir=resolved_dir,
+    )
     start = time.perf_counter()
     raw: Dict[str, Tuple[ExperimentResult, dict]] = {}
-    if manifest.jobs <= 1:
-        for ids in id_groups:
-            for experiment_id, result, meta in _run_group(
-                ids, profile, resolved_dir
-            ):
-                raw[experiment_id] = (result, meta)
-    else:
-        with ProcessPoolExecutor(max_workers=manifest.jobs) as pool:
-            futures = [
-                pool.submit(_run_group, ids, profile, resolved_dir)
-                for ids in id_groups
-            ]
-            for future in futures:
-                for experiment_id, result, meta in future.result():
+    with tracer.span(
+        "execute", category="run", profile=profile,
+        experiments=len(specs), jobs=manifest.jobs,
+    ):
+        if manifest.jobs <= 1:
+            for ids in id_groups:
+                triples, _ = _run_group(ids, profile, resolved_dir)
+                for experiment_id, result, meta in triples:
                     raw[experiment_id] = (result, meta)
+        else:
+            with ProcessPoolExecutor(max_workers=manifest.jobs) as pool:
+                futures = [
+                    pool.submit(
+                        _run_group, ids, profile, resolved_dir,
+                        tracer.enabled,
+                    )
+                    for ids in id_groups
+                ]
+                for future in futures:
+                    triples, worker_spans = future.result()
+                    tracer.ingest(worker_spans)
+                    for experiment_id, result, meta in triples:
+                        raw[experiment_id] = (result, meta)
     manifest.wall_time_s = time.perf_counter() - start
     ordered = [
         spec.experiment_id
@@ -269,4 +326,34 @@ def execute(
         manifest.entries.append(
             ManifestEntry(experiment_id=experiment_id, **meta)
         )
+    _publish_metrics(manifest)
+    log.info(
+        "run.complete", experiments=len(manifest.entries),
+        wall_time_s=round(manifest.wall_time_s, 4),
+        cache_hit_rate=round(manifest.cache_hit_rate, 4),
+    )
     return ExecutionReport(results=results, manifest=manifest)
+
+
+def _publish_metrics(manifest: RunManifest) -> None:
+    """Fold one run's manifest into the process metrics registry.
+
+    Cache counters come from the manifest's per-experiment deltas (not
+    ``stats_snapshot()``), so lookups performed inside pool workers are
+    counted too.
+    """
+    registry = get_metrics()
+    registry.counter("executor.runs").inc()
+    registry.counter("executor.experiments").inc(len(manifest.entries))
+    groups = {entry.group for entry in manifest.entries}
+    registry.counter("executor.groups").inc(len(groups))
+    registry.gauge("executor.jobs").set(manifest.jobs)
+    registry.counter("executor.wall_s").inc(manifest.wall_time_s)
+    wall_hist = registry.histogram("executor.experiment_wall_s")
+    for entry in manifest.entries:
+        wall_hist.observe(entry.wall_time_s)
+    for name, value in manifest.cache_totals.items():
+        if value:
+            registry.counter(f"cache.{name}").inc(value)
+    if manifest.entries:
+        registry.gauge("cache.hit_rate").set(manifest.cache_hit_rate)

@@ -29,9 +29,13 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigError
 from ..graphs.datasets import PROFILES
+from ..obs.log import get_logger
+from ..obs.trace import TRACE_FORMATS, get_tracer
 from .executor import RunManifest, execute
 from .registry import EXPERIMENTS, get_experiment
 from .reporting import ExperimentResult
+
+log = get_logger("repro.runner")
 
 #: Output formats a request may ask for.
 FORMATS = ("text", "json")
@@ -61,6 +65,14 @@ class RunRequest:
         Attach the persistent layout cache for this run.
     cache_dir:
         Explicit cache directory (overrides ``$REPRO_CACHE_DIR``).
+    trace_path:
+        When set, tracing is enabled for the run and the merged trace
+        (all pool workers included) is written here. A copy also lands
+        in ``output_dir`` alongside ``manifest.json`` when both are
+        given.
+    trace_format:
+        ``"chrome"`` (Perfetto / ``chrome://tracing`` JSON, default)
+        or ``"jsonl"`` (one span object per line).
     """
 
     experiment_id: Union[str, Sequence[str], None] = None
@@ -70,6 +82,8 @@ class RunRequest:
     format: str = "text"
     use_disk_cache: bool = True
     cache_dir: Optional[str] = None
+    trace_path: Optional[str] = None
+    trace_format: str = "chrome"
 
     def __post_init__(self) -> None:
         if self.experiment_id is not None and not isinstance(
@@ -91,6 +105,11 @@ class RunRequest:
             )
         if self.jobs is not None and self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.trace_format not in TRACE_FORMATS:
+            raise ConfigError(
+                f"unknown trace format {self.trace_format!r}; expected "
+                f"one of {TRACE_FORMATS}"
+            )
 
     @property
     def experiment_ids(self) -> Tuple[str, ...]:
@@ -135,19 +154,35 @@ class RunSession:
     def run(self) -> Dict[str, ExperimentResult]:
         """Execute the request; returns id -> :class:`ExperimentResult`."""
         request = self.request
-        report = execute(
-            experiment_ids=request.experiment_ids,
-            profile=request.profile,
-            jobs=request.jobs,
-            disk_cache=request.use_disk_cache,
-            cache_dir=request.cache_dir,
-        )
+        tracing = request.trace_path is not None
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        if tracing:
+            tracer.enabled = True
+            tracer.clear()
+        try:
+            with tracer.span(
+                "run", category="run", profile=request.profile,
+                experiments=len(request.experiment_ids),
+            ):
+                report = execute(
+                    experiment_ids=request.experiment_ids,
+                    profile=request.profile,
+                    jobs=request.jobs,
+                    disk_cache=request.use_disk_cache,
+                    cache_dir=request.cache_dir,
+                )
+        finally:
+            if tracing:
+                tracer.enabled = was_enabled
         self._results = report.results
         self._manifest = report.manifest
         if request.output_dir is not None:
             for result in report.results.values():
                 persist_result(result, request.output_dir)
             self._write_manifest(request.output_dir)
+        if tracing:
+            self._write_trace(tracer)
         return report.results
 
     def rendered(self, experiment_id: str) -> str:
@@ -164,6 +199,20 @@ class RunSession:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.manifest.to_dict(), handle, indent=2)
             handle.write("\n")
+
+    def _write_trace(self, tracer) -> None:
+        """Export the merged span buffer to the requested path(s)."""
+        request = self.request
+        written = tracer.write(request.trace_path, request.trace_format)
+        log.info(
+            "trace.written", path=written, format=request.trace_format,
+            spans=len(tracer.records()),
+        )
+        if request.output_dir is not None:
+            ext = "json" if request.trace_format == "chrome" else "jsonl"
+            archived = os.path.join(request.output_dir, f"trace.{ext}")
+            if os.path.abspath(archived) != os.path.abspath(written):
+                tracer.write(archived, request.trace_format)
 
 
 def persist_result(result: ExperimentResult, output_dir: str) -> None:

@@ -1,0 +1,58 @@
+"""Observability: tracing, metrics, and structured logging.
+
+Three small, dependency-free facilities the rest of the package hooks
+into:
+
+* :mod:`repro.obs.trace` — a span-based tracer. Runs, experiments,
+  shard groups, and the five controller phases become nested spans;
+  a finished buffer exports as JSONL or Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``). Disabled by default
+  and zero-cost when disabled.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and histograms. The layout cache, the experiment executor,
+  and the engines publish into it.
+* :mod:`repro.obs.log` — a structured (JSON lines on stderr) logger
+  with ``$REPRO_LOG_LEVEL`` / ``--log-level`` control, replacing the
+  ad-hoc ``print(..., file=sys.stderr)`` calls.
+
+Import convention: everything in this package imports nothing from the
+rest of ``repro``, so any module — engines, cache, CLI — may import it
+without cycles. The one exception is :mod:`repro.obs.summary`, which
+reads phase names from :mod:`repro.core.controller` (a leaf module).
+"""
+
+from .log import configure_logging, get_logger, set_level
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    observe_event_counts,
+    reset_metrics,
+)
+from .trace import (
+    PHASE_CATEGORY,
+    TRACE_FORMATS,
+    Tracer,
+    get_tracer,
+    reset_tracer,
+)
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "set_level",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "observe_event_counts",
+    "reset_metrics",
+    "PHASE_CATEGORY",
+    "TRACE_FORMATS",
+    "Tracer",
+    "get_tracer",
+    "reset_tracer",
+]

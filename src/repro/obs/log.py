@@ -1,0 +1,148 @@
+"""Structured logging: key=value JSON lines on stderr.
+
+Every operational message in the package goes through a
+:class:`StructuredLogger`::
+
+    from repro.obs.log import get_logger
+
+    log = get_logger("repro.executor")
+    log.info("run.complete", experiments=24, wall_time_s=3.2)
+
+which emits one JSON object per line to ``sys.stderr``::
+
+    {"ts": 1754500000.123456, "level": "info", "logger":
+     "repro.executor", "event": "run.complete", "experiments": 24,
+     "wall_time_s": 3.2}
+
+stdout is never touched, so report payloads stay byte-stable however
+verbose the run is. The threshold comes from ``$REPRO_LOG_LEVEL`` at
+import (default ``info``) and can be changed at runtime with
+:func:`set_level` (the CLI's ``--log-level`` does exactly that).
+Messages below the threshold return before any formatting or timestamp
+work — a ``debug`` call in a hot loop costs one dict lookup and one
+integer compare.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+#: Recognised level names, least to most severe.
+LEVELS: Dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+}
+
+#: Environment variable holding the default threshold.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_DEFAULT_LEVEL = "info"
+
+_threshold = LEVELS[_DEFAULT_LEVEL]
+_threshold_name = _DEFAULT_LEVEL
+
+
+def _resolve(level: str) -> int:
+    try:
+        return LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{sorted(LEVELS)}"
+        ) from None
+
+
+def set_level(level: str) -> None:
+    """Set the process-wide threshold (``debug``..``error``)."""
+    global _threshold, _threshold_name
+    _threshold = _resolve(level)
+    _threshold_name = level.lower()
+
+
+def get_level() -> str:
+    """The current threshold name."""
+    return _threshold_name
+
+
+def configure_logging(level: Optional[str] = None) -> str:
+    """Apply ``level``, else ``$REPRO_LOG_LEVEL``, else ``info``.
+
+    Returns the threshold name that ended up in effect. Called by the
+    CLI before any work; safe to call repeatedly.
+    """
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV) or _DEFAULT_LEVEL
+    set_level(level)
+    return get_level()
+
+
+class StructuredLogger:
+    """Named emitter of JSON-line records.
+
+    ``stream`` defaults to ``sys.stderr`` resolved at emit time, so
+    pytest's capture and shell redirection both see the records.
+    """
+
+    __slots__ = ("name", "_stream")
+
+    def __init__(self, name: str, stream: Optional[TextIO] = None) -> None:
+        self.name = name
+        self._stream = stream
+
+    def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(json.dumps(record, default=str), file=stream)
+
+    # ------------------------------------------------------------------
+    def debug(self, event: str, **fields: Any) -> None:
+        if _threshold <= LEVELS["debug"]:
+            self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        if _threshold <= LEVELS["info"]:
+            self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        if _threshold <= LEVELS["warning"]:
+            self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        if _threshold <= LEVELS["error"]:
+            self._emit("error", event, fields)
+
+    def is_enabled_for(self, level: str) -> bool:
+        """Whether records at ``level`` currently pass the threshold."""
+        return _threshold <= _resolve(level)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Get (or create) the named logger."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = StructuredLogger(name)
+        _loggers[name] = logger
+    return logger
+
+
+# Pick up $REPRO_LOG_LEVEL once at import; a bad value falls back to
+# the default rather than breaking import.
+try:
+    configure_logging()
+except ValueError:
+    set_level(_DEFAULT_LEVEL)

@@ -1,0 +1,195 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per process (see :func:`get_metrics`)
+absorbs operational statistics from across the stack:
+
+* ``cache.*`` — hit/miss/write counters from
+  :mod:`repro.core.cache` (the executor publishes each run's manifest
+  deltas, so pool workers' lookups are included);
+* ``executor.*`` — runs, affinity groups, experiments, worker count,
+  and the per-experiment wall-time histogram from
+  :mod:`repro.experiments.executor`;
+* ``phase.*`` — per-phase operation counts and modelled seconds from
+  the five-phase controller summary
+  (:func:`repro.core.controller.record_plan`);
+* ``events.*`` — raw :class:`~repro.events.EventLog` counter deltas
+  via :func:`observe_event_counts`.
+
+Metric names are dotted lowercase paths. All instruments are
+thread-safe and accept ints or floats; :meth:`MetricsRegistry.snapshot`
+returns a plain nested dict for manifests, tests, and ad-hoc dumps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (worker counts, cache sizes, rates)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind raises ``TypeError``.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a "
+                    f"{type(instrument).__name__}, not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as a plain dict (histograms as summaries)."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: Dict[str, Any] = {}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value  # type: ignore[union-attr]
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._instruments.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-global registry
+# ----------------------------------------------------------------------
+_global_registry: Optional[MetricsRegistry] = None
+_global_lock = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (created on first use)."""
+    global _global_registry
+    with _global_lock:
+        if _global_registry is None:
+            _global_registry = MetricsRegistry()
+        return _global_registry
+
+
+def reset_metrics() -> None:
+    """Replace the global registry (tests and pool hygiene)."""
+    global _global_registry
+    with _global_lock:
+        _global_registry = None
+
+
+def observe_event_counts(
+    counts: Mapping[str, Number],
+    prefix: str = "events",
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Fold a counter mapping (e.g. ``EventLog.as_dict()``) into
+    ``<prefix>.<name>`` counters."""
+    registry = registry if registry is not None else get_metrics()
+    for name, value in counts.items():
+        if value:
+            registry.counter(f"{prefix}.{name}").inc(value)

@@ -1,0 +1,168 @@
+"""Trace-file inspection: the ``repro trace-summary`` backend.
+
+Loads a trace written by :meth:`repro.obs.trace.Tracer.write` — either
+format — and renders a per-phase time/event table::
+
+    phase                        spans      operations   modelled time    share
+    Initialization                  12              36          0.00us     0.0%
+    Data loading                    12          41,924        912.11us    31.4%
+    ...
+
+Phase rows follow the controller's canonical five-phase order; spans of
+other categories are summarised underneath (count and wall time) so a
+trace of a whole ``run-all`` reads top-down: run → shards →
+experiments → phases.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from ..core.controller import PHASE_NAMES
+from ..errors import ConfigError
+from .trace import PHASE_CATEGORY
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a trace file in either supported format.
+
+    Returns normalised span dicts (``name``/``cat``/``ts``/``dur``/
+    ``pid``/``tid``/``args``). Chrome files are detected by their
+    ``{"traceEvents": ...}`` envelope; anything else is parsed as
+    JSONL. Raises :class:`~repro.errors.ConfigError` on unreadable or
+    malformed input.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace file {path!r}: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped:
+        raise ConfigError(f"trace file {path!r} is empty")
+    # Chrome files are one JSON document; JSONL lines are each their
+    # own document (and also start with "{"), so try whole-file parse
+    # first and fall back to per-line.
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        try:
+            spans = [
+                json.loads(line)
+                for line in text.splitlines()
+                if line.strip()
+            ]
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"trace file {path!r} is not valid JSON: {exc}"
+            ) from exc
+    else:
+        if isinstance(payload, dict) and isinstance(
+            payload.get("traceEvents"), list
+        ):
+            spans = [
+                e for e in payload["traceEvents"]
+                if e.get("ph", "X") == "X"
+            ]
+        elif isinstance(payload, dict) and "name" in payload:
+            spans = [payload]  # a one-line JSONL trace
+        else:
+            raise ConfigError(
+                f"trace file {path!r} has no traceEvents array"
+            )
+    for span in spans:
+        span.setdefault("cat", "task")
+        span.setdefault("args", {})
+        span.setdefault("dur", 0)
+    return spans
+
+
+def summarize_phases(
+    spans: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Aggregate phase-category spans by phase name.
+
+    Returns one row per phase (canonical order first, then any extra
+    names alphabetically) with span count, summed operations, and
+    summed modelled duration in microseconds.
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        if span.get("cat") != PHASE_CATEGORY:
+            continue
+        row = rows.setdefault(
+            span["name"],
+            {"phase": span["name"], "spans": 0, "operations": 0,
+             "dur_us": 0.0, "energy_j": 0.0},
+        )
+        row["spans"] += 1
+        row["dur_us"] += float(span.get("dur", 0))
+        args = span.get("args") or {}
+        row["operations"] += int(args.get("operations", 0))
+        row["energy_j"] += float(args.get("energy_j", 0.0))
+    ordered = [rows[name] for name in PHASE_NAMES if name in rows]
+    ordered.extend(
+        rows[name] for name in sorted(rows) if name not in PHASE_NAMES
+    )
+    return ordered
+
+
+def summarize_categories(
+    spans: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Span count and wall time per non-phase category."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        category = span.get("cat", "task")
+        if category == PHASE_CATEGORY:
+            continue
+        row = rows.setdefault(
+            category, {"category": category, "spans": 0, "dur_us": 0.0}
+        )
+        row["spans"] += 1
+        row["dur_us"] += float(span.get("dur", 0))
+    return [rows[name] for name in sorted(rows)]
+
+
+def _format_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.2f}us"
+
+
+def render_summary(spans: Sequence[Dict[str, Any]]) -> str:
+    """The ``trace-summary`` table as a string."""
+    phase_rows = summarize_phases(spans)
+    lines: List[str] = []
+    header = (
+        f"{'phase':<26} {'spans':>7} {'operations':>14} "
+        f"{'modelled time':>14} {'share':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    if phase_rows:
+        total_dur = sum(r["dur_us"] for r in phase_rows)
+        for row in phase_rows:
+            share = row["dur_us"] / total_dur if total_dur else 0.0
+            lines.append(
+                f"{row['phase']:<26} {row['spans']:>7,} "
+                f"{row['operations']:>14,} "
+                f"{_format_us(row['dur_us']):>14} {share:>6.1%}"
+            )
+    else:
+        lines.append("(no phase spans in this trace)")
+    category_rows = summarize_categories(spans)
+    if category_rows:
+        lines.append("")
+        sub = f"{'category':<26} {'spans':>7} {'wall time':>14}"
+        lines.append(sub)
+        lines.append("-" * len(sub))
+        for row in category_rows:
+            lines.append(
+                f"{row['category']:<26} {row['spans']:>7,} "
+                f"{_format_us(row['dur_us']):>14}"
+            )
+    return "\n".join(lines)

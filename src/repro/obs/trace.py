@@ -1,0 +1,292 @@
+"""Span-based tracing for the simulation stack.
+
+A :class:`Tracer` owns one per-process buffer of completed spans. Code
+opens spans with::
+
+    from repro.obs.trace import get_tracer
+
+    with get_tracer().span("fig11", category="experiment", jobs=4):
+        ...
+
+and the buffer later exports as JSONL (one span object per line) or as
+Chrome trace-event JSON — the ``{"traceEvents": [...]}`` envelope that
+Perfetto and ``chrome://tracing`` load directly.
+
+Design constraints, in order:
+
+* **Zero cost when disabled.** ``Tracer.span`` returns a shared no-op
+  context manager when tracing is off: no allocation beyond the kwargs
+  dict at the call site, no string formatting, no clock reads. Span
+  names are static strings or pre-existing values — never f-strings —
+  so the disabled path does no formatting work.
+* **Worker-safe.** Each process has its own tracer (module-global,
+  created on first use). Pool workers trace into their local buffer,
+  :meth:`Tracer.drain` hands the completed records back as picklable
+  dicts, and the parent :meth:`Tracer.ingest`\\ s them. Records carry
+  ``pid``/``tid`` so merged traces keep one timeline row per worker.
+* **Nesting without plumbing.** A thread-local stack links each span
+  to its parent; engines deep in the call tree emit phase spans that
+  land under whatever experiment span is open.
+
+Timestamps are wall-clock microseconds (``time.time_ns() // 1000``) so
+records from different processes merge onto one timeline; durations are
+measured with ``perf_counter_ns`` for resolution. Modelled spans (the
+controller phases, whose durations are *simulated* hardware time, not
+wall time) are injected with :meth:`Tracer.add_span` and flagged
+``"modelled": true`` in their args.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Trace-file formats :meth:`Tracer.write` accepts.
+TRACE_FORMATS = ("jsonl", "chrome")
+
+#: Category used for the five modelled controller phases.
+PHASE_CATEGORY = "phase"
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **args: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """A live span: context manager that records itself on exit."""
+
+    __slots__ = (
+        "_tracer", "name", "category", "args",
+        "span_id", "parent_id", "_ts_us", "_start_ns",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        args: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.span_id = tracer._next_id()
+        self.parent_id: Optional[int] = None
+        self._ts_us = 0
+        self._start_ns = 0
+
+    def set(self, **args: Any) -> "_ActiveSpan":
+        """Attach or update span attributes mid-flight."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._ts_us = time.time_ns() // 1_000
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        dur_us = (time.perf_counter_ns() - self._start_ns) // 1_000
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._append(
+            {
+                "name": self.name,
+                "cat": self.category,
+                "ts": self._ts_us,
+                "dur": int(dur_us),
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0xFFFFFFFF,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "args": self.args,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Per-process span buffer with JSONL / Chrome export.
+
+    Disabled by default; flip :attr:`enabled` (or call
+    :func:`get_tracer` and set it) to start recording. All methods are
+    thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "task", **args: Any):
+        """Open a span; use as a context manager.
+
+        Returns the shared no-op span when tracing is disabled, so the
+        call site pays only the kwargs dict.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _ActiveSpan(self, name, category, args)
+
+    def add_span(
+        self,
+        name: str,
+        category: str,
+        ts_us: int,
+        dur_us: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Inject an already-timed span (modelled phases, replays).
+
+        The span is parented under the innermost live span of the
+        calling thread, if any.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        self._append(
+            {
+                "name": name,
+                "cat": category,
+                "ts": int(ts_us),
+                "dur": int(dur_us),
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0xFFFFFFFF,
+                "id": self._next_id(),
+                "parent": stack[-1].span_id if stack else None,
+                "args": dict(args) if args else {},
+            }
+        )
+
+    def _next_id(self) -> int:
+        return next(self._counter)
+
+    def _stack(self) -> List[_ActiveSpan]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Buffer access and cross-process merging
+    # ------------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Snapshot of the completed-span buffer (picklable dicts)."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear the buffer (pool workers hand these back)."""
+        with self._lock:
+            records, self._records = self._records, []
+        return records
+
+    def ingest(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Merge records drained from another process's tracer."""
+        with self._lock:
+            self._records.extend(records)
+
+    def clear(self) -> None:
+        """Drop all buffered spans."""
+        with self._lock:
+            self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_jsonl(self) -> str:
+        """One JSON object per line, in completion order."""
+        return "\n".join(json.dumps(r, default=str) for r in self.records())
+
+    def export_chrome(self) -> str:
+        """Chrome trace-event JSON (complete-event ``"ph": "X"`` form)."""
+        events = [
+            {
+                "name": r["name"],
+                "cat": r["cat"],
+                "ph": "X",
+                "ts": r["ts"],
+                "dur": r["dur"],
+                "pid": r["pid"],
+                "tid": r["tid"],
+                "args": r["args"],
+            }
+            for r in self.records()
+        ]
+        return json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, default=str
+        )
+
+    def write(self, path: str, format: str = "chrome") -> str:
+        """Write the buffer to ``path`` in the given format."""
+        if format not in TRACE_FORMATS:
+            raise ValueError(
+                f"unknown trace format {format!r}; expected one of "
+                f"{TRACE_FORMATS}"
+            )
+        payload = (
+            self.export_chrome() if format == "chrome"
+            else self.export_jsonl()
+        )
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.write("\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer
+# ----------------------------------------------------------------------
+_global_tracer: Optional[Tracer] = None
+_global_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (created disabled on first use)."""
+    global _global_tracer
+    with _global_lock:
+        if _global_tracer is None:
+            _global_tracer = Tracer()
+        return _global_tracer
+
+
+def reset_tracer() -> None:
+    """Replace the global tracer (tests and pool hygiene)."""
+    global _global_tracer
+    with _global_lock:
+        _global_tracer = None

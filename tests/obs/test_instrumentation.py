@@ -1,0 +1,201 @@
+"""End-to-end observability: engines, executor, runner, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.controller import PHASE_NAMES, build_plan, record_plan
+from repro.core.engine import GaaSXEngine
+from repro.baselines.graphr.engine import GraphREngine
+from repro.experiments.executor import RunManifest, execute
+from repro.experiments.runner import RunRequest, RunSession
+from repro.errors import ConfigError
+from repro.obs.metrics import get_metrics, reset_metrics
+from repro.obs.trace import PHASE_CATEGORY, get_tracer, reset_tracer
+
+
+@pytest.fixture()
+def clean_obs():
+    """Fresh global tracer/registry, restored afterwards."""
+    reset_tracer()
+    reset_metrics()
+    yield get_tracer()
+    reset_tracer()
+    reset_metrics()
+
+
+@pytest.fixture(autouse=True)
+def restore_log_level():
+    from repro.obs.log import get_level, set_level
+
+    before = get_level()
+    yield
+    set_level(before)
+
+
+class TestEngineInstrumentation:
+    def test_disabled_tracer_records_nothing(self, small_rmat, clean_obs):
+        GaaSXEngine(small_rmat).pagerank(iterations=2)
+        assert clean_obs.records() == []
+
+    def test_gaasx_run_emits_all_phases(self, small_rmat, clean_obs):
+        clean_obs.enabled = True
+        GaaSXEngine(small_rmat).run("pagerank", iterations=2)
+        records = clean_obs.records()
+        phase_names = {
+            r["name"] for r in records if r["cat"] == PHASE_CATEGORY
+        }
+        assert phase_names == set(PHASE_NAMES)
+        engine_spans = [r for r in records if r["cat"] == "engine"]
+        assert engine_spans[0]["args"]["algorithm"] == "pagerank"
+
+    def test_phases_nest_under_engine_span(self, small_rmat, clean_obs):
+        clean_obs.enabled = True
+        GaaSXEngine(small_rmat).run("bfs", source=0)
+        records = clean_obs.records()
+        engine_span = next(r for r in records if r["cat"] == "engine")
+        phases = [r for r in records if r["cat"] == PHASE_CATEGORY]
+        assert all(p["parent"] == engine_span["id"] for p in phases)
+
+    def test_graphr_emits_phases_too(self, small_rmat, clean_obs):
+        clean_obs.enabled = True
+        GraphREngine(small_rmat).pagerank(iterations=2)
+        records = clean_obs.records()
+        phases = [r for r in records if r["cat"] == PHASE_CATEGORY]
+        assert {p["name"] for p in phases} == set(PHASE_NAMES)
+        assert all(p["args"]["engine"] == "graphr" for p in phases)
+
+    def test_phase_metrics_published(self, small_rmat, clean_obs):
+        clean_obs.enabled = True
+        GaaSXEngine(small_rmat).pagerank(iterations=2)
+        snap = get_metrics().snapshot()
+        assert snap.get("phase.mac_operation.operations", 0) > 0
+        assert snap.get("events.mac_ops", 0) > 0
+
+    def test_record_plan_marks_spans_modelled(self, small_rmat, clean_obs):
+        clean_obs.enabled = True
+        result = GaaSXEngine(small_rmat).pagerank(iterations=1)
+        clean_obs.clear()
+        record_plan(build_plan(result.stats), engine="gaasx")
+        for record in clean_obs.records():
+            assert record["args"]["modelled"] is True
+
+
+class TestExecutorInstrumentation:
+    def test_trace_spans_through_pool(self, tmp_path, clean_obs):
+        clean_obs.enabled = True
+        report = execute(
+            ["abl-interval", "abl-xbar"], profile="tiny", jobs=2,
+            cache_dir=str(tmp_path),
+        )
+        assert len(report.results) == 2
+        records = clean_obs.records()
+        by_cat = {}
+        for r in records:
+            by_cat.setdefault(r["cat"], []).append(r)
+        assert len(by_cat["experiment"]) == 2
+        assert len(by_cat["shard"]) == 2  # two affinity groups
+        assert set(PHASE_NAMES) <= {
+            r["name"] for r in by_cat[PHASE_CATEGORY]
+        }
+
+    def test_metrics_absorb_manifest(self, tmp_path, clean_obs):
+        execute(["abl-interval"], profile="tiny", jobs=1,
+                cache_dir=str(tmp_path))
+        snap = get_metrics().snapshot()
+        assert snap["executor.runs"] == 1
+        assert snap["executor.experiments"] == 1
+        assert snap["executor.experiment_wall_s"]["count"] == 1
+        assert any(name.startswith("cache.") for name in snap)
+
+
+class TestEmptyRunRegression:
+    def test_summary_reports_zero_experiments(self):
+        manifest = RunManifest(profile="tiny", jobs=1)
+        summary = manifest.summary()
+        assert "0 experiments" in summary
+        assert "hit rate" not in summary  # no degenerate 0/0 report
+
+    def test_empty_execute(self, clean_obs):
+        report = execute([], profile="tiny", disk_cache=False)
+        assert report.results == {}
+        assert report.manifest.cache_hit_rate == 0.0
+        assert "0 experiments" in report.manifest.summary()
+        payload = report.manifest.to_dict()
+        assert payload["experiments"] == []
+
+    def test_empty_session_through_runner(self, tmp_path):
+        session = RunSession(RunRequest(
+            experiment_id=(), profile="tiny", jobs=1,
+            output_dir=str(tmp_path / "out"), use_disk_cache=False,
+        ))
+        assert session.run() == {}
+        manifest = json.loads(
+            (tmp_path / "out" / "manifest.json").read_text()
+        )
+        assert manifest["experiments"] == []
+        assert manifest["cache_hit_rate"] == 0.0
+
+
+class TestRunnerTracing:
+    def test_trace_file_written(self, tmp_path, clean_obs):
+        trace_path = tmp_path / "trace.json"
+        session = RunSession(RunRequest(
+            experiment_id="abl-interval", profile="tiny", jobs=1,
+            use_disk_cache=False, trace_path=str(trace_path),
+        ))
+        session.run()
+        payload = json.loads(trace_path.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert set(PHASE_NAMES) <= names
+        assert "run" in names
+
+    def test_trace_copy_lands_next_to_manifest(self, tmp_path, clean_obs):
+        out = tmp_path / "reports"
+        session = RunSession(RunRequest(
+            experiment_id="abl-interval", profile="tiny", jobs=1,
+            use_disk_cache=False, output_dir=str(out),
+            trace_path=str(tmp_path / "elsewhere.json"),
+        ))
+        session.run()
+        assert (out / "manifest.json").exists()
+        assert (out / "trace.json").exists()
+
+    def test_bad_trace_format_rejected(self):
+        with pytest.raises(ConfigError):
+            RunRequest(experiment_id="abl-interval", trace_format="xml")
+
+
+class TestCLITracing:
+    def test_run_all_trace_and_summary(self, tmp_path, capsys, clean_obs,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace_path = str(tmp_path / "out.json")
+        code = main([
+            "run-all", "--profile", "tiny", "--only", "abl-interval",
+            "--jobs", "1", "--trace", trace_path,
+            "--trace-format", "chrome",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace-summary", trace_path]) == 0
+        table = capsys.readouterr().out
+        for name in PHASE_NAMES:
+            assert name in table
+
+    def test_trace_summary_missing_file_errors(self, tmp_path, capsys):
+        assert main(["trace-summary", str(tmp_path / "nope.json")]) == 1
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_log_level_flag_suppresses_info(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main([
+            "run", "abl-interval", "--profile", "tiny", "--jobs", "1",
+            "--log-level", "warning",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "abl-interval" in captured.out
+        assert "run.summary" not in captured.err

@@ -1,0 +1,112 @@
+"""Tests for the structured logger."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import (
+    LOG_LEVEL_ENV,
+    StructuredLogger,
+    configure_logging,
+    get_level,
+    get_logger,
+    set_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_level():
+    before = get_level()
+    yield
+    set_level(before)
+
+
+def make_logger(name="test"):
+    stream = io.StringIO()
+    return StructuredLogger(name, stream=stream), stream
+
+
+class TestEmission:
+    def test_json_line_shape(self):
+        logger, stream = make_logger("repro.test")
+        set_level("info")
+        logger.info("run.complete", experiments=3, wall_time_s=1.25)
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "run.complete"
+        assert record["experiments"] == 3
+        assert record["wall_time_s"] == 1.25
+        assert isinstance(record["ts"], float)
+
+    def test_one_line_per_record(self):
+        logger, stream = make_logger()
+        set_level("info")
+        logger.info("a")
+        logger.warning("b")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_non_json_values_stringified(self):
+        logger, stream = make_logger()
+        set_level("info")
+        logger.info("odd", value={1, 2}.__class__)  # a type object
+        assert json.loads(stream.getvalue())  # must not raise
+
+    def test_default_stream_is_stderr(self, capsys):
+        set_level("info")
+        get_logger("repro.capture-test").info("hello.event")
+        captured = capsys.readouterr()
+        assert "hello.event" in captured.err
+        assert captured.out == ""  # stdout stays byte-stable
+
+
+class TestLevels:
+    def test_debug_suppressed_at_info(self):
+        logger, stream = make_logger()
+        set_level("info")
+        logger.debug("noise")
+        assert stream.getvalue() == ""
+
+    def test_debug_emitted_at_debug(self):
+        logger, stream = make_logger()
+        set_level("debug")
+        logger.debug("detail")
+        assert "detail" in stream.getvalue()
+
+    def test_error_always_passes(self):
+        logger, stream = make_logger()
+        set_level("error")
+        logger.warning("dropped")
+        logger.error("kept")
+        assert "dropped" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+    def test_is_enabled_for(self):
+        set_level("warning")
+        logger, _ = make_logger()
+        assert not logger.is_enabled_for("info")
+        assert logger.is_enabled_for("error")
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            set_level("loud")
+
+
+class TestConfigure:
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+        assert configure_logging() == "debug"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+        assert configure_logging("warning") == "warning"
+
+    def test_default_is_info(self, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+        assert configure_logging() == "info"
+
+    def test_get_logger_cached(self):
+        assert get_logger("repro.x") is get_logger("repro.x")

@@ -1,0 +1,108 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.events import EventLog
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    observe_event_counts,
+    reset_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        c.inc(0.5)
+        assert c.value == 5.5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1
+
+    def test_histogram_summary(self):
+        h = Histogram("x")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_empty_histogram_summary(self):
+        summary = Histogram("x").summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_snapshot(self):
+        r = MetricsRegistry()
+        r.counter("runs").inc(2)
+        r.gauge("jobs").set(4)
+        r.histogram("wall").observe(1.5)
+        snap = r.snapshot()
+        assert snap["runs"] == 2
+        assert snap["jobs"] == 4
+        assert snap["wall"]["count"] == 1
+
+    def test_reset_drops_instruments(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.reset()
+        assert r.snapshot() == {}
+        assert r.counter("a").value == 0
+
+    def test_global_registry_singleton(self):
+        reset_metrics()
+        try:
+            assert get_metrics() is get_metrics()
+        finally:
+            reset_metrics()
+
+
+class TestEventAbsorption:
+    def test_observe_event_counts(self):
+        r = MetricsRegistry()
+        events = EventLog(cam_searches=3, sfu_ops=7)
+        observe_event_counts(events.as_dict(), registry=r)
+        snap = r.snapshot()
+        assert snap["events.cam_searches"] == 3
+        assert snap["events.sfu_ops"] == 7
+        # Zero counters are not materialized.
+        assert "events.mac_ops" not in snap
+
+    def test_accumulates_across_calls(self):
+        r = MetricsRegistry()
+        observe_event_counts({"mac_ops": 2}, registry=r)
+        observe_event_counts({"mac_ops": 5}, registry=r)
+        assert r.counter("events.mac_ops").value == 7
+
+    def test_custom_prefix(self):
+        r = MetricsRegistry()
+        observe_event_counts({"mac_ops": 1}, prefix="gaasx", registry=r)
+        assert "gaasx.mac_ops" in r.snapshot()

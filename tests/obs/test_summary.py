@@ -1,0 +1,116 @@
+"""Tests for trace-file loading and the per-phase summary table."""
+
+import json
+
+import pytest
+
+from repro.core.controller import PHASE_NAMES
+from repro.errors import ConfigError
+from repro.obs.summary import (
+    load_trace,
+    render_summary,
+    summarize_categories,
+    summarize_phases,
+)
+from repro.obs.trace import PHASE_CATEGORY, Tracer
+
+
+def make_phase_trace():
+    """A tracer holding one run span and all five modelled phases."""
+    tracer = Tracer()
+    tracer.enabled = True
+    with tracer.span("run", category="run"):
+        cursor = 1000
+        for index, name in enumerate(PHASE_NAMES):
+            tracer.add_span(
+                name, PHASE_CATEGORY, ts_us=cursor, dur_us=10 * index,
+                args={"operations": 100 * (index + 1), "modelled": True},
+            )
+            cursor += 10 * index
+    return tracer
+
+
+class TestLoadTrace:
+    @pytest.mark.parametrize("fmt", ["jsonl", "chrome"])
+    def test_round_trip(self, tmp_path, fmt):
+        tracer = make_phase_trace()
+        path = str(tmp_path / f"trace.{fmt}")
+        tracer.write(path, fmt)
+        spans = load_trace(path)
+        assert len(spans) == len(PHASE_NAMES) + 1
+        names = {s["name"] for s in spans}
+        assert set(PHASE_NAMES) <= names
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_trace(str(tmp_path / "absent.json"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ConfigError):
+            load_trace(str(path))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json\nnot either")
+        with pytest.raises(ConfigError):
+            load_trace(str(path))
+
+    def test_json_without_trace_events(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ConfigError):
+            load_trace(str(path))
+
+    def test_single_line_jsonl(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        path.write_text(json.dumps(
+            {"name": "solo", "cat": "task", "ts": 0, "dur": 1}
+        ))
+        (span,) = load_trace(str(path))
+        assert span["name"] == "solo"
+
+
+class TestSummaries:
+    def test_phase_rows_in_canonical_order(self, tmp_path):
+        tracer = make_phase_trace()
+        path = str(tmp_path / "t.json")
+        tracer.write(path, "chrome")
+        rows = summarize_phases(load_trace(path))
+        assert [r["phase"] for r in rows] == list(PHASE_NAMES)
+        assert rows[1]["operations"] == 200
+        assert rows[1]["dur_us"] == 10.0
+
+    def test_phase_aggregation_across_repeats(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        for _ in range(3):
+            tracer.add_span(
+                "CAM search", PHASE_CATEGORY, ts_us=0, dur_us=4,
+                args={"operations": 10},
+            )
+        (row,) = summarize_phases(tracer.records())
+        assert row["spans"] == 3
+        assert row["operations"] == 30
+        assert row["dur_us"] == 12.0
+
+    def test_categories_exclude_phases(self):
+        tracer = make_phase_trace()
+        rows = summarize_categories(tracer.records())
+        assert [r["category"] for r in rows] == ["run"]
+
+    def test_render_contains_all_phases(self):
+        tracer = make_phase_trace()
+        table = render_summary(tracer.records())
+        for name in PHASE_NAMES:
+            assert name in table
+        assert "share" in table
+
+    def test_render_without_phase_spans(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with tracer.span("only-a-run", category="run"):
+            pass
+        table = render_summary(tracer.records())
+        assert "no phase spans" in table

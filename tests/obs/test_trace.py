@@ -1,0 +1,165 @@
+"""Tests for the span tracer."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    PHASE_CATEGORY,
+    TRACE_FORMATS,
+    Tracer,
+    _NOOP_SPAN,
+    get_tracer,
+    reset_tracer,
+)
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.enabled = True
+    return t
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert Tracer().enabled is False
+
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        span = t.span("anything", category="x", data=1)
+        assert span is _NOOP_SPAN
+        assert t.span("other") is span  # no per-call allocation
+
+    def test_noop_span_contextmanager(self):
+        t = Tracer()
+        with t.span("ignored") as span:
+            span.set(more="args")
+        assert t.records() == []
+
+    def test_disabled_add_span_is_dropped(self):
+        t = Tracer()
+        t.add_span("phase", PHASE_CATEGORY, ts_us=0, dur_us=5)
+        assert t.records() == []
+
+
+class TestRecording:
+    def test_span_records_on_exit(self, tracer):
+        with tracer.span("work", category="experiment", profile="tiny"):
+            pass
+        (record,) = tracer.records()
+        assert record["name"] == "work"
+        assert record["cat"] == "experiment"
+        assert record["args"] == {"profile": "tiny"}
+        assert record["dur"] >= 0
+        assert record["parent"] is None
+
+    def test_nesting_links_parent(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, outer_rec = tracer.records()
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer.span_id
+        assert outer_rec["parent"] is None
+
+    def test_set_updates_args(self, tracer):
+        with tracer.span("work", a=1) as span:
+            span.set(b=2)
+        (record,) = tracer.records()
+        assert record["args"] == {"a": 1, "b": 2}
+
+    def test_add_span_parents_under_open_span(self, tracer):
+        with tracer.span("engine") as open_span:
+            tracer.add_span(
+                "CAM search", PHASE_CATEGORY, ts_us=10, dur_us=5,
+                args={"operations": 7},
+            )
+        phase = tracer.records()[0]
+        assert phase["parent"] == open_span.span_id
+        assert phase["args"]["operations"] == 7
+
+    def test_span_survives_exceptions(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert tracer.records()[0]["name"] == "failing"
+
+
+class TestMerging:
+    def test_drain_empties_buffer(self, tracer):
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.records() == []
+
+    def test_ingest_round_trip(self, tracer):
+        with tracer.span("worker-span"):
+            pass
+        records = tracer.drain()
+        parent = Tracer()
+        parent.enabled = True
+        parent.ingest(records)
+        assert parent.records()[0]["name"] == "worker-span"
+
+    def test_records_are_picklable_plain_dicts(self, tracer):
+        with tracer.span("a", numbers=[1, 2]):
+            pass
+        (record,) = tracer.records()
+        assert json.loads(json.dumps(record)) == record
+
+
+class TestExport:
+    def test_jsonl_one_object_per_line(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 2
+        assert {json.loads(line)["name"] for line in lines} == {"a", "b"}
+
+    def test_chrome_envelope(self, tracer):
+        with tracer.span("a", category="run"):
+            pass
+        payload = json.loads(tracer.export_chrome())
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "a"
+        assert {"ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_write_both_formats(self, tracer, tmp_path):
+        with tracer.span("a"):
+            pass
+        for fmt in TRACE_FORMATS:
+            path = tracer.write(str(tmp_path / f"t.{fmt}"), fmt)
+            text = (tmp_path / f"t.{fmt}").read_text()
+            assert path.endswith(fmt)
+            assert "a" in text
+
+    def test_write_rejects_unknown_format(self, tracer, tmp_path):
+        with pytest.raises(ValueError):
+            tracer.write(str(tmp_path / "t"), "xml")
+
+    def test_write_creates_parent_dirs(self, tracer, tmp_path):
+        target = tmp_path / "deep" / "nested" / "trace.json"
+        tracer.write(str(target), "chrome")
+        assert target.exists()
+
+
+class TestGlobal:
+    def test_get_tracer_is_singleton(self):
+        reset_tracer()
+        try:
+            assert get_tracer() is get_tracer()
+        finally:
+            reset_tracer()
+
+    def test_reset_replaces(self):
+        first = get_tracer()
+        reset_tracer()
+        try:
+            assert get_tracer() is not first
+        finally:
+            reset_tracer()

@@ -132,3 +132,91 @@ class TestDerived:
         log = EventLog(cam_searches=5)
         assert "cam_searches=5" in repr(log)
         assert "sfu_ops" not in repr(log)
+
+
+class TestEdgeCases:
+    """Boundary behaviour the observability layer leans on."""
+
+    def test_scaled_zero_zeroes_histogram(self):
+        log = EventLog()
+        log.record_mac(np.array([2, 7]))
+        zero = log.scaled(0)
+        assert zero.mac_ops == 0
+        assert zero.mac_rows_accumulated == 0
+        assert zero.mac_rows_hist.sum() == 0
+        # Same shape, independent storage: mutating the copy must not
+        # touch the original.
+        assert zero.mac_rows_hist.size == log.mac_rows_hist.size
+        zero.mac_rows_hist[2] = 99
+        assert log.mac_rows_hist[2] == 1
+
+    def test_scaled_zero_equals_fresh_log(self):
+        log = EventLog(cam_searches=4, sfu_ops=9)
+        log.record_mac(3)
+        assert log.scaled(0).as_dict() == EventLog().as_dict()
+
+    def test_empty_cdf_shape_and_values(self):
+        log = EventLog()
+        cdf = log.rows_hist_cdf()
+        assert cdf.size == log.mac_rows_hist.size
+        assert not np.isnan(cdf).any()  # no 0/0 division
+        assert (cdf == 0).all()
+
+    def test_empty_cdf_after_grow(self):
+        log = EventLog()
+        log._grow_hist(32)  # allocated but still no MAC ops recorded
+        cdf = log.rows_hist_cdf()
+        assert cdf.size == 32
+        assert (cdf == 0).all()
+
+    def test_merge_smaller_into_larger(self):
+        small = EventLog()
+        small.record_mac(2)
+        large = EventLog()
+        large.record_mac(40)
+        large.merge(small)
+        assert large.mac_rows_hist.size >= 41
+        assert large.mac_rows_hist[2] == 1
+        assert large.mac_rows_hist[40] == 1
+        assert large.mac_ops == 2
+
+    def test_merge_larger_into_smaller_grows(self):
+        small = EventLog()
+        small.record_mac(2)
+        large = EventLog()
+        large.record_mac(40)
+        before = small.mac_rows_hist.size
+        small.merge(large)
+        assert before < small.mac_rows_hist.size
+        assert small.mac_rows_hist[2] == 1
+        assert small.mac_rows_hist[40] == 1
+
+    def test_merge_mismatched_sizes_commutes(self):
+        a1, a2 = EventLog(), EventLog()
+        a1.record_mac(np.array([1, 5]))
+        a2.record_mac(np.array([1, 5]))
+        b1, b2 = EventLog(), EventLog()
+        b1.record_mac(60)
+        b2.record_mac(60)
+        assert a1.merge(b1).counters_equal(b2.merge(a2))
+
+    def test_counters_equal_symmetric_with_padding(self):
+        a = EventLog()
+        a.record_mac(3)
+        b = EventLog()
+        b.record_mac(3)
+        b._grow_hist(100)
+        # Histogram padding must not make equality direction-dependent.
+        assert a.counters_equal(b)
+        assert b.counters_equal(a)
+
+    def test_counters_unequal_symmetric(self):
+        a = EventLog()
+        a.record_mac(3)
+        b = EventLog()
+        b.record_mac(np.array([3, 90]))
+        assert not a.counters_equal(b)
+        assert not b.counters_equal(a)
+
+    def test_counters_equal_empty_vs_empty(self):
+        assert EventLog().counters_equal(EventLog())
