@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import pytest
 
 from repro.core import cache as layout_cache
 from repro.experiments.harness import comparison_matrix
 from repro.experiments.reporting import ExperimentResult
+from repro.obs import bench as bench_store
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
@@ -60,6 +62,47 @@ def persistent_layout_cache():
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(stats.to_dict(), handle, indent=2)
         handle.write(f"\nhit_rate: {stats.hit_rate:.2%}\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_trajectory(persistent_layout_cache):
+    """Append one session record to the bench trajectory store.
+
+    Each pytest-benchmark session leaves a git/host-stamped record in
+    ``benchmarks/out/BENCH_pytest.json`` carrying the session's wall
+    time and layout-cache counters, so ``repro bench-compare`` can gate
+    on the full-suite trajectory, not just the CLI suites.
+    """
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+    stats = persistent_layout_cache.stats
+    metrics = {
+        f"cache.{name}": float(value)
+        for name, value in stats.to_dict().items()
+    }
+    metrics["cache.hit_rate"] = float(stats.hit_rate)
+    record = bench_store.make_record(
+        suite="pytest",
+        profile=bench_profile(),
+        repeats=1,
+        workloads={
+            "pytest.session": {
+                "kind": "session",
+                "wall_s": {
+                    "median_s": elapsed,
+                    "mad_s": 0.0,
+                    "n": 1,
+                    "runs_s": [round(elapsed, 6)],
+                },
+                "metrics": metrics,
+            }
+        },
+    )
+    os.makedirs(OUT_DIR, exist_ok=True)
+    bench_store.append_record(
+        bench_store.bench_path(OUT_DIR, "pytest"), record
+    )
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,9 @@ Usage::
     python -m repro run-all --trace t.json     # … with a Perfetto trace
     python -m repro trace-summary t.json       # per-phase table
     python -m repro datasets                   # Table II registry
+    python -m repro bench --quick              # perf record -> BENCH_*.json
+    python -m repro bench-compare BENCH_quick.json   # regression gate
+    python -m repro metrics-export r/metrics.json    # OpenMetrics text
 
 ``run`` and ``run-all`` dispatch through the parallel cache-aware
 executor: ``--jobs N`` sizes the worker pool (default: all cores),
@@ -18,6 +21,13 @@ control verbosity), so stdout stays byte-identical across job counts
 and log levels. ``--trace PATH`` records spans for the whole run —
 runs, shard groups, experiments, and the five controller phases — as
 JSONL or Chrome trace-event JSON (``--trace-format``).
+
+``bench`` runs a named workload suite and appends a schema-versioned,
+git/host-stamped record to ``BENCH_<suite>.json``; ``bench-compare``
+diffs two records with noise-aware thresholds and exits ``3`` on a
+regression (the CI perf gate). ``--prof PATH`` on any run records a
+cProfile pstats dump; ``repro trace-summary --pstats PATH`` renders its
+top self-time table.
 """
 
 from __future__ import annotations
@@ -68,6 +78,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "--log-level", default=None, choices=sorted(LEVELS),
         help="stderr log verbosity (default: $REPRO_LOG_LEVEL or info)",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="export the metrics registry as OpenMetrics text to PATH",
+    )
+    parser.add_argument(
+        "--prof", default=None, metavar="PATH",
+        help="profile the run with cProfile; write pstats dump to PATH",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,6 +125,93 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument(
         "trace_path", metavar="PATH", help="trace file (jsonl or chrome)"
     )
+    trace_summary.add_argument(
+        "--pstats", default=None, metavar="PATH",
+        help="also render the top self-time table of a --prof dump",
+    )
+    trace_summary.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows in the --pstats self-time table (default: 15)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a perf workload suite, append a BENCH_<suite>.json record",
+    )
+    bench.add_argument(
+        "--suite", default=None, choices=("quick", "kernels",
+                                          "experiments", "full"),
+        help="workload suite (default: quick)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="shorthand for --suite quick (tiny profile, few repeats)",
+    )
+    bench.add_argument(
+        "--profile", default=None, choices=("tiny", "bench", "full"),
+        help="dataset scale (default: the suite's own)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="timed repetitions per workload (default: the suite's own)",
+    )
+    bench.add_argument(
+        "--out", default="benchmarks/out", metavar="DIR",
+        help="directory for the BENCH_<suite>.json trajectory "
+             "(default: benchmarks/out)",
+    )
+    bench.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also export the metrics registry as OpenMetrics text",
+    )
+    bench.add_argument(
+        "--prof", default=None, metavar="PATH",
+        help="profile the suite with cProfile; write pstats dump to PATH",
+    )
+    bench.add_argument(
+        "--log-level", default=None, choices=sorted(LEVELS),
+        help="stderr log verbosity",
+    )
+
+    bench_compare = sub.add_parser(
+        "bench-compare",
+        help="noise-aware regression gate between two bench records",
+    )
+    bench_compare.add_argument(
+        "current", metavar="CURRENT",
+        help="BENCH_<suite>.json whose latest record is under test",
+    )
+    bench_compare.add_argument(
+        "baseline", nargs="?", default=None, metavar="BASELINE",
+        help="baseline BENCH file (default: the previous record "
+             "of CURRENT)",
+    )
+    bench_compare.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="relative change that fails the gate (default: 0.25)",
+    )
+    bench_compare.add_argument(
+        "--noise-k", type=float, default=None, metavar="K",
+        help="wall-clock changes must exceed K MADs (default: 3)",
+    )
+    bench_compare.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (shared/noisy runners)",
+    )
+    bench_compare.add_argument(
+        "--log-level", default=None, choices=sorted(LEVELS),
+        help="stderr log verbosity",
+    )
+
+    metrics_export = sub.add_parser(
+        "metrics-export",
+        help="render a metrics snapshot as OpenMetrics/Prometheus text",
+    )
+    metrics_export.add_argument(
+        "snapshot", nargs="?", default=None, metavar="PATH",
+        help="metrics.json snapshot (e.g. from --out DIR); omitted: "
+             "the live in-process registry",
+    )
     return parser
 
 
@@ -120,6 +225,8 @@ def _run_session(args: argparse.Namespace, experiment_id) -> int:
         use_disk_cache=not args.no_cache,
         trace_path=args.trace,
         trace_format=args.trace_format,
+        metrics_path=args.metrics,
+        profile_stats_path=args.prof,
     )
     session = RunSession(request)
     results = session.run()
@@ -128,6 +235,113 @@ def _run_session(args: argparse.Namespace, experiment_id) -> int:
         if index < len(results) - 1:
             print()
     log.info("run.summary", summary=session.manifest.summary())
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from .obs import bench
+    from .obs.export import write_openmetrics
+    from .obs.metrics import get_metrics
+    from .obs.perf import profiled
+
+    suite = "quick" if args.quick else (args.suite or "quick")
+    with profiled(args.prof):
+        record, path = bench.run_suite(
+            suite=suite,
+            profile=args.profile,
+            repeats=args.repeats,
+            out_dir=args.out,
+        )
+    header = f"{'workload':<20} {'median':>12} {'mad':>12} {'metrics':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, entry in record["workloads"].items():
+        wall = entry["wall_s"]
+        print(
+            f"{name:<20} {wall['median_s']:>11.4f}s "
+            f"{wall['mad_s']:>11.4f}s {len(entry['metrics']):>8}"
+        )
+    print(
+        f"\nrecord appended to {path} "
+        f"(suite={record['suite']}, profile={record['profile']}, "
+        f"git={record['git_sha']})"
+    )
+    if args.metrics is not None:
+        written = write_openmetrics(get_metrics(), args.metrics)
+        log.info("metrics.written", path=written)
+    return 0
+
+
+def _run_bench_compare(args: argparse.Namespace) -> int:
+    from .obs import bench
+
+    current_trajectory = bench.load_trajectory(args.current)
+    current = bench.latest_record(current_trajectory)
+    if args.baseline is not None:
+        baseline = bench.latest_record(
+            bench.load_trajectory(args.baseline)
+        )
+    else:
+        records = current_trajectory["records"]
+        if len(records) < 2:
+            raise ReproError(
+                f"{args.current} holds only one record; pass an explicit "
+                f"BASELINE file or record a second run first"
+            )
+        baseline = records[-2]
+    threshold = (
+        args.threshold if args.threshold is not None
+        else bench.DEFAULT_THRESHOLD
+    )
+    noise_k = (
+        args.noise_k if args.noise_k is not None else bench.DEFAULT_NOISE_K
+    )
+    deltas = bench.compare_records(
+        baseline, current, threshold=threshold, noise_k=noise_k
+    )
+    print(
+        f"baseline: git={baseline['git_sha']} "
+        f"t={baseline['created_unix']}  "
+        f"current: git={current['git_sha']} t={current['created_unix']}"
+    )
+    print(bench.render_comparison(deltas, threshold))
+    if bench.has_regressions(deltas):
+        log.warning(
+            "bench.regression",
+            regressions=sum(
+                1 for d in deltas if d.verdict == "regression"
+            ),
+            warn_only=args.warn_only,
+        )
+        return 0 if args.warn_only else 3
+    return 0
+
+
+def _run_metrics_export(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .obs.export import render_openmetrics
+    from .obs.metrics import get_metrics
+
+    if args.snapshot is None:
+        print(render_openmetrics(get_metrics()), end="")
+        return 0
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            snapshot = json_module.load(handle)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read metrics snapshot {args.snapshot!r}: {exc}"
+        ) from exc
+    except json_module.JSONDecodeError as exc:
+        raise ReproError(
+            f"metrics snapshot {args.snapshot!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(snapshot, dict):
+        raise ReproError(
+            f"metrics snapshot {args.snapshot!r} must be a JSON object"
+        )
+    print(render_openmetrics(snapshot), end="")
     return 0
 
 
@@ -153,10 +367,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(report.render())
             return 0 if report.passed else 2
         elif args.command == "trace-summary":
+            from .obs.perf import render_profile_table, top_self_time
             from .obs.summary import load_trace, render_summary
 
             print(render_summary(load_trace(args.trace_path)))
+            if args.pstats is not None:
+                try:
+                    rows = top_self_time(args.pstats, args.top)
+                except ValueError as exc:
+                    log.error("command.failed", command="trace-summary",
+                              error=str(exc))
+                    return 1
+                print()
+                print(render_profile_table(rows))
             return 0
+        elif args.command == "bench":
+            return _run_bench(args)
+        elif args.command == "bench-compare":
+            return _run_bench_compare(args)
+        elif args.command == "metrics-export":
+            return _run_metrics_export(args)
         elif args.command == "datasets":
             header = (
                 f"{'key':<4} {'name':<12} {'vertices':>10} {'edges':>12}  "

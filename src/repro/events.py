@@ -145,6 +145,48 @@ class EventLog:
             return np.zeros(self.mac_rows_hist.size)
         return np.cumsum(self.mac_rows_hist) / total
 
+    def rows_occupancy(self, limit: int) -> dict:
+        """Row-utilization statistics against an accumulation bound.
+
+        ``limit`` is the architecture's MAC accumulation cap (16 rows
+        in Table I — the ADC bound). Derived entirely from
+        :attr:`mac_rows_hist` so merged and scaled logs stay
+        consistent. Returns:
+
+        * ``mean_rows`` — average rows engaged per MAC operation;
+        * ``occupancy`` — ``mean_rows / limit``, the fraction of the
+          accumulation window actually used;
+        * ``full_frac`` — fraction of MAC ops engaging >= ``limit``
+          rows (exactly ``limit`` when the engine enforces the cap);
+        * ``cdf_at_limit`` — :meth:`rows_hist_cdf` evaluated at
+          ``limit`` (1.0 whenever the cap is respected).
+
+        An empty log yields all zeros.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        hist = self.mac_rows_hist
+        total = int(hist.sum())
+        if total == 0:
+            return {
+                "mean_rows": 0.0,
+                "occupancy": 0.0,
+                "full_frac": 0.0,
+                "cdf_at_limit": 0.0,
+            }
+        mean_rows = float(
+            (np.arange(hist.size) * hist).sum() / total
+        )
+        full = int(hist[min(limit, hist.size):].sum())
+        cdf = self.rows_hist_cdf()
+        cdf_at_limit = float(cdf[limit]) if limit < cdf.size else 1.0
+        return {
+            "mean_rows": mean_rows,
+            "occupancy": mean_rows / limit,
+            "full_frac": full / total,
+            "cdf_at_limit": cdf_at_limit,
+        }
+
     def as_dict(self) -> dict:
         """Scalar counters as a plain dict (histogram excluded)."""
         return {

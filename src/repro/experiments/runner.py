@@ -29,7 +29,10 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigError
 from ..graphs.datasets import PROFILES
+from ..obs.export import write_openmetrics
 from ..obs.log import get_logger
+from ..obs.metrics import get_metrics
+from ..obs.perf import profiled
 from ..obs.trace import TRACE_FORMATS, get_tracer
 from .executor import RunManifest, execute
 from .registry import EXPERIMENTS, get_experiment
@@ -73,6 +76,16 @@ class RunRequest:
     trace_format:
         ``"chrome"`` (Perfetto / ``chrome://tracing`` JSON, default)
         or ``"jsonl"`` (one span object per line).
+    metrics_path:
+        When set, the process metrics registry is exported there as
+        OpenMetrics/Prometheus text after the run. A JSON snapshot
+        (``metrics.json``) also lands in ``output_dir`` when one is
+        given, whether or not ``metrics_path`` is set.
+    profile_stats_path:
+        When set, the run executes under :mod:`cProfile` and the
+        binary pstats dump is written here (inspect with
+        ``repro trace-summary --pstats``). Only the calling process is
+        profiled; pool workers appear as time waiting on futures.
     """
 
     experiment_id: Union[str, Sequence[str], None] = None
@@ -84,6 +97,8 @@ class RunRequest:
     cache_dir: Optional[str] = None
     trace_path: Optional[str] = None
     trace_format: str = "chrome"
+    metrics_path: Optional[str] = None
+    profile_stats_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.experiment_id is not None and not isinstance(
@@ -161,26 +176,35 @@ class RunSession:
             tracer.enabled = True
             tracer.clear()
         try:
-            with tracer.span(
-                "run", category="run", profile=request.profile,
-                experiments=len(request.experiment_ids),
-            ):
-                report = execute(
-                    experiment_ids=request.experiment_ids,
-                    profile=request.profile,
-                    jobs=request.jobs,
-                    disk_cache=request.use_disk_cache,
-                    cache_dir=request.cache_dir,
-                )
+            with profiled(request.profile_stats_path) as profiler:
+                with tracer.span(
+                    "run", category="run", profile=request.profile,
+                    experiments=len(request.experiment_ids),
+                ):
+                    report = execute(
+                        experiment_ids=request.experiment_ids,
+                        profile=request.profile,
+                        jobs=request.jobs,
+                        disk_cache=request.use_disk_cache,
+                        cache_dir=request.cache_dir,
+                    )
         finally:
             if tracing:
                 tracer.enabled = was_enabled
+        if profiler is not None:
+            log.info(
+                "profile.written", path=request.profile_stats_path,
+            )
         self._results = report.results
         self._manifest = report.manifest
         if request.output_dir is not None:
             for result in report.results.values():
                 persist_result(result, request.output_dir)
             self._write_manifest(request.output_dir)
+            self._write_metrics_snapshot(request.output_dir)
+        if request.metrics_path is not None:
+            written = write_openmetrics(get_metrics(), request.metrics_path)
+            log.info("metrics.written", path=written)
         if tracing:
             self._write_trace(tracer)
         return report.results
@@ -198,6 +222,17 @@ class RunSession:
         path = os.path.join(output_dir, "manifest.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.manifest.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def _write_metrics_snapshot(self, output_dir: str) -> None:
+        """Persist the registry snapshot next to ``manifest.json``.
+
+        The JSON form is what ``repro metrics-export`` converts to
+        OpenMetrics text after the fact.
+        """
+        path = os.path.join(output_dir, "metrics.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(get_metrics().snapshot(), handle, indent=2)
             handle.write("\n")
 
     def _write_trace(self, tracer) -> None:

@@ -15,12 +15,25 @@ into:
   with ``$REPRO_LOG_LEVEL`` / ``--log-level`` control, replacing the
   ad-hoc ``print(..., file=sys.stderr)`` calls.
 
-Import convention: everything in this package imports nothing from the
-rest of ``repro``, so any module — engines, cache, CLI — may import it
-without cycles. The one exception is :mod:`repro.obs.summary`, which
-reads phase names from :mod:`repro.core.controller` (a leaf module).
+On top of those sit the perf-telemetry layers:
+
+* :mod:`repro.obs.perf` — host fingerprints, git SHAs, and cProfile
+  hooks (``--prof`` / ``trace-summary --pstats``);
+* :mod:`repro.obs.export` — OpenMetrics/Prometheus text exposition of
+  the metrics registry (``repro metrics-export``);
+* :mod:`repro.obs.bench` — the benchmark harness, the
+  ``BENCH_<suite>.json`` trajectory store, and the noise-aware
+  regression comparator (``repro bench`` / ``bench-compare``).
+
+Import convention: the three base facilities import nothing from the
+rest of ``repro``, so any module — engines, cache, CLI — may import
+them without cycles. :mod:`repro.obs.summary` reads phase names from
+:mod:`repro.core.controller` (a leaf module), and
+:mod:`repro.obs.bench` sits *above* the whole stack — its workloads
+import engines and the executor lazily, inside their bodies.
 """
 
+from .export import render_openmetrics, write_openmetrics
 from .log import configure_logging, get_logger, set_level
 from .metrics import (
     Counter,
@@ -31,6 +44,7 @@ from .metrics import (
     observe_event_counts,
     reset_metrics,
 )
+from .perf import git_sha, host_fingerprint
 from .trace import (
     PHASE_CATEGORY,
     TRACE_FORMATS,
@@ -40,6 +54,10 @@ from .trace import (
 )
 
 __all__ = [
+    "render_openmetrics",
+    "write_openmetrics",
+    "git_sha",
+    "host_fingerprint",
     "configure_logging",
     "get_logger",
     "set_level",

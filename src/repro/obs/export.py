@@ -1,0 +1,117 @@
+"""OpenMetrics text exposition of the metrics registry.
+
+Turns a :class:`~repro.obs.metrics.MetricsRegistry` (or a plain
+``snapshot()`` mapping persisted to JSON) into the Prometheus /
+OpenMetrics text format, so a scrape target or a ``node_exporter``
+textfile collector can ingest the reproduction's counters::
+
+    # TYPE repro_executor_runs counter
+    repro_executor_runs_total 3
+    # TYPE repro_cache_hit_rate gauge
+    repro_cache_hit_rate 0.87
+    # TYPE repro_executor_experiment_wall_s summary
+    repro_executor_experiment_wall_s_count 24
+    repro_executor_experiment_wall_s_sum 3.21
+    # EOF
+
+Mapping rules: dotted metric names become underscore-separated and get
+the ``repro_`` namespace prefix; counters gain the mandated ``_total``
+suffix; histograms export as a ``summary`` family (``_count``/``_sum``)
+plus companion ``_min``/``_max`` gauges. When rendering from a plain
+snapshot the instrument kinds are gone, so scalars export as gauges and
+histogram summaries are recognised by their ``count``/``sum`` keys.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Mapping, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Namespace every exported metric family lives under.
+NAMESPACE = "repro"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(dotted: str) -> str:
+    """An OpenMetrics-legal family name for a dotted registry name."""
+    flat = _INVALID.sub("_", dotted.replace(".", "_"))
+    if not flat or not (flat[0].isalpha() or flat[0] == "_"):
+        flat = f"_{flat}"
+    return f"{NAMESPACE}_{flat}"
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # bools are ints; refuse the footgun
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _summary_lines(name: str, summary: Mapping[str, Any]) -> List[str]:
+    lines = [
+        f"# TYPE {name} summary",
+        f"{name}_count {_format_value(int(summary.get('count', 0)))}",
+        f"{name}_sum {_format_value(summary.get('sum', 0))}",
+    ]
+    for bound in ("min", "max"):
+        if bound in summary:
+            lines.append(f"# TYPE {name}_{bound} gauge")
+            lines.append(
+                f"{name}_{bound} {_format_value(summary[bound])}"
+            )
+    return lines
+
+
+def render_openmetrics(
+    source: Union[MetricsRegistry, Mapping[str, Any]]
+) -> str:
+    """The registry (or a snapshot mapping) as OpenMetrics text.
+
+    The output always ends with the ``# EOF`` terminator and a trailing
+    newline, as the OpenMetrics specification requires.
+    """
+    lines: List[str] = []
+    if isinstance(source, MetricsRegistry):
+        for dotted, instrument in sorted(source.instruments().items()):
+            name = metric_name(dotted)
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(
+                    f"{name}_total {_format_value(instrument.value)}"
+                )
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(instrument.value)}")
+            elif isinstance(instrument, Histogram):
+                lines.extend(_summary_lines(name, instrument.summary()))
+    else:
+        for dotted in sorted(source):
+            name = metric_name(dotted)
+            value = source[dotted]
+            if isinstance(value, Mapping) and "count" in value:
+                lines.extend(_summary_lines(name, value))
+            elif isinstance(value, (int, float)):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(value)}")
+            # Non-numeric snapshot entries (provenance strings) are
+            # silently skipped: they are labels, not samples.
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    source: Union[MetricsRegistry, Mapping[str, Any]], path: str
+) -> str:
+    """Render ``source`` and write it to ``path`` (returned)."""
+    import os
+
+    payload = render_openmetrics(source)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return path

@@ -95,16 +95,20 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def summary(self) -> Dict[str, Number]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.min is not None else 0,
-            "max": self.max if self.max is not None else 0,
-            "mean": self.mean,
-        }
+        # Taken under the lock so a concurrent observe() cannot tear
+        # the summary (count updated but sum not yet, mean off).
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.min is not None else 0,
+                "max": self.max if self.max is not None else 0,
+                "mean": self.total / self.count if self.count else 0.0,
+            }
 
 
 class MetricsRegistry:
@@ -141,6 +145,16 @@ class MetricsRegistry:
         return self._get(name, Histogram)
 
     # ------------------------------------------------------------------
+    def instruments(self) -> Dict[str, object]:
+        """A point-in-time copy of the name -> instrument mapping.
+
+        The instruments themselves are live (their values keep moving);
+        the mapping copy is what makes kind-aware consumers such as the
+        OpenMetrics exporter safe against concurrent registration.
+        """
+        with self._lock:
+            return dict(self._instruments)
+
     def snapshot(self) -> Dict[str, Any]:
         """All instruments as a plain dict (histograms as summaries)."""
         with self._lock:

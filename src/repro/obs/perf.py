@@ -1,0 +1,156 @@
+"""Run provenance and profiling: fingerprints, git SHA, cProfile hooks.
+
+Two small facilities the perf-telemetry layer builds on:
+
+* **Provenance** — :func:`host_fingerprint` and :func:`git_sha` stamp a
+  benchmark record with enough context to decide whether two records
+  are comparable (same interpreter, same numpy, same machine class) and
+  which commit produced them. Both degrade gracefully: a missing git
+  binary or a non-repo checkout yields ``"unknown"``, never an error.
+* **Profiling** — :func:`profiled` wraps a block in :mod:`cProfile` and
+  dumps a binary pstats file; :func:`top_self_time` /
+  :func:`render_profile_table` turn such a dump into the top-N
+  self-time table that ``repro trace-summary --pstats`` appends.
+
+Like the rest of :mod:`repro.obs`, this module imports nothing from the
+rest of the package.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import platform
+import pstats
+import subprocess
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Rows shown by default in the self-time table.
+DEFAULT_TOP = 15
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Machine/interpreter identity for benchmark records.
+
+    Deliberately coarse: enough to tell "same class of machine" apart,
+    without anything secret (no hostnames, no MAC addresses).
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = "unknown"
+    return {
+        "platform": platform.system().lower() or "unknown",
+        "machine": platform.machine() or "unknown",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation().lower(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """The current commit's short SHA, or ``"unknown"``.
+
+    Never raises: benchmark records must be writable from tarball
+    checkouts and environments without git.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+# ----------------------------------------------------------------------
+# cProfile hooks
+# ----------------------------------------------------------------------
+@contextmanager
+def profiled(path: Optional[str]) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block into a binary pstats file at ``path``.
+
+    ``path=None`` is the disabled form: the block runs unprofiled and
+    the context yields ``None``, so call sites need no branching. The
+    dump directory is created on demand. Note that :mod:`cProfile`
+    observes only the calling process — pool workers show up as the
+    time spent waiting on their futures.
+    """
+    if path is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        profiler.dump_stats(path)
+
+
+def top_self_time(
+    stats_path: str, top: int = DEFAULT_TOP
+) -> List[Dict[str, Any]]:
+    """The ``top`` functions by self time from a pstats dump.
+
+    Each row carries ``function`` (``file:line(name)``), ``calls``,
+    ``self_s``, and ``cumulative_s``. Raises ``ValueError`` on an
+    unreadable or malformed dump (the CLI maps that to a clean exit).
+    """
+    try:
+        stats = pstats.Stats(stats_path)
+    except Exception as exc:
+        raise ValueError(
+            f"cannot read profile stats {stats_path!r}: {exc}"
+        ) from exc
+    rows: List[Dict[str, Any]] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, line, name = func
+        rows.append(
+            {
+                "function": f"{os.path.basename(filename)}:{line}({name})",
+                "calls": int(nc),
+                "self_s": float(tt),
+                "cumulative_s": float(ct),
+            }
+        )
+    rows.sort(key=lambda r: r["self_s"], reverse=True)
+    return rows[: max(top, 0)]
+
+
+def render_profile_table(rows: List[Dict[str, Any]]) -> str:
+    """The self-time rows as the text table trace-summary appends."""
+    header = (
+        f"{'function':<48} {'calls':>10} {'self time':>12} "
+        f"{'cumulative':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    if not rows:
+        lines.append("(no profile samples)")
+        return "\n".join(lines)
+    for row in rows:
+        lines.append(
+            f"{row['function']:<48.48} {row['calls']:>10,} "
+            f"{row['self_s']:>11.4f}s {row['cumulative_s']:>11.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def self_version() -> str:
+    """Interpreter tag used in log lines (``cpython-3.11``)."""
+    return (
+        f"{platform.python_implementation().lower()}-"
+        f"{sys.version_info.major}.{sys.version_info.minor}"
+    )

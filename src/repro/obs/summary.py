@@ -63,7 +63,9 @@ def load_trace(path: str) -> List[Dict[str, Any]]:
         ):
             spans = [
                 e for e in payload["traceEvents"]
-                if e.get("ph", "X") == "X"
+                # Keep non-dict junk: the validation loop below turns
+                # it into a ConfigError instead of an AttributeError.
+                if not isinstance(e, dict) or e.get("ph", "X") == "X"
             ]
         elif isinstance(payload, dict) and "name" in payload:
             spans = [payload]  # a one-line JSONL trace
@@ -72,9 +74,24 @@ def load_trace(path: str) -> List[Dict[str, Any]]:
                 f"trace file {path!r} has no traceEvents array"
             )
     for span in spans:
+        # A parseable file can still hold non-span JSON (bare numbers
+        # in a JSONL file, string entries in a traceEvents array);
+        # reject those here so the renderer never sees them.
+        if not isinstance(span, dict) or "name" not in span:
+            raise ConfigError(
+                f"trace file {path!r} contains an entry that is not a "
+                f"span object: {span!r}"
+            )
         span.setdefault("cat", "task")
         span.setdefault("args", {})
         span.setdefault("dur", 0)
+        try:
+            span["dur"] = float(span["dur"])
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"trace file {path!r} span {span['name']!r} has a "
+                f"non-numeric duration: {span['dur']!r}"
+            ) from None
     return spans
 
 

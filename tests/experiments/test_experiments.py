@@ -1,5 +1,7 @@
 """Integration tests for the experiment harness (tiny profile)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -7,8 +9,23 @@ from repro.errors import ConfigError
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.harness import ComparisonMatrix
 from repro.experiments.registry import get_experiment
+from repro.experiments.runner import RunRequest, RunSession
 
 TINY = ("WV", "SD")
+
+
+def drive(experiment_id, **kwargs):
+    """Invoke one registered driver directly with custom keywords.
+
+    Parameterized harness runs (explicit matrices, sweep overrides) go
+    straight to the driver; plain runs use RunRequest/RunSession. The
+    deprecated run_experiment shim is exercised only by
+    TestLegacyShim.
+    """
+    spec = get_experiment(experiment_id)
+    if not spec.accepts_profile:
+        kwargs.pop("profile", None)
+    return spec.driver(**kwargs)
 
 
 @pytest.fixture(scope="module")
@@ -50,22 +67,22 @@ class TestRegistry:
 
 class TestFigureDrivers:
     def test_fig5(self, matrix):
-        r = run_experiment("fig5", profile="tiny", datasets=TINY, matrix=matrix)
+        r = drive("fig5", profile="tiny", datasets=TINY, matrix=matrix)
         writes = r.series_by_name("Writes")
         assert all(v > 1 for v in writes.values)
 
     def test_fig11_positive_speedups(self, matrix):
-        r = run_experiment("fig11", profile="tiny", matrix=matrix)
+        r = drive("fig11", profile="tiny", matrix=matrix)
         for s in r.series:
             assert all(v > 1 for v in s.values)
 
     def test_fig12_positive_savings(self, matrix):
-        r = run_experiment("fig12", profile="tiny", matrix=matrix)
+        r = drive("fig12", profile="tiny", matrix=matrix)
         for s in r.series:
             assert all(v > 1 for v in s.values)
 
     def test_fig13_cdf_monotone_ends_at_one(self, matrix):
-        r = run_experiment("fig13", profile="tiny", matrix=matrix)
+        r = drive("fig13", profile="tiny", matrix=matrix)
         cdf = r.series_by_name("Cumulative fraction").values
         assert all(b >= a - 1e-12 for a, b in zip(cdf, cdf[1:]))
         assert cdf[-1] == pytest.approx(1.0)
@@ -73,22 +90,22 @@ class TestFigureDrivers:
     def test_fig14_uses_gram_datasets(self):
         m = ComparisonMatrix(profile="tiny", datasets=("AZ", "WV", "LJ"),
                              iterations=2)
-        r = run_experiment("fig14", profile="tiny", matrix=m)
+        r = drive("fig14", profile="tiny", matrix=m)
         assert len(r.series) == 2
         assert all(v > 0 for s in r.series for v in s.values)
 
     def test_fig15_fig16(self, matrix):
-        r15 = run_experiment("fig15", profile="tiny", matrix=matrix)
-        r16 = run_experiment("fig16", profile="tiny", matrix=matrix)
+        r15 = drive("fig15", profile="tiny", matrix=matrix)
+        r16 = drive("fig16", profile="tiny", matrix=matrix)
         assert len(r15.series) == 6  # 2 platforms x 3 algorithms
         assert len(r16.series) == 6
 
     def test_gapbs(self, matrix):
-        r = run_experiment("gapbs", profile="tiny", matrix=matrix)
+        r = drive("gapbs", profile="tiny", matrix=matrix)
         assert "geomean speedup (paper ~155x)" in r.notes
 
     def test_fig17(self):
-        r = run_experiment("fig17", profile="tiny", epochs=1, num_features=8)
+        r = drive("fig17", profile="tiny", epochs=1, num_features=8)
         assert r.series_by_name("Execution time").labels == [
             "GraphChi", "cuMF", "GraphR",
         ]
@@ -97,19 +114,19 @@ class TestFigureDrivers:
 
 class TestTableDrivers:
     def test_table1_totals(self):
-        r = run_experiment("table1")
+        r = drive("table1")
         assert "2.69" in r.notes["total area"]
         assert "1.66" in r.notes["total power"]
 
     def test_table2(self):
-        r = run_experiment("table2", profile="tiny")
+        r = drive("table2", profile="tiny")
         v = r.series_by_name("Paper vertices")
         assert v.values[v.labels.index("WV")] == 7000
 
 
 class TestAblations:
     def test_mac_limit_sweep(self):
-        r = run_experiment(
+        r = drive(
             "abl-maclimit", dataset="WV", profile="tiny",
             limits=(4, 16), iterations=2,
         )
@@ -117,13 +134,13 @@ class TestAblations:
         assert bits == [4.0, 6.0]
 
     def test_tile_size_sweep(self):
-        r = run_experiment(
+        r = drive(
             "abl-tile", profile="tiny", datasets=("WV",), tile_sizes=(8, 16),
         )
         assert len(r.series) == 4
 
     def test_xbar_sweep_monotone(self):
-        r = run_experiment(
+        r = drive(
             "abl-xbar", dataset="WV", profile="tiny",
             counts=(4, 2048), iterations=2,
         )
@@ -131,7 +148,7 @@ class TestAblations:
         assert times[1] <= times[0]
 
     def test_locality_ablation(self):
-        r = run_experiment("abl-locality", profile="tiny", datasets=("WV",))
+        r = drive("abl-locality", profile="tiny", datasets=("WV",))
         clustered = r.series_by_name("Clustered (SNAP-like)").values[0]
         shuffled = r.series_by_name("Shuffled ids").values[0]
         assert shuffled > clustered
@@ -139,27 +156,27 @@ class TestAblations:
 
 class TestExtensionDrivers:
     def test_ext_wcc(self):
-        r = run_experiment("ext-wcc", profile="tiny", datasets=("WV",))
+        r = drive("ext-wcc", profile="tiny", datasets=("WV",))
         assert r.series_by_name("Components").values[0] >= 1
         assert r.series_by_name("Supersteps").values[0] >= 1
         assert r.series_by_name("Speedup vs GAPBS CC").values[0] > 0
 
     def test_ext_energy(self):
-        r = run_experiment(
+        r = drive(
             "ext-energy", dataset="WV", profile="tiny", iterations=2,
         )
         for s in r.series:
             assert sum(s.values) == pytest.approx(1.0)
 
     def test_ext_gnn(self):
-        r = run_experiment(
+        r = drive(
             "ext-gnn", profile="tiny", feature_widths=(8, 32),
         )
         times = r.series_by_name("Time (s)").values
         assert times[1] > times[0]
 
     def test_ext_scaling(self):
-        r = run_experiment(
+        r = drive(
             "ext-scaling", sizes=((2_000, 16_000), (8_000, 64_000)),
             iterations=2,
         )
@@ -167,13 +184,13 @@ class TestExtensionDrivers:
         assert all(s > 1 for s in speedups)
 
     def test_abl_residency(self):
-        r = run_experiment(
+        r = drive(
             "abl-residency", dataset="WV", profile="tiny", iterations=3,
         )
         assert all(v > 1 for v in r.series_by_name("Time ratio").values)
 
     def test_abl_disk(self):
-        r = run_experiment(
+        r = drive(
             "abl-disk", dataset="WV", profile="tiny",
             bandwidths_gbs=(0.1, 10.0), iterations=3,
         )
@@ -181,20 +198,20 @@ class TestExtensionDrivers:
         assert loads[0] > loads[1]
 
     def test_abl_variation(self):
-        r = run_experiment(
+        r = drive(
             "abl-variation", sigmas=(0.05,), row_counts=(1, 16),
         )
         assert all(v >= 0 for s in r.series for v in s.values)
 
     def test_abl_interval(self):
-        r = run_experiment(
+        r = drive(
             "abl-interval", dataset="WV", profile="tiny",
             interval_sizes=(16, 64), iterations=2,
         )
         assert all(v > 0 for v in r.series_by_name("Time (s)").values)
 
     def test_abl_precision(self):
-        r = run_experiment(
+        r = drive(
             "abl-precision", value_bits=(8, 16),
             num_vertices=48, num_edges=150, iterations=2,
         )
@@ -204,7 +221,11 @@ class TestExtensionDrivers:
 
 class TestRunner:
     def test_saves_report(self, tmp_path):
-        run_experiment("table1", output_dir=str(tmp_path))
+        session = RunSession(RunRequest(
+            experiment_id="table1", output_dir=str(tmp_path),
+            use_disk_cache=False,
+        ))
+        session.run()
         assert (tmp_path / "table1.txt").exists()
         assert "MAC crossbar" in (tmp_path / "table1.txt").read_text()
 
@@ -213,15 +234,34 @@ class TestJSONExport:
     def test_to_dict_roundtrips_through_json(self):
         import json
 
-        r = run_experiment("table1")
+        r = drive("table1")
         payload = json.loads(json.dumps(r.to_dict()))
         assert payload["experiment_id"] == "table1"
         assert payload["series"][0]["labels"][0] == "MAC crossbar"
 
     def test_runner_writes_json(self, tmp_path):
-        run_experiment("table1", output_dir=str(tmp_path))
+        session = RunSession(RunRequest(
+            experiment_id="table1", output_dir=str(tmp_path),
+            use_disk_cache=False,
+        ))
+        session.run()
         import json
 
         data = json.loads((tmp_path / "table1.json").read_text())
         assert data["title"]
         assert len(data["series"]) == 2
+
+
+class TestLegacyShim:
+    def test_run_experiment_still_works_but_warns(self, tmp_path):
+        """The pre-RunRequest surface stays functional, with a
+        DeprecationWarning — the one place the shim is exercised."""
+        with pytest.warns(DeprecationWarning, match="RunRequest"):
+            r = run_experiment("table1", output_dir=str(tmp_path))
+        assert r.experiment_id == "table1"
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_rest_of_module_is_warning_free(self, matrix):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            drive("fig11", profile="tiny", matrix=matrix)

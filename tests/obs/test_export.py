@@ -1,0 +1,150 @@
+"""OpenMetrics text exposition tests."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import (
+    metric_name,
+    render_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Every sample line: name, optional whitespace, numeric value.
+SAMPLE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]* \S+$")
+
+
+def parse_families(text):
+    """Minimal OpenMetrics parse: {family: type} plus sample lines."""
+    assert text.endswith("# EOF\n")
+    families = {}
+    samples = []
+    for line in text.splitlines():
+        if line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            families[name] = kind
+        else:
+            assert SAMPLE.match(line), line
+            samples.append(line)
+    return families, samples
+
+
+class TestMetricName:
+    def test_dotted_names_flatten(self):
+        assert metric_name("cache.hit_rate") == "repro_cache_hit_rate"
+
+    def test_invalid_characters_replaced(self):
+        assert metric_name("phase.cam-search/ops") == (
+            "repro_phase_cam_search_ops"
+        )
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("2x.speedup").startswith("repro__")
+
+
+class TestRenderFromRegistry:
+    @pytest.fixture()
+    def registry(self):
+        registry = MetricsRegistry()
+        registry.counter("executor.runs").inc(3)
+        registry.gauge("cache.hit_rate").set(0.87)
+        hist = registry.histogram("executor.experiment_wall_s")
+        hist.observe(1.0)
+        hist.observe(2.5)
+        return registry
+
+    def test_counter_gets_total_suffix(self, registry):
+        text = render_openmetrics(registry)
+        families, samples = parse_families(text)
+        assert families["repro_executor_runs"] == "counter"
+        assert "repro_executor_runs_total 3" in samples
+
+    def test_gauge_exports_value(self, registry):
+        text = render_openmetrics(registry)
+        families, samples = parse_families(text)
+        assert families["repro_cache_hit_rate"] == "gauge"
+        assert "repro_cache_hit_rate 0.87" in samples
+
+    def test_histogram_exports_as_summary(self, registry):
+        text = render_openmetrics(registry)
+        families, samples = parse_families(text)
+        name = "repro_executor_experiment_wall_s"
+        assert families[name] == "summary"
+        assert f"{name}_count 2" in samples
+        assert f"{name}_sum 3.5" in samples
+        assert families[f"{name}_min"] == "gauge"
+        assert families[f"{name}_max"] == "gauge"
+
+    def test_terminated_by_eof(self, registry):
+        assert render_openmetrics(registry).endswith("# EOF\n")
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+class TestRenderFromSnapshot:
+    def test_scalars_become_gauges(self):
+        text = render_openmetrics({"cache.hits": 10, "cache.hit_rate": 0.5})
+        families, samples = parse_families(text)
+        assert families["repro_cache_hits"] == "gauge"
+        assert "repro_cache_hits 10" in samples
+
+    def test_summary_dicts_detected_by_count_key(self):
+        text = render_openmetrics(
+            {"wall": {"count": 4, "sum": 8.0, "min": 1.0, "max": 3.0}}
+        )
+        families, samples = parse_families(text)
+        assert families["repro_wall"] == "summary"
+        assert "repro_wall_count 4" in samples
+
+    def test_string_entries_skipped(self):
+        text = render_openmetrics({"git_sha": "abc123", "runs": 1})
+        assert "abc123" not in text
+        assert "repro_runs 1" in text
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "metrics.om"
+        written = write_openmetrics({"runs": 1}, str(path))
+        assert written == str(path)
+        assert path.read_text().endswith("# EOF\n")
+
+
+class TestMetricsExportCLI:
+    def test_exports_run_snapshot(self, tmp_path, capsys):
+        # `repro run --out DIR` persists metrics.json next to the
+        # manifest; metrics-export converts it to exposition text.
+        assert main(
+            ["run", "table1", "--out", str(tmp_path), "--no-cache"]
+        ) == 0
+        snapshot_path = tmp_path / "metrics.json"
+        snapshot = json.loads(snapshot_path.read_text())
+        assert snapshot  # the executor published something
+        capsys.readouterr()
+        assert main(["metrics-export", str(snapshot_path)]) == 0
+        text = capsys.readouterr().out
+        families, _samples = parse_families(text)
+        assert any(name.startswith("repro_") for name in families)
+
+    def test_live_registry_when_no_path(self, capsys):
+        from repro.obs.metrics import get_metrics
+
+        get_metrics().counter("test.export_probe").inc()
+        assert main(["metrics-export"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_test_export_probe_total" in out
+        assert out.endswith("# EOF\n")
+
+    def test_missing_snapshot_fails_cleanly(self, tmp_path, capsys):
+        assert main(["metrics-export", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_snapshot_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text("[1, 2]")
+        assert main(["metrics-export", str(path)]) == 1
+        assert "JSON object" in capsys.readouterr().err

@@ -106,3 +106,87 @@ class TestEventAbsorption:
         r = MetricsRegistry()
         observe_event_counts({"mac_ops": 1}, prefix="gaasx", registry=r)
         assert "gaasx.mac_ops" in r.snapshot()
+
+
+class TestConcurrency:
+    """The registry must survive worker threads hammering it."""
+
+    THREADS = 8
+    PER_THREAD = 2_000
+
+    def test_concurrent_counter_and_histogram_totals_exact(self):
+        import threading
+
+        r = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker():
+            barrier.wait()
+            for i in range(self.PER_THREAD):
+                r.counter("stress.ops").inc()
+                r.histogram("stress.wall").observe(i % 7)
+                if i % 100 == 0:
+                    r.histogram("stress.wall").summary()  # racing reads
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = self.THREADS * self.PER_THREAD
+        assert r.counter("stress.ops").value == expected
+        summary = r.histogram("stress.wall").summary()
+        assert summary["count"] == expected
+        assert summary["sum"] == self.THREADS * sum(
+            i % 7 for i in range(self.PER_THREAD)
+        )
+        assert summary["min"] == 0
+        assert summary["max"] == 6
+
+    def test_racing_get_returns_one_instrument(self):
+        import threading
+
+        r = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            instrument = r.counter("stress.single")
+            with lock:
+                seen.append(instrument)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(instrument) for instrument in seen}) == 1
+
+    def test_snapshot_under_concurrent_writes_is_consistent(self):
+        import threading
+
+        r = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                r.histogram("stress.snap").observe(1.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(200):
+                snap = r.snapshot().get("stress.snap")
+                if snap is None:
+                    continue
+                # count and sum move together: never torn.
+                assert snap["sum"] == snap["count"] * 1.0
+        finally:
+            stop.set()
+            t.join()

@@ -1,0 +1,114 @@
+"""Provenance and cProfile-hook tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.perf import (
+    DEFAULT_TOP,
+    git_sha,
+    host_fingerprint,
+    profiled,
+    render_profile_table,
+    top_self_time,
+)
+
+
+def busy_work():
+    return sum(i * i for i in range(20_000))
+
+
+class TestProvenance:
+    def test_fingerprint_keys(self):
+        fp = host_fingerprint()
+        assert set(fp) == {
+            "platform", "machine", "python", "implementation",
+            "numpy", "cpu_count",
+        }
+        assert fp["cpu_count"] >= 1
+        assert fp["python"].count(".") == 2
+
+    def test_git_sha_in_repo(self):
+        sha = git_sha()
+        assert sha != "unknown"
+        assert len(sha) >= 7
+
+    def test_git_sha_outside_repo(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) == "unknown"
+
+
+class TestProfiled:
+    def test_disabled_when_path_is_none(self):
+        with profiled(None) as profiler:
+            busy_work()
+        assert profiler is None
+
+    def test_dumps_pstats_file(self, tmp_path):
+        path = tmp_path / "deep" / "run.pstats"
+        with profiled(str(path)) as profiler:
+            busy_work()
+        assert profiler is not None
+        assert path.exists()
+        rows = top_self_time(str(path))
+        assert rows
+        assert len(rows) <= DEFAULT_TOP
+        assert any("busy_work" in row["function"] for row in rows)
+        # Sorted by self time, descending.
+        selfs = [row["self_s"] for row in rows]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_top_limits_rows(self, tmp_path):
+        path = tmp_path / "run.pstats"
+        with profiled(str(path)):
+            busy_work()
+        assert len(top_self_time(str(path), top=2)) == 2
+
+    def test_unreadable_dump_raises_value_error(self, tmp_path):
+        bad = tmp_path / "bad.pstats"
+        bad.write_bytes(b"not a pstats dump")
+        with pytest.raises(ValueError, match="cannot read"):
+            top_self_time(str(bad))
+
+    def test_render_table(self, tmp_path):
+        path = tmp_path / "run.pstats"
+        with profiled(str(path)):
+            busy_work()
+        table = render_profile_table(top_self_time(str(path), top=3))
+        assert "self time" in table
+        assert "calls" in table
+
+    def test_render_empty_rows(self):
+        assert "(no profile samples)" in render_profile_table([])
+
+
+class TestProfilingCLI:
+    def test_run_prof_then_trace_summary_pstats(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        prof = tmp_path / "run.pstats"
+        code = main(
+            ["run", "table1", "--no-cache", "--trace", str(trace),
+             "--prof", str(prof)]
+        )
+        assert code == 0
+        assert prof.exists()
+        capsys.readouterr()
+        code = main(
+            ["trace-summary", str(trace), "--pstats", str(prof),
+             "--top", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase" in out  # the trace table
+        assert "self time" in out  # the appended profile table
+
+    def test_trace_summary_bad_pstats_exits_one(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["run", "table1", "--no-cache", "--trace", str(trace)]
+        ) == 0
+        bad = tmp_path / "bad.pstats"
+        bad.write_bytes(b"garbage")
+        capsys.readouterr()
+        assert main(
+            ["trace-summary", str(trace), "--pstats", str(bad)]
+        ) == 1
+        assert "cannot read" in capsys.readouterr().err

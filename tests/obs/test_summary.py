@@ -114,3 +114,81 @@ class TestSummaries:
             pass
         table = render_summary(tracer.records())
         assert "no phase spans" in table
+
+
+class TestMalformedSpans:
+    """A parseable file can still carry junk; reject it loudly."""
+
+    def test_non_dict_jsonl_entry(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "ok", "dur": 1}\n42\n')
+        with pytest.raises(ConfigError, match="not a span object"):
+            load_trace(str(path))
+
+    def test_span_without_name(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(
+            {"traceEvents": [{"cat": "task", "ts": 0, "dur": 1}]}
+        ))
+        with pytest.raises(ConfigError, match="not a span object"):
+            load_trace(str(path))
+
+    def test_string_entry_in_trace_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": ["bogus"]}))
+        with pytest.raises(ConfigError, match="not a span object"):
+            load_trace(str(path))
+
+    def test_non_numeric_duration(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"name": "x", "dur": "soon"}))
+        with pytest.raises(ConfigError, match="non-numeric duration"):
+            load_trace(str(path))
+
+    def test_numeric_string_duration_coerced(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"name": "x", "dur": "2.5"}))
+        (span,) = load_trace(str(path))
+        assert span["dur"] == 2.5
+
+
+class TestTraceSummaryCLIFailures:
+    """``repro trace-summary`` must fail cleanly, never traceback."""
+
+    @pytest.fixture()
+    def run_cli(self, capsys):
+        from repro.cli import main
+
+        def _run(path):
+            code = main(["trace-summary", str(path)])
+            captured = capsys.readouterr()
+            assert "Traceback" not in captured.err
+            return code, captured.err
+
+        return _run
+
+    def test_missing_file(self, run_cli, tmp_path):
+        code, err = run_cli(tmp_path / "absent.json")
+        assert code == 1
+        assert "cannot read" in err
+
+    def test_empty_file(self, run_cli, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        code, err = run_cli(path)
+        assert code == 1
+        assert "is empty" in err
+
+    def test_malformed_file(self, run_cli, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken\nlines")
+        code, err = run_cli(path)
+        assert code == 1
+        assert "not valid JSON" in err
+
+    def test_junk_span_file(self, run_cli, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"name": "ok"}\n[]\n')
+        code, err = run_cli(path)
+        assert code == 1
+        assert "not a span object" in err

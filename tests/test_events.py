@@ -220,3 +220,88 @@ class TestEdgeCases:
 
     def test_counters_equal_empty_vs_empty(self):
         assert EventLog().counters_equal(EventLog())
+
+
+class TestRowsOccupancy:
+    """Boundary coverage for the Figure 13 row-utilization stats."""
+
+    LIMIT = 16  # the Table I ADC accumulation bound
+
+    def test_all_zero_log(self):
+        stats = EventLog().rows_occupancy(self.LIMIT)
+        assert stats == {
+            "mean_rows": 0.0, "occupancy": 0.0,
+            "full_frac": 0.0, "cdf_at_limit": 0.0,
+        }
+
+    def test_cdf_of_empty_log_is_all_zero(self):
+        cdf = EventLog().rows_hist_cdf()
+        assert (cdf == 0).all()
+
+    def test_exactly_full_accumulations(self):
+        log = EventLog()
+        log.record_mac(np.full(10, self.LIMIT))
+        stats = log.rows_occupancy(self.LIMIT)
+        assert stats["mean_rows"] == pytest.approx(self.LIMIT)
+        assert stats["occupancy"] == pytest.approx(1.0)
+        assert stats["full_frac"] == pytest.approx(1.0)
+        assert stats["cdf_at_limit"] == pytest.approx(1.0)
+        # The CDF is 0 strictly below the bound and jumps to 1 at it.
+        cdf = log.rows_hist_cdf()
+        assert cdf[self.LIMIT - 1] == pytest.approx(0.0)
+        assert cdf[self.LIMIT] == pytest.approx(1.0)
+
+    def test_mixed_occupancy(self):
+        log = EventLog()
+        log.record_mac(np.array([4, 8, 16, 16]))
+        stats = log.rows_occupancy(self.LIMIT)
+        assert stats["mean_rows"] == pytest.approx(11.0)
+        assert stats["occupancy"] == pytest.approx(11.0 / 16.0)
+        assert stats["full_frac"] == pytest.approx(0.5)
+        assert stats["cdf_at_limit"] == pytest.approx(1.0)
+
+    def test_limit_beyond_hist_size(self):
+        log = EventLog()
+        log.record_mac(np.array([1, 2]))
+        stats = log.rows_occupancy(self.LIMIT)
+        assert stats["full_frac"] == 0.0
+        assert stats["cdf_at_limit"] == pytest.approx(1.0)
+
+    def test_rows_above_limit_count_as_full(self):
+        log = EventLog()
+        log.record_mac(np.array([self.LIMIT + 4, 2]))
+        stats = log.rows_occupancy(self.LIMIT)
+        assert stats["full_frac"] == pytest.approx(0.5)
+        assert stats["cdf_at_limit"] == pytest.approx(0.5)
+
+    def test_post_merge_histogram_consistency(self):
+        a = EventLog()
+        a.record_mac(np.array([4, 4, 4]))
+        b = EventLog()
+        b.record_mac(np.array([16, 16]))
+        merged = EventLog().merge(a).merge(b)
+        stats = merged.rows_occupancy(self.LIMIT)
+        assert stats["mean_rows"] == pytest.approx((3 * 4 + 2 * 16) / 5)
+        assert stats["full_frac"] == pytest.approx(2 / 5)
+        cdf = merged.rows_hist_cdf()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert (np.diff(cdf) >= 0).all()
+
+    def test_occupancy_mean_matches_scalar_counters(self):
+        log = EventLog()
+        log.record_mac(np.array([3, 9, 12]))
+        stats = log.rows_occupancy(self.LIMIT)
+        assert stats["mean_rows"] == pytest.approx(
+            log.mac_rows_accumulated / log.mac_ops
+        )
+
+    def test_scaled_log_keeps_occupancy(self):
+        log = EventLog()
+        log.record_mac(np.array([2, 16]))
+        assert log.scaled(3).rows_occupancy(self.LIMIT) == pytest.approx(
+            log.rows_occupancy(self.LIMIT)
+        )
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().rows_occupancy(0)
