@@ -199,6 +199,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report regressions but exit 0 (shared/noisy runners)",
     )
     bench_compare.add_argument(
+        "--workload", action="append", default=None, metavar="NAME",
+        help="restrict the gate to these workloads (repeatable); "
+             "names absent from both records fail",
+    )
+    bench_compare.add_argument(
         "--log-level", default=None, choices=sorted(LEVELS),
         help="stderr log verbosity",
     )
@@ -299,6 +304,15 @@ def _run_bench_compare(args: argparse.Namespace) -> int:
     deltas = bench.compare_records(
         baseline, current, threshold=threshold, noise_k=noise_k
     )
+    if args.workload:
+        wanted = set(args.workload)
+        missing = sorted(wanted - {d.workload for d in deltas})
+        if missing:
+            raise ReproError(
+                "workload(s) absent from both records: "
+                + ", ".join(missing)
+            )
+        deltas = [d for d in deltas if d.workload in wanted]
     print(
         f"baseline: git={baseline['git_sha']} "
         f"t={baseline['created_unix']}  "

@@ -12,6 +12,14 @@ wavefront order, synchronous within a superstep).
 BFS is SSSP with the weight column preset to the constant 1, which
 also removes the per-edge MAC attribute write at load time
 (Section IV: "without the overhead of loading edge weights").
+
+The software loop is O(frontier) per superstep, mirroring the work the
+modelled hardware actually performs: the frontier's edges come from
+the vertex->edges CSR index (not a mask over all groups), the
+relaxation scatters minima over only those edges, the new frontier is
+deduplicated without scanning the vertex set, and — in the resident
+case — all event/latency accounting is deferred into one vectorized
+pass at the end (:class:`~repro.core.engine.DeferredSearchAccounting`).
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import numpy as np
 
 from ...errors import AlgorithmError
 from ...events import EventLog
-from ..engine import gather_ranges
+from ..engine import DeferredSearchAccounting, gather_ranges, unique_vertices
 from ..stats import TraversalResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,56 +48,80 @@ def run(engine: "GaaSXEngine", source: int, weighted: bool) -> TraversalResult:
 
     layout = engine.layout("row")
     groups = layout.groups_by("src")
+    edge_offsets, edge_of = groups.edge_index(n)
+    # Adjacency pre-permuted into the CSR edge order: one gather per
+    # superstep instead of an edge-id indirection then a field gather.
+    src_adj = layout.src[edge_of]
+    dst_adj = layout.dst[edge_of]
+    weight_adj = layout.weight[edge_of] if weighted else None
 
     events = EventLog()
     mac_values = 1 if weighted else 0
     if engine.streaming:
         load_time = 0.0  # charged per superstep below
+        deferred = None
     else:
         load_time = engine._account_load(
             layout, events, mac_values_per_edge=mac_values
         )
+        deferred = DeferredSearchAccounting(
+            engine.config, layout, groups, n, cols_engaged=2
+        )
 
     dist = np.full(n, np.inf)
     dist[source] = 0.0
-    active = np.zeros(n, dtype=bool)
-    active[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    scratch = np.zeros(n, dtype=bool)
 
-    group_starts = groups.group_offsets[:-1]
     compute_time = 0.0
     supersteps = 0
-    while active.any():
-        group_mask = active[groups.vertex]
-        if engine.streaming:
+    buffer_reads = 0
+    buffer_writes = 0
+    sfu_ops = 0
+    while frontier.size:
+        supersteps += 1
+        if deferred is None:
             # Re-stream every crossbar holding an active source's edges.
-            xbar_mask = engine._active_xbar_mask(layout, groups, group_mask)
+            gids = groups.groups_of(frontier, n)
+            xbar_mask = engine._active_xbar_mask(
+                layout, groups, group_ids=gids
+            )
             load_time += engine._account_load(
                 layout, events,
                 xbar_mask=xbar_mask, mac_values_per_edge=mac_values,
             )
-        compute_time += engine._account_search_pass(
-            layout, groups, events, group_mask=group_mask, cols_engaged=2
-        )
-        # Functional relaxation over exactly the searched edges.
-        edge_slots = gather_ranges(
-            group_starts[group_mask], groups.count[group_mask]
-        )
-        edges = groups.edge_perm[edge_slots]
-        candidates = dist[layout.src[edges]] + (
-            layout.weight[edges] if weighted else 1.0
-        )
-        new_dist = dist.copy()
-        np.minimum.at(new_dist, layout.dst[edges], candidates)
-        improved = new_dist < dist
-        # SFU/buffer accounting: one dist(u) read per search, one
-        # min-compare per candidate, one select+writeback per improved
-        # destination.
-        events.buffer_reads += int(group_mask.sum())
-        events.sfu_ops += int(edges.size) + int(improved.sum())
-        events.buffer_writes += int(improved.sum())
-        dist = new_dist
-        active = improved
-        supersteps += 1
+            compute_time += engine._account_search_pass(
+                layout, groups, events, group_ids=gids, cols_engaged=2
+            )
+            buffer_reads += int(gids.size)  # one dist(u) read per search
+        else:
+            deferred.add(frontier)
+        # Functional relaxation over exactly the frontier's edges.
+        starts = edge_offsets[frontier]
+        idx = gather_ranges(starts, edge_offsets[frontier + 1] - starts)
+        if idx.size == 0:
+            frontier = np.empty(0, dtype=np.int64)
+            continue
+        candidates = dist[src_adj[idx]]
+        if weighted:
+            candidates += weight_adj[idx]
+        else:
+            candidates += 1.0
+        targets = dst_adj[idx]
+        before = dist[targets]
+        np.minimum.at(dist, targets, candidates)
+        frontier = unique_vertices(targets[dist[targets] < before], scratch)
+        # SFU/buffer accounting: one min-compare per candidate, one
+        # select+writeback per improved destination.
+        sfu_ops += int(idx.size) + int(frontier.size)
+        buffer_writes += int(frontier.size)
+
+    if deferred is not None:
+        compute_time += deferred.finalize(events)
+        buffer_reads += deferred.total_groups
+    events.buffer_reads += buffer_reads
+    events.buffer_writes += buffer_writes
+    events.sfu_ops += sfu_ops
 
     stats = engine._finalize(
         events,

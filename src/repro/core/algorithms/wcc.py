@@ -13,6 +13,11 @@ searching the destination field finds its in-edges — with no transposed
 copy of the graph (Section IV: "the ternary CAM operation enables the
 flexibility to identify the edges corresponding to a particular source
 or destination vertex").
+
+Like traversal, the software loop is O(frontier) per superstep: each
+direction's edges come from its vertex->edges CSR index, label minima
+scatter over only those edges, and all event/latency accounting is
+deferred into one vectorized pass per direction at the end.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...events import EventLog
-from ..engine import gather_ranges
+from ..engine import DeferredSearchAccounting, gather_ranges, unique_vertices
 from ..stats import ComponentsResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,59 +41,69 @@ def run(engine: "GaaSXEngine") -> ComponentsResult:
     layout = engine.layout("row")
     src_groups = layout.groups_by("src")
     dst_groups = layout.groups_by("dst")
+    fwd_offsets, fwd_edge_of = src_groups.edge_index(n)
+    rev_offsets, rev_edge_of = dst_groups.edge_index(n)
 
     events = EventLog()
     # Labels ride in the MAC attribute column, like SSSP distances.
     load_time = engine._account_load(layout, events, mac_values_per_edge=1)
+    deferred_fwd = DeferredSearchAccounting(
+        engine.config, layout, src_groups, n, cols_engaged=1
+    )
+    deferred_rev = DeferredSearchAccounting(
+        engine.config, layout, dst_groups, n, cols_engaged=1
+    )
 
+    src = layout.src
+    dst = layout.dst
     labels = np.arange(n, dtype=np.float64)
-    active = np.zeros(n, dtype=bool)
     has_edge = np.zeros(n, dtype=bool)
-    has_edge[layout.src] = True
-    has_edge[layout.dst] = True
-    active[has_edge] = True
+    has_edge[src] = True
+    has_edge[dst] = True
+    frontier = np.flatnonzero(has_edge)
+    scratch = np.zeros(n, dtype=bool)
 
-    compute_time = 0.0
     supersteps = 0
-    while active.any():
-        new_labels = labels.copy()
-        # Forward direction: out-edges of active vertices.
-        fwd_mask = active[src_groups.vertex]
-        compute_time += engine._account_search_pass(
-            layout, src_groups, events, group_mask=fwd_mask, cols_engaged=1
-        )
-        fwd_edges = src_groups.edge_perm[
-            gather_ranges(
-                src_groups.group_offsets[:-1][fwd_mask],
-                src_groups.count[fwd_mask],
-            )
-        ]
-        np.minimum.at(
-            new_labels, layout.dst[fwd_edges], labels[layout.src[fwd_edges]]
-        )
-        # Reverse direction: in-edges via a destination-field search.
-        rev_mask = active[dst_groups.vertex]
-        compute_time += engine._account_search_pass(
-            layout, dst_groups, events, group_mask=rev_mask, cols_engaged=1
-        )
-        rev_edges = dst_groups.edge_perm[
-            gather_ranges(
-                dst_groups.group_offsets[:-1][rev_mask],
-                dst_groups.count[rev_mask],
-            )
-        ]
-        np.minimum.at(
-            new_labels, layout.src[rev_edges], labels[layout.dst[rev_edges]]
-        )
-
-        improved = new_labels < labels
-        events.buffer_reads += int(fwd_mask.sum()) + int(rev_mask.sum())
-        events.sfu_ops += int(fwd_edges.size) + int(rev_edges.size)
-        events.sfu_ops += int(improved.sum())
-        events.buffer_writes += int(improved.sum())
-        labels = new_labels
-        active = improved
+    buffer_writes = 0
+    sfu_ops = 0
+    while frontier.size:
         supersteps += 1
+        deferred_fwd.add(frontier)
+        deferred_rev.add(frontier)
+        # Forward direction: out-edges of active vertices.
+        starts = fwd_offsets[frontier]
+        fwd_edges = fwd_edge_of[
+            gather_ranges(starts, fwd_offsets[frontier + 1] - starts)
+        ]
+        # Reverse direction: in-edges via a destination-field search.
+        starts = rev_offsets[frontier]
+        rev_edges = rev_edge_of[
+            gather_ranges(starts, rev_offsets[frontier + 1] - starts)
+        ]
+        sfu_ops += int(fwd_edges.size) + int(rev_edges.size)
+        # Both directions' candidates read the pre-superstep labels, so
+        # gather them before the (in-place) scatter.
+        targets = np.concatenate([dst[fwd_edges], src[rev_edges]])
+        if targets.size == 0:
+            frontier = np.empty(0, dtype=np.int64)
+            continue
+        candidates = np.concatenate(
+            [labels[src[fwd_edges]], labels[dst[rev_edges]]]
+        )
+        before = labels[targets]
+        np.minimum.at(labels, targets, candidates)
+        frontier = unique_vertices(
+            targets[labels[targets] < before], scratch
+        )
+        sfu_ops += int(frontier.size)
+        buffer_writes += int(frontier.size)
+
+    compute_time = deferred_fwd.finalize(events) + deferred_rev.finalize(
+        events
+    )
+    events.buffer_reads += deferred_fwd.total_groups + deferred_rev.total_groups
+    events.buffer_writes += buffer_writes
+    events.sfu_ops += sfu_ops
 
     stats = engine._finalize(
         events, load_time, compute_time,

@@ -66,15 +66,34 @@ def default_interval_size(num_vertices: int) -> int:
 
 
 def gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Concatenate ``arange(s, s+l)`` for each (s, l) pair, vectorized."""
+    """Concatenate ``arange(s, s+l)`` for each (s, l) pair, vectorized.
+
+    Only one output-sized array is ever materialized: the result starts
+    as all-ones, range-opening positions are overwritten with jumps
+    from the previous range's last element, and an in-place cumulative
+    sum recovers every index. (The naive vectorization repeats the
+    starts *and* an ``arange(total)`` — two extra output-sized
+    temporaries that dominate peak memory on huge frontiers.)
+    """
     starts = np.asarray(starts, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
+    nonzero = lengths > 0
+    if not nonzero.all():
+        starts = starts[nonzero]
+        lengths = lengths[nonzero]
     total = int(lengths.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    ends = np.cumsum(lengths)
-    offsets = np.arange(total) - np.repeat(ends - lengths, lengths)
-    return np.repeat(starts, lengths) + offsets
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if starts.size > 1:
+        # Jump from the end of range i-1 (starts[i-1] + lengths[i-1] - 1)
+        # to starts[i]; boundaries are distinct because zero-length
+        # ranges were dropped above.
+        boundaries = np.cumsum(lengths[:-1])
+        out[boundaries] = starts[1:] - starts[:-1] - lengths[:-1] + 1
+    np.cumsum(out, out=out)
+    return out
 
 
 def chunk_histogram(hits: np.ndarray, limit: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -94,6 +113,206 @@ def chunk_histogram(hits: np.ndarray, limit: int) -> Tuple[np.ndarray, np.ndarra
         if rem_nonzero.size:
             hist[: rem_nonzero.max() + 1] += np.bincount(rem_nonzero)
     return ops, hist
+
+
+def segmented_min(
+    targets: np.ndarray,
+    values: np.ndarray,
+    rank: np.ndarray,
+    edges: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-target minimum of ``values`` over an edge subset.
+
+    ``targets`` maps every layout edge to the vertex it delivers to,
+    ``values[i]`` is the candidate carried by ``edges[i]``, and
+    ``rank`` is the layout's precomputed target-sorted rank
+    (:meth:`~repro.core.loader.CrossbarLayout.sort_rank`) — sorting the
+    subset by rank clusters equal targets without re-sorting vertex
+    ids. Returns ``(touched_vertices, per_vertex_min)``, both sized by
+    the number of *distinct* touched vertices (ascending). Cost is
+    O(|edges| log |edges|), independent of the graph size — the
+    frontier-sparse replacement for an O(num_vertices)
+    ``np.minimum.at`` scatter.
+    """
+    order = np.argsort(rank[edges])
+    tgt = targets[edges[order]]
+    vals = values[order]
+    head = np.empty(tgt.size, dtype=bool)
+    head[0] = True
+    head[1:] = tgt[1:] != tgt[:-1]
+    starts = np.flatnonzero(head)
+    return tgt[starts], np.minimum.reduceat(vals, starts)
+
+
+def unique_vertices(ids: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """Sorted unique vertex ids, sized to the input, not the graph.
+
+    ``scratch`` is a caller-owned all-False boolean array over the
+    vertex set; it is used (and reset) only when the candidate set is
+    large enough that one linear scan beats sorting it. Small inputs
+    take a sort-and-mask path instead, keeping the per-superstep cost
+    of frontier deduplication O(frontier log frontier) rather than
+    O(num_vertices). Both paths return identical arrays.
+    """
+    if ids.size == 0:
+        return ids
+    if ids.size * 32 < scratch.size:
+        ids = np.sort(ids)
+        keep = np.empty(ids.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = ids[1:] != ids[:-1]
+        return ids[keep]
+    scratch[ids] = True
+    out = np.flatnonzero(scratch)
+    scratch[out] = False
+    return out
+
+
+class DeferredSearchAccounting:
+    """Batched event/latency accounting for frontier-driven supersteps.
+
+    A traversal superstep with a three-vertex frontier should cost
+    three searches' worth of accounting — but even compact per-
+    superstep accounting pays a few dozen numpy-call overheads per
+    superstep, which dominates on high-diameter graphs (thousands of
+    supersteps). This accumulator just records each superstep's
+    frontier (the array the algorithm already holds — recording is
+    O(1)) and performs the *entire* run's group expansion, event
+    accounting, and latency reduction in one vectorized pass at the
+    end.
+
+    Latency semantics are identical to per-superstep
+    :meth:`GaaSXEngine._account_search_pass`: within a superstep,
+    per-crossbar serial time is maxed over each batch and the batch
+    maxima are summed; supersteps are summed. Frontiers must hold
+    unique in-range vertex ids.
+
+    After :meth:`finalize`, :attr:`total_groups` holds the number of
+    CAM searches accounted across all recorded supersteps (callers use
+    it for their own per-search buffer-read accounting).
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        layout: "CrossbarLayout",
+        groups: "GroupIndex",
+        num_vertices: int,
+        cols_engaged: int = 1,
+    ) -> None:
+        self._config = config
+        self._layout = layout
+        self._groups = groups
+        self._num_vertices = num_vertices
+        self._cols = cols_engaged
+        self._frontiers: list = []
+        #: CAM searches accounted by :meth:`finalize` (0 until then).
+        self.total_groups = 0
+
+    def add(self, frontier: np.ndarray) -> None:
+        """Record one superstep's frontier (unique vertex ids)."""
+        if frontier.size:
+            self._frontiers.append(frontier)
+
+    def finalize(self, events: EventLog) -> float:
+        """Apply all deferred events to ``events``; return the summed
+        compute latency of every recorded superstep."""
+        if not self._frontiers:
+            return 0.0
+        config = self._config
+        groups = self._groups
+        sizes = np.array([f.size for f in self._frontiers], dtype=np.int64)
+        verts = np.concatenate(self._frontiers)
+        offsets, perm = groups.vertex_index(self._num_vertices)
+        starts = offsets[verts]
+        counts = offsets[verts + 1] - starts
+        gids = perm[gather_ranges(starts, counts)]
+        if gids.size == 0:
+            return 0.0
+        step_of_vert = np.repeat(np.arange(sizes.size), sizes)
+        gids_per_step = np.bincount(
+            step_of_vert, weights=counts, minlength=sizes.size
+        ).astype(np.int64)
+        step = np.repeat(np.arange(sizes.size), gids_per_step)
+        xbar = groups.xbar[gids]
+        hits = groups.count[gids]
+        ops, hist = chunk_histogram(hits, config.mac_accumulate_limit)
+        total_hits = int(hits.sum())
+        total_ops = int(ops.sum())
+        self.total_groups = int(gids.size)
+        events.cam_searches += int(gids.size)
+        events.mac_ops += total_ops
+        events.mac_rows_accumulated += total_hits
+        events.mac_cell_ops += total_hits * self._cols
+        events._grow_hist(hist.size)
+        events.mac_rows_hist[: hist.size] += hist
+        events.dac_conversions += total_hits
+        events.adc_conversions += total_ops * min(
+            self._cols, config.mac_cols
+        )
+        return self._latency(step, xbar, ops, int(sizes.size))
+
+    def _latency(
+        self,
+        step: np.ndarray,
+        xbar: np.ndarray,
+        ops: np.ndarray,
+        num_steps: int,
+    ) -> float:
+        """Sum over supersteps of (max over batch of per-crossbar time).
+
+        The common path bins searches and MAC ops onto a dense
+        (superstep, crossbar) grid with ``bincount`` — no sorting —
+        then folds the crossbar axis into (batch, crossbar-in-batch)
+        and maxes it out. Crossbars a superstep never touched hold 0
+        and cannot win a max against a touched crossbar's positive
+        time; all-idle batches contribute exactly the 0 they would
+        have contributed by not appearing at all.
+        """
+        tech = self._config.tech
+        num_crossbars = self._config.num_crossbars
+        num_batches = self._layout.num_batches
+        width = num_batches * num_crossbars
+        cells = num_steps * width
+        if xbar.size * 8 >= cells and cells <= 32_000_000:
+            # Dense enough that binning onto the full (superstep,
+            # crossbar) grid beats sorting the group records.
+            key = step * width + xbar
+            searches = np.bincount(key, minlength=cells)
+            seg_ops = np.bincount(key, weights=ops, minlength=cells)
+            grid_time = searches * tech.cam_latency_s + seg_ops * (
+                tech.mac_latency_s + tech.input_stage_latency_s
+            )
+            batch_time = grid_time.reshape(
+                num_steps, num_batches, num_crossbars
+            ).max(axis=2)
+            return float(batch_time.sum())
+        # Sparse (or huge-grid) fallback: sort by (superstep, crossbar)
+        # and reduce over segment boundaries — O(G log G), O(G) memory.
+        order = np.argsort(step * width + xbar, kind="stable")
+        step = step[order]
+        xbar = xbar[order]
+        ops = ops[order]
+        seg_head = np.empty(xbar.size, dtype=bool)
+        seg_head[0] = True
+        seg_head[1:] = (step[1:] != step[:-1]) | (xbar[1:] != xbar[:-1])
+        seg_starts = np.flatnonzero(seg_head)
+        searches = np.diff(np.append(seg_starts, xbar.size))
+        seg_ops = np.add.reduceat(ops, seg_starts)
+        seg_time = searches * tech.cam_latency_s + seg_ops * (
+            tech.mac_latency_s + tech.input_stage_latency_s
+        )
+        seg_step = step[seg_starts]
+        seg_batch = self._layout.batch_of_xbar(xbar[seg_starts])
+        batch_head = np.empty(seg_batch.size, dtype=bool)
+        batch_head[0] = True
+        batch_head[1:] = (seg_step[1:] != seg_step[:-1]) | (
+            seg_batch[1:] != seg_batch[:-1]
+        )
+        batch_time = np.maximum.reduceat(
+            seg_time, np.flatnonzero(batch_head)
+        )
+        return float(batch_time.sum())
 
 
 class GaaSXEngine:
@@ -230,6 +449,7 @@ class GaaSXEngine:
         group_mask: Optional[np.ndarray] = None,
         cols_engaged: int = 1,
         mac_segments: int = 1,
+        group_ids: Optional[np.ndarray] = None,
     ) -> float:
         """Charge one CAM-search + MAC pass and return its latency.
 
@@ -239,8 +459,20 @@ class GaaSXEngine:
         operation when a value spans several 16-column crossbar
         segments (feature vectors wider than one array, Section IV's
         collaborative filtering).
+
+        Selection is either a boolean ``group_mask`` over all groups
+        (full-pass kernels) or a compact *sorted* ``group_ids`` array
+        (frontier-driven kernels, from
+        :meth:`~repro.core.loader.GroupIndex.groups_of`). The compact
+        path touches only the selected groups' crossbars — cost
+        O(selected groups), not O(all crossbars) — and charges exactly
+        the same events and latency as the mask path would.
         """
-        if group_mask is None:
+        compact = group_ids is not None
+        if compact:
+            xbar = groups.xbar[group_ids]
+            hits = groups.count[group_ids]
+        elif group_mask is None:
             xbar = groups.xbar
             hits = groups.count
         else:
@@ -266,29 +498,53 @@ class GaaSXEngine:
         )
         # Per-crossbar serial time, maxed per batch.
         tech = self.config.tech
-        searches_per_xbar = np.bincount(xbar, minlength=layout.num_xbars)
-        ops_per_xbar = np.bincount(
-            xbar, weights=ops.astype(np.float64), minlength=layout.num_xbars
-        )
+        batch_time = np.zeros(layout.num_batches, dtype=np.float64)
+        if compact:
+            # group_ids ascending => crossbar ids non-decreasing:
+            # segment per touched crossbar, scatter maxima into the
+            # touched batches only.
+            seg_head = np.empty(xbar.size, dtype=bool)
+            seg_head[0] = True
+            seg_head[1:] = xbar[1:] != xbar[:-1]
+            seg_starts = np.flatnonzero(seg_head)
+            searches_per_xbar = np.diff(np.append(seg_starts, xbar.size))
+            ops_per_xbar = np.add.reduceat(ops, seg_starts).astype(
+                np.float64
+            )
+            touched = xbar[seg_starts]
+        else:
+            searches_per_xbar = np.bincount(
+                xbar, minlength=layout.num_xbars
+            )
+            ops_per_xbar = np.bincount(
+                xbar,
+                weights=ops.astype(np.float64),
+                minlength=layout.num_xbars,
+            )
+            touched = np.arange(layout.num_xbars)
         xbar_time = (
             searches_per_xbar * tech.cam_latency_s
             + ops_per_xbar
             * (tech.mac_latency_s + tech.input_stage_latency_s)
         )
-        batch_time = np.zeros(layout.num_batches, dtype=np.float64)
         np.maximum.at(
-            batch_time,
-            layout.batch_of_xbar(np.arange(layout.num_xbars)),
-            xbar_time,
+            batch_time, layout.batch_of_xbar(touched), xbar_time
         )
         return float(batch_time.sum())
 
     def _active_xbar_mask(
-        self, layout: CrossbarLayout, groups: GroupIndex, group_mask: np.ndarray
+        self,
+        layout: CrossbarLayout,
+        groups: GroupIndex,
+        group_mask: Optional[np.ndarray] = None,
+        group_ids: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Crossbars containing at least one selected group."""
         mask = np.zeros(layout.num_xbars, dtype=bool)
-        mask[groups.xbar[group_mask]] = True
+        if group_ids is not None:
+            mask[groups.xbar[group_ids]] = True
+        else:
+            mask[groups.xbar[group_mask]] = True
         return mask
 
     def _finalize(

@@ -17,7 +17,7 @@ plus the grouping indexes the engine's event accounting needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -44,11 +44,78 @@ class GroupIndex:
     count: np.ndarray  # edges (CAM hits) per group
     edge_perm: np.ndarray
     group_offsets: np.ndarray
+    #: lazily built vertex -> groups CSR: (offsets, group-id permutation)
+    _vertex_index: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    #: lazily built vertex -> member-edges CSR: (offsets, edge ids)
+    _edge_index: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def num_groups(self) -> int:
         """Number of (crossbar, vertex) groups."""
         return int(self.xbar.size)
+
+    def vertex_index(self, num_vertices: int) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR index from vertex id to the groups searching it (cached).
+
+        Returns ``(offsets, perm)`` with ``offsets`` of length
+        ``num_vertices + 1``: the groups whose searched vertex is ``v``
+        are ``perm[offsets[v]:offsets[v + 1]]``. This is what lets a
+        frontier-driven kernel select its active groups in
+        O(frontier + groups selected) instead of masking every group.
+        """
+        index = self._vertex_index
+        if index is None or index[0].size != num_vertices + 1:
+            perm = np.argsort(self.vertex, kind="stable")
+            offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+            counts = np.bincount(self.vertex, minlength=num_vertices)
+            np.cumsum(counts, out=offsets[1:])
+            index = (offsets, perm)
+            self._vertex_index = index
+        return index
+
+    def groups_of(self, vertices: np.ndarray, num_vertices: int) -> np.ndarray:
+        """Group ids searching any of ``vertices``, in ascending order.
+
+        ``vertices`` must be unique in-range vertex ids (a frontier).
+        The result is sorted, so crossbar ids are non-decreasing along
+        it (groups are ordered by (crossbar, vertex)).
+        """
+        from .engine import gather_ranges
+
+        offsets, perm = self.vertex_index(num_vertices)
+        starts = offsets[vertices]
+        counts = offsets[vertices + 1] - starts
+        selected = perm[gather_ranges(starts, counts)]
+        selected.sort()
+        return selected
+
+    def edge_index(self, num_vertices: int) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR index from vertex id straight to its member edges (cached).
+
+        Returns ``(offsets, edges)`` with ``offsets`` of length
+        ``num_vertices + 1``: the layout-edge ids whose searched field
+        equals ``v`` are ``edges[offsets[v]:offsets[v + 1]]``. This
+        collapses the two-hop vertex -> groups -> edges walk into one
+        gather for the frontier-driven functional kernels, which do not
+        care about crossbar boundaries (accounting, which does, uses
+        :meth:`vertex_index`).
+        """
+        from .engine import gather_ranges
+
+        index = self._edge_index
+        if index is None or index[0].size != num_vertices + 1:
+            _, vperm = self.vertex_index(num_vertices)
+            edges = self.edge_perm[
+                gather_ranges(self.group_offsets[vperm], self.count[vperm])
+            ]
+            counts = np.bincount(
+                self.vertex, weights=self.count, minlength=num_vertices
+            ).astype(np.int64)
+            offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            index = (offsets, edges)
+            self._edge_index = index
+        return index
 
 
 @dataclass
@@ -70,6 +137,7 @@ class CrossbarLayout:
     xbar_of_edge: np.ndarray
     num_xbars: int
     _groups: Dict[str, GroupIndex] = field(default_factory=dict)
+    _sort_ranks: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def num_edges(self) -> int:
@@ -100,6 +168,26 @@ class CrossbarLayout:
     def rows_per_xbar(self) -> np.ndarray:
         """Occupied rows in each crossbar (<= cam_rows)."""
         return np.bincount(self.xbar_of_edge, minlength=self.num_xbars)
+
+    def sort_rank(self, fieldname: str) -> np.ndarray:
+        """Rank of each edge in the stable ``fieldname``-sorted order.
+
+        Computed once per layout and reused every superstep: sorting
+        any *subset* of edges by their rank groups equal-field edges
+        contiguously (ranks of equal-field edges are consecutive in
+        the global order), which is what the segmented-min relaxation
+        needs — without re-sorting vertex ids from scratch each time.
+        """
+        if fieldname not in ("src", "dst"):
+            raise ConfigError(f"unknown sort field {fieldname!r}")
+        rank = self._sort_ranks.get(fieldname)
+        if rank is None:
+            keys = self.src if fieldname == "src" else self.dst
+            perm = np.argsort(keys, kind="stable")
+            rank = np.empty(keys.size, dtype=np.int64)
+            rank[perm] = np.arange(keys.size, dtype=np.int64)
+            self._sort_ranks[fieldname] = rank
+        return rank
 
     # ------------------------------------------------------------------
     def groups_by(self, fieldname: str) -> GroupIndex:

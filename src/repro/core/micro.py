@@ -26,9 +26,9 @@ from ..errors import AlgorithmError
 from ..events import EventLog
 from ..graphs.graph import Graph
 from ..graphs.partition import partition_graph
-from ..xbar.cam_array import EdgeCam
+from ..xbar.cam_array import CamBank, EdgeCam
 from ..xbar.cells import FixedPointFormat
-from ..xbar.mac_array import MacCrossbar
+from ..xbar.mac_array import MacBank, MacCrossbar
 from .engine import default_interval_size
 from .loader import CrossbarLayout, build_layout
 
@@ -44,6 +44,7 @@ class _CrossbarPair:
         weight: np.ndarray,
         events: EventLog,
         load_weights: bool,
+        search_field: str = "src",
         exact: bool = True,
     ) -> None:
         # Each CAM field spans half the 128-bit row, matching the
@@ -68,6 +69,14 @@ class _CrossbarPair:
         self.src = src
         self.dst = dst
         self.weight = weight
+        # Distinct searched ids with their packed key encodings,
+        # precomputed once: every superstep searches a subset of these,
+        # never anything else, and the encodings never change.
+        searched = src if search_field == "src" else dst
+        self.search_vertices = np.unique(searched)
+        self.search_keys = self.cam.pack_keys(
+            self.search_vertices, search_field
+        )
         self.cam.load_edges(src, dst)
         k = src.size
         if load_weights:
@@ -107,7 +116,11 @@ class MicroGaaSX:
         self._grid = partition_graph(graph, interval_size)
 
     def _build(
-        self, order: str, events: EventLog, load_weights: bool
+        self,
+        order: str,
+        events: EventLog,
+        load_weights: bool,
+        search_field: str,
     ) -> Tuple[CrossbarLayout, list]:
         layout = build_layout(self._grid, order, self.config)
         pairs = []
@@ -121,6 +134,7 @@ class MicroGaaSX:
                     layout.weight[sel],
                     events,
                     load_weights,
+                    search_field=search_field,
                     exact=not self.quantized,
                 )
             )
@@ -135,7 +149,9 @@ class MicroGaaSX:
         events = EventLog()
         out_deg = self.graph.out_degrees().astype(np.float64)
         inv = np.divide(1.0, out_deg, out=np.zeros(n), where=out_deg > 0)
-        layout, pairs = self._build("col", events, load_weights=False)
+        layout, pairs = self._build(
+            "col", events, load_weights=False, search_field="dst"
+        )
         # MAC column 0 holds 1/OutDeg(src) per edge row (counted as the
         # per-edge attribute write, like the engine's loader).
         for pair in pairs:
@@ -144,19 +160,20 @@ class MicroGaaSX:
                 np.arange(k), np.zeros(k, dtype=np.int64), inv[pair.src]
             )
         ranks = np.ones(n)
+        col0 = np.array([0])
+        inputs = np.zeros(self.config.mac_rows)
         for _ in range(iterations):
             contrib = np.zeros(n)
             for pair in pairs:
-                inputs = np.zeros(self.config.mac_rows)
                 inputs[: pair.src.size] = ranks[pair.src]
+                inputs[pair.src.size :] = 0.0
                 events.buffer_reads += int(pair.src.size)  # rank reads
-                for v in np.unique(pair.dst):
-                    hits = pair.cam.search_dst(int(v))
-                    summed = pair.mac.mac(
-                        inputs, row_mask=hits, col_mask=np.array([0])
-                    )
-                    contrib[v] += summed[0]
-                    events.sfu_ops += 1  # partial accumulate per group
+                # One batched broadcast: every destination group's CAM
+                # search, then its selective MAC, in one call each.
+                hits = pair.cam.search_packed(*pair.search_keys)
+                summed = pair.mac.mac_many(inputs, hits, col_mask=col0)
+                contrib[pair.search_vertices] += summed[:, 0]
+                events.sfu_ops += int(pair.search_vertices.size)  # accums
             ranks = (1.0 - alpha) + alpha * contrib
             events.sfu_ops += 2 * n  # damping affine per vertex
             events.buffer_writes += n
@@ -170,36 +187,59 @@ class MicroGaaSX:
         if not 0 <= source < n:
             raise AlgorithmError(f"source {source} out of range [0, {n})")
         events = EventLog()
-        _layout, pairs = self._build("row", events, load_weights=weighted)
+        _layout, pairs = self._build(
+            "row", events, load_weights=weighted, search_field="src"
+        )
+        # Gang the loaded pairs: the hardware searches every crossbar
+        # in parallel, so one bank call per superstep resolves all the
+        # active sources' searches (and their selective MACs) at once.
+        # Banks snapshot array contents — safe here because traversal
+        # never reloads a pair after the initial edge load.
+        if pairs:
+            cam_bank = CamBank([pair.cam.cam for pair in pairs])
+            mac_bank = MacBank([pair.mac for pair in pairs])
+            all_src = np.concatenate(
+                [pair.search_vertices for pair in pairs]
+            )
+            member = np.repeat(
+                np.arange(len(pairs)),
+                [pair.search_vertices.size for pair in pairs],
+            )
+            key_words = np.concatenate(
+                [pair.search_keys[0] for pair in pairs], axis=0
+            )
+            mask_words = pairs[0].search_keys[1]
+            dst_rows = np.stack([pair.cam.stored_dst() for pair in pairs])
+        else:
+            all_src = np.empty(0, dtype=np.int64)
         dist = np.full(n, np.inf)
         dist[source] = 0.0
         active = np.zeros(n, dtype=bool)
         active[source] = True
+        cols01 = np.array([0, 1])
         while active.any():
             new_dist = dist.copy()
-            improved_any = np.zeros(n, dtype=bool)
-            searches = 0
+            sel = active[all_src]
+            srcs = all_src[sel]
+            searches = int(srcs.size)
             candidates_count = 0
-            for pair in pairs:
-                for u in np.unique(pair.src):
-                    if not active[u]:
-                        continue
-                    searches += 1
-                    hits = pair.cam.search_src(int(u))
-                    # alpha=1 drives the weight column, dist(u) drives
-                    # the constant-1 column (Figure 9b).
-                    inputs = np.zeros(self.config.mac_cols)
-                    inputs[0] = 1.0
-                    inputs[1] = dist[u]
-                    cand = pair.mac.mac_rowwise(
-                        inputs, row_mask=hits, col_mask=np.array([0, 1])
-                    )
-                    rows = np.flatnonzero(hits)
-                    candidates_count += rows.size
-                    for r in rows:
-                        v = pair.dst[r]
-                        if cand[r] < new_dist[v]:
-                            new_dist[v] = cand[r]
+            if searches:
+                mem = member[sel]
+                hits = cam_bank.search_packed(mem, key_words[sel], mask_words)
+                # alpha=1 drives the weight column, dist(u) drives the
+                # constant-1 column (Figure 9b) — one input row per
+                # active source, one gang MAC for the whole superstep.
+                inputs = np.zeros((searches, self.config.mac_cols))
+                inputs[:, 0] = 1.0
+                inputs[:, 1] = dist[srcs]
+                cand = mac_bank.mac_rowwise_many(
+                    mem, inputs, hits, col_mask=cols01
+                )
+                query, rows = np.nonzero(hits)
+                candidates_count = int(rows.size)
+                np.minimum.at(
+                    new_dist, dst_rows[mem[query], rows], cand[query, rows]
+                )
             improved_any = new_dist < dist
             events.buffer_reads += searches  # dist(u) per search
             events.sfu_ops += candidates_count + int(improved_any.sum())

@@ -38,6 +38,8 @@ class Graph:
         self.name = name
         self._csr: Optional[CSRMatrix] = None
         self._csc: Optional[CSCMatrix] = None
+        self._out_degrees: Optional[np.ndarray] = None
+        self._in_degrees: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -85,12 +87,26 @@ class Graph:
         return self.edges.data
 
     def out_degrees(self) -> np.ndarray:
-        """Out-degree of each vertex."""
-        return self.edges.row_degrees()
+        """Out-degree of each vertex (cached; read-only array).
+
+        The edge set is immutable after construction, so the degree
+        vector is computed once and shared. The returned array is
+        marked non-writeable — callers needing a mutable copy (or a
+        float view) must copy, e.g. ``out_degrees().astype(float)``.
+        """
+        if self._out_degrees is None:
+            degrees = self.edges.row_degrees()
+            degrees.flags.writeable = False
+            self._out_degrees = degrees
+        return self._out_degrees
 
     def in_degrees(self) -> np.ndarray:
-        """In-degree of each vertex."""
-        return self.edges.col_degrees()
+        """In-degree of each vertex (cached; read-only array)."""
+        if self._in_degrees is None:
+            degrees = self.edges.col_degrees()
+            degrees.flags.writeable = False
+            self._in_degrees = degrees
+        return self._in_degrees
 
     def csr(self) -> CSRMatrix:
         """CSR view (cached)."""

@@ -252,6 +252,74 @@ def _mac_accumulate_workload() -> Workload:
     return Workload("mac.accumulate", "kernel", setup, run, collect)
 
 
+def _traversal_superstep_workload() -> Workload:
+    """High-diameter SSSP: thousands of thin-frontier supersteps.
+
+    A tall 4 x 8192 grid (road-network shape) with uniform weights
+    gives a ~8200-superstep Bellman-Ford wavefront whose frontier is a
+    handful of vertices — the shape that punishes any per-superstep
+    cost proportional to the whole graph instead of the active set.
+    (Uniform weights keep the wavefront thin: with high-variance
+    weights the frontier fattens with re-relaxations and the run
+    measures raw relaxation throughput instead of superstep overhead.)
+    The graph is fixed-size (profile-independent) so trajectories stay
+    comparable.
+    """
+
+    def setup(_profile: str):
+        from ..core.engine import GaaSXEngine
+        from ..graphs.generators import grid_2d
+
+        engine = GaaSXEngine(
+            grid_2d(
+                4, 8192, seed=3, name="tall-grid",
+                weight_range=(1.0, 1.0),
+            )
+        )
+        engine.layout("row").groups_by("src")
+        return engine
+
+    def run(engine):
+        return engine.sssp(0)
+
+    def collect(_engine, payload) -> Dict[str, float]:
+        metrics = _stats_metrics(payload.stats)
+        metrics["traversal.supersteps"] = float(payload.supersteps)
+        return metrics
+
+    return Workload("traversal.superstep", "kernel", setup, run, collect)
+
+
+def _micro_traversal_workload() -> Workload:
+    """Array-level simulator end to end: crossbar load + CAM/MAC SSSP.
+
+    Times :class:`~repro.core.micro.MicroGaaSX` building every
+    CAM/MAC pair (``EdgeCam.load_edges`` programming) and running a
+    full SSSP through the real search / selective-MAC path. Fixed-size
+    graph, profile-independent.
+    """
+
+    def setup(_profile: str):
+        from ..graphs.generators import rmat
+
+        return rmat(256, 2000, seed=5, name="micro-bench")
+
+    def run(graph):
+        from ..core.micro import MicroGaaSX
+
+        return MicroGaaSX(graph).sssp(0)
+
+    def collect(_graph, payload) -> Dict[str, float]:
+        _dist, events = payload
+        return {
+            f"events.{name}": float(value)
+            for name, value in events.as_dict().items()
+            if value
+        }
+
+    return Workload("micro.traversal", "kernel", setup, run, collect)
+
+
 def _experiment_workload(experiment_id: str) -> Workload:
     """A registered paper artifact run through the executor, traced."""
 
@@ -305,6 +373,8 @@ def _build_workloads() -> Dict[str, Workload]:
         _shard_scan_workload(),
         _cam_search_workload(),
         _mac_accumulate_workload(),
+        _traversal_superstep_workload(),
+        _micro_traversal_workload(),
         _experiment_workload("abl-interval"),
         _experiment_workload("abl-xbar"),
         _experiment_workload("fig13"),
@@ -320,12 +390,13 @@ WORKLOADS: Dict[str, Workload] = _build_workloads()
 SUITES: Dict[str, Tuple[Tuple[str, ...], str, int]] = {
     "quick": (
         ("engine.pagerank", "cam.search", "mac.accumulate",
-         "exp.abl-interval"),
+         "traversal.superstep", "micro.traversal", "exp.abl-interval"),
         "tiny", 3,
     ),
     "kernels": (
         ("engine.pagerank", "engine.sssp", "layout.build", "shard.scan",
-         "cam.search", "mac.accumulate"),
+         "cam.search", "mac.accumulate", "traversal.superstep",
+         "micro.traversal"),
         "bench", 5,
     ),
     "experiments": (

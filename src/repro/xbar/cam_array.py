@@ -8,16 +8,56 @@ all unmasked bits match. :class:`EdgeCam` layers the paper's edge
 layout on top: each row holds a ``(src, dst)`` vertex-id pair and
 searches target either field, producing the hit vector that drives the
 MAC crossbar's word lines.
+
+Rows are mirrored into packed 64-bit words so a search is a handful of
+word-wide XOR/AND reductions instead of a boolean matrix sweep, and
+:meth:`CamCrossbar.search_many` broadcasts a whole batch of keys in one
+call — the searched-field values of every active vertex of a superstep
+— which is what lets :class:`~repro.core.micro.MicroGaaSX` stay
+array-faithful without a Python loop per vertex.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import CapacityError, ConfigError
 from ..events import EventLog
+
+
+def encode_ids(values: np.ndarray, bits: int) -> np.ndarray:
+    """Encode non-negative ids as MSB-first bit matrices.
+
+    Returns a boolean array of shape ``(len(values), bits)``. The
+    vectorized replacement for encoding one value at a time, one bit
+    at a time.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size:
+        low = int(values.min())
+        high = int(values.max())
+        if low < 0 or (bits < 64 and high >= (1 << bits)):
+            bad = low if low < 0 else high
+            raise ConfigError(f"value {bad} does not fit in {bits} bits")
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.int64)
+    return ((values[:, None] >> shifts) & 1).astype(bool)
+
+
+def _pack_words(bits: np.ndarray) -> np.ndarray:
+    """Pack boolean bit rows into 64-bit words (shape ``(k, words)``).
+
+    The mapping from bit position to word lane only has to be
+    consistent between stored rows and search keys — equality survives
+    any fixed permutation — so the byte order ``view`` imposes is
+    irrelevant.
+    """
+    k, width = bits.shape
+    words = -(-width // 64)
+    padded = np.zeros((k, words * 64), dtype=bool)
+    padded[:, :width] = bits
+    return np.packbits(padded, axis=1).view(np.uint64)
 
 
 class CamCrossbar:
@@ -36,13 +76,12 @@ class CamCrossbar:
         self.events = events if events is not None else EventLog()
         self._bits = np.zeros((rows, width_bits), dtype=bool)
         self._valid = np.zeros(rows, dtype=bool)
+        self._words = _pack_words(self._bits)
 
     def _encode(self, value: int, bits: int) -> np.ndarray:
         if value < 0 or value >= (1 << bits):
             raise ConfigError(f"value {value} does not fit in {bits} bits")
-        return np.array(
-            [(value >> (bits - 1 - i)) & 1 for i in range(bits)], dtype=bool
-        )
+        return encode_ids(np.array([value], dtype=np.int64), bits)[0]
 
     def write_row(self, row: int, pattern: np.ndarray) -> None:
         """Program one row with a boolean bit pattern (MSB first)."""
@@ -52,10 +91,31 @@ class CamCrossbar:
         if pattern.shape != (self.width_bits,):
             raise ConfigError(f"pattern must have {self.width_bits} bits")
         self._bits[row] = pattern
+        self._words[row] = _pack_words(pattern[None, :])[0]
         self._valid[row] = True
         self.events.cam_row_writes += 1
         # Each TCAM bit uses two complementary cells.
         self.events.cam_cell_writes += 2 * self.width_bits
+
+    def write_rows(self, first_row: int, patterns: np.ndarray) -> None:
+        """Program a contiguous row block in one operation.
+
+        Equivalent (in contents and event counts) to calling
+        :meth:`write_row` once per pattern, without the per-row Python
+        and packing overhead.
+        """
+        patterns = np.asarray(patterns, dtype=bool)
+        if patterns.ndim != 2 or patterns.shape[1] != self.width_bits:
+            raise ConfigError(f"patterns must have {self.width_bits} bits")
+        count = patterns.shape[0]
+        if first_row < 0 or first_row + count > self.rows:
+            raise CapacityError("row block outside CAM bounds")
+        block = slice(first_row, first_row + count)
+        self._bits[block] = patterns
+        self._words[block] = _pack_words(patterns)
+        self._valid[block] = True
+        self.events.cam_row_writes += count
+        self.events.cam_cell_writes += 2 * self.width_bits * count
 
     def invalidate(self) -> None:
         """Mark every row empty (no write cost; rows are overwritten)."""
@@ -73,17 +133,143 @@ class CamCrossbar:
         key = np.asarray(key, dtype=bool)
         if key.shape != (self.width_bits,):
             raise ConfigError(f"key must have {self.width_bits} bits")
+        return self.search_many(key[None, :], mask)[0]
+
+    def search_many(
+        self, keys: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Broadcast a batch of keys; returns the hit matrix.
+
+        ``keys`` has shape ``(q, width_bits)``; the result has shape
+        ``(q, rows)``, row ``i`` being exactly what ``search(keys[i],
+        mask)`` returns. Counts ``q`` CAM search events (the hardware
+        still performs one broadcast per key; batching is a simulation
+        speedup, not a hardware semantic change).
+        """
+        keys = np.asarray(keys, dtype=bool)
+        if keys.ndim != 2 or keys.shape[1] != self.width_bits:
+            raise ConfigError(f"keys must have {self.width_bits} bits")
         if mask is None:
-            mask = np.ones(self.width_bits, dtype=bool)
+            mask_words = None
+            # Bits past width_bits are zero in rows and keys alike, so
+            # leaving them enabled in the mask cannot produce a mismatch.
         else:
             mask = np.asarray(mask, dtype=bool)
             if mask.shape != (self.width_bits,):
                 raise ConfigError(f"mask must have {self.width_bits} bits")
-        self.events.cam_searches += 1
-        # XNOR per cell, AND along the match line.
-        matches = ~np.logical_xor(self._bits, key)
-        hit = np.all(matches | ~mask, axis=1)
-        return hit & self._valid
+            mask_words = _pack_words(mask[None, :])[0]
+        return self.search_packed(_pack_words(keys), mask_words)
+
+    def search_packed(
+        self,
+        key_words: np.ndarray,
+        mask_words: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Search pre-packed key words; the re-encoding-free fast path.
+
+        ``key_words`` has shape ``(q, words)`` as produced by packing
+        full-width keys; ``mask_words`` is one packed mask row (None =
+        every bit must match). Hit semantics and event counts are
+        exactly those of :meth:`search_many` on the unpacked
+        equivalents. Batched drivers cache the packed keys once — the
+        CAM contents change between supersteps, the key encodings
+        never do.
+        """
+        key_words = np.asarray(key_words, dtype=np.uint64)
+        if key_words.ndim != 2 or key_words.shape[1] != self._words.shape[1]:
+            raise ConfigError("key words do not match the CAM word count")
+        if mask_words is None:
+            mask_words = np.full(
+                self._words.shape[1], ~np.uint64(0), dtype=np.uint64
+            )
+        self.events.cam_searches += int(key_words.shape[0])
+        # XNOR per cell, AND along the match line — on packed words:
+        # a row hits when no unmasked bit differs in any word. Lanes
+        # whose mask word is zero cannot mismatch, so a field search
+        # (mask = one vertex-id field) touches a single 64-bit lane;
+        # the fold is an explicit | chain over 2D slices, never a 3D
+        # intermediate.
+        lanes = np.flatnonzero(mask_words != 0)
+        if lanes.size == 0:
+            return np.tile(self._valid, (key_words.shape[0], 1))
+        folded = (
+            self._words[None, :, lanes[0]] ^ key_words[:, None, lanes[0]]
+        ) & mask_words[lanes[0]]
+        for lane in lanes[1:]:
+            folded = folded | (
+                (self._words[None, :, lane] ^ key_words[:, None, lane])
+                & mask_words[lane]
+            )
+        return (folded == 0) & self._valid
+
+
+class CamBank:
+    """Lockstep gang view over same-geometry CAM crossbars.
+
+    GaaS-X broadcasts a superstep's searches to every crossbar in
+    parallel (Figure 7); a bank snapshots its members' packed words so
+    one :meth:`search_packed` call resolves a batch of searches routed
+    to *different* members without a Python loop per crossbar. Members
+    must share one :class:`~repro.events.EventLog`, and counts are
+    identical to issuing the same searches member by member. The
+    snapshot is taken at construction — rebuild the bank after
+    reloading any member.
+    """
+
+    def __init__(self, cams: Sequence[CamCrossbar]) -> None:
+        cams = list(cams)
+        if not cams:
+            raise ConfigError("a CAM bank needs at least one member")
+        first = cams[0]
+        for cam in cams:
+            if cam.rows != first.rows or cam.width_bits != first.width_bits:
+                raise ConfigError("bank members must share one geometry")
+            if cam.events is not first.events:
+                raise ConfigError("bank members must share one event log")
+        self.events = first.events
+        self._words = np.stack([cam._words for cam in cams])
+        self._valid = np.stack([cam._valid for cam in cams])
+
+    def search_packed(
+        self,
+        member_ids: np.ndarray,
+        key_words: np.ndarray,
+        mask_words: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Gang search: query ``i`` runs on member ``member_ids[i]``.
+
+        ``key_words`` has shape ``(q, words)``; returns the ``(q,
+        rows)`` hit matrix, row ``i`` exactly what member
+        ``member_ids[i]``'s :meth:`CamCrossbar.search_packed` returns
+        for ``key_words[i]``. Counts ``q`` CAM search events.
+        """
+        member_ids = np.asarray(member_ids, dtype=np.int64)
+        key_words = np.asarray(key_words, dtype=np.uint64)
+        if key_words.ndim != 2 or key_words.shape[1] != self._words.shape[2]:
+            raise ConfigError("key words do not match the CAM word count")
+        if member_ids.shape != (key_words.shape[0],):
+            raise ConfigError("need exactly one member id per key")
+        if mask_words is None:
+            mask_words = np.full(
+                self._words.shape[2], ~np.uint64(0), dtype=np.uint64
+            )
+        self.events.cam_searches += int(member_ids.size)
+        # Same lane-skipping fold as the single-array fast path: only
+        # lanes with a nonzero mask word can mismatch, and each lane is
+        # gathered per query as a 2D slice.
+        lanes = np.flatnonzero(mask_words != 0)
+        if lanes.size == 0:
+            return self._valid[member_ids]
+        folded = (
+            self._words[:, :, lanes[0]][member_ids]
+            ^ key_words[:, lanes[0], None]
+        ) & mask_words[lanes[0]]
+        for lane in lanes[1:]:
+            folded = folded | (
+                (self._words[:, :, lane][member_ids] ^ key_words[:, lane, None])
+                & mask_words[lane]
+            )
+        return (folded == 0) & self._valid[member_ids]
 
 
 class EdgeCam:
@@ -134,14 +320,11 @@ class EdgeCam:
         self._src[:] = -1
         self._dst[:] = -1
         vb = self.vertex_bits
-        for row in range(src.size):
-            pattern = np.concatenate(
-                [
-                    self.cam._encode(int(src[row]), vb),
-                    self.cam._encode(int(dst[row]), vb),
-                ]
+        if src.size:
+            patterns = np.concatenate(
+                [encode_ids(src, vb), encode_ids(dst, vb)], axis=1
             )
-            self.cam.write_row(row, pattern)
+            self.cam.write_rows(0, patterns)
         self._src[: src.size] = src
         self._dst[: dst.size] = dst
 
@@ -155,25 +338,47 @@ class EdgeCam:
             raise ConfigError(f"unknown CAM field {field!r}")
         return mask
 
+    def _keys(self, vertices: np.ndarray, field: str) -> np.ndarray:
+        encoded = encode_ids(vertices, self.vertex_bits)
+        blank = np.zeros_like(encoded)
+        parts = [encoded, blank] if field == "src" else [blank, encoded]
+        return np.concatenate(parts, axis=1)
+
+    def pack_keys(
+        self, vertices: np.ndarray, field: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pre-packed ``(key_words, mask_words)`` for one searched field.
+
+        Row subsets of ``key_words`` feed :meth:`search_packed`
+        directly, so a driver that searches varying subsets of a fixed
+        vertex set every superstep encodes each key exactly once.
+        """
+        mask = self._field_mask(field)  # validates the field name
+        vertices = np.asarray(vertices, dtype=np.int64)
+        key_words = _pack_words(self._keys(vertices, field))
+        return key_words, _pack_words(mask[None, :])[0]
+
+    def search_packed(
+        self, key_words: np.ndarray, mask_words: np.ndarray
+    ) -> np.ndarray:
+        """Search pre-packed keys from :meth:`pack_keys`."""
+        return self.cam.search_packed(key_words, mask_words)
+
+    def search_many(self, vertices: np.ndarray, field: str) -> np.ndarray:
+        """Hit matrix ``(len(vertices), rows)`` for one searched field.
+
+        Row ``i`` equals ``search_src(vertices[i])`` (or ``_dst``);
+        counts one CAM search per vertex.
+        """
+        return self.search_packed(*self.pack_keys(vertices, field))
+
     def search_src(self, vertex: int) -> np.ndarray:
         """Hit vector of rows whose source id equals ``vertex``."""
-        key = np.concatenate(
-            [
-                self.cam._encode(int(vertex), self.vertex_bits),
-                np.zeros(self.vertex_bits, dtype=bool),
-            ]
-        )
-        return self.cam.search(key, self._field_mask("src"))
+        return self.search_many(np.array([vertex]), "src")[0]
 
     def search_dst(self, vertex: int) -> np.ndarray:
         """Hit vector of rows whose destination id equals ``vertex``."""
-        key = np.concatenate(
-            [
-                np.zeros(self.vertex_bits, dtype=bool),
-                self.cam._encode(int(vertex), self.vertex_bits),
-            ]
-        )
-        return self.cam.search(key, self._field_mask("dst"))
+        return self.search_many(np.array([vertex]), "dst")[0]
 
     def stored_src(self) -> np.ndarray:
         """Loaded source ids (-1 where empty)."""

@@ -25,7 +25,7 @@ activations, ``m`` ADC samples and ``k * m`` cell-level multiplies.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -135,7 +135,13 @@ class MacCrossbar:
             if mask.shape != (size,):
                 raise ConfigError("boolean mask has the wrong length")
             return np.flatnonzero(mask)
-        indices = np.unique(mask.astype(np.int64))
+        indices = mask.astype(np.int64, copy=False)
+        if indices.size > 1:
+            indices = np.sort(indices)
+            keep = np.empty(indices.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(indices[1:], indices[:-1], out=keep[1:])
+            indices = indices[keep]
         if indices.size and (indices[0] < 0 or indices[-1] >= size):
             raise ConfigError("mask index outside crossbar bounds")
         return indices
@@ -174,6 +180,102 @@ class MacCrossbar:
                 partial = self._quantized_mac(inputs, chunk, cols)
             out[cols] += partial
         return out
+
+    def _record_batch_macs(self, hit_counts: np.ndarray, num_cols: int) -> None:
+        """Log the events of one selective MAC per hit-count entry.
+
+        Identical totals (including the Figure 13 histogram) to running
+        the queries one at a time: each query with ``k`` hits splits
+        into ``k // limit`` full chunks plus a remainder chunk, each
+        chunk one MAC op charging its row count of DAC activations and
+        one ADC sample per engaged column.
+        """
+        limit = self.accumulate_limit
+        full = hit_counts // limit
+        rem = hit_counts % limit
+        full_total = int(full.sum())
+        if full_total:
+            op_rows = np.concatenate(
+                [np.full(full_total, limit, dtype=np.int64), rem[rem > 0]]
+            )
+        else:
+            op_rows = rem[rem > 0]
+        if op_rows.size == 0:
+            return
+        self.events.record_mac(op_rows, num_cols)
+        self.events.dac_conversions += int(hit_counts.sum())
+        self.events.adc_conversions += int(op_rows.size) * num_cols
+
+    def mac_many(
+        self,
+        inputs: np.ndarray,
+        hit_rows: np.ndarray,
+        col_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched selective MAC: one :meth:`mac` per hit-matrix row.
+
+        ``hit_rows`` has shape ``(q, rows)`` (CAM hit vectors, e.g.
+        from :meth:`~repro.xbar.cam_array.CamCrossbar.search_many`);
+        the result has shape ``(q, cols)`` with row ``i`` equal to
+        ``mac(inputs, row_mask=hit_rows[i], col_mask)`` up to partial-
+        sum association order. Event totals are identical to the
+        sequential calls. Quantized mode falls back to the per-query
+        bit-serial pipeline.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape != (self.rows,):
+            raise ConfigError(f"inputs must have length {self.rows}")
+        hit_rows = np.asarray(hit_rows, dtype=bool)
+        if hit_rows.ndim != 2 or hit_rows.shape[1] != self.rows:
+            raise ConfigError(f"hit matrix must have {self.rows} columns")
+        if not self.exact:
+            if hit_rows.shape[0] == 0:
+                return np.zeros((0, self.cols), dtype=np.float64)
+            return np.stack(
+                [
+                    self.mac(inputs, row_mask=hits, col_mask=col_mask)
+                    for hits in hit_rows
+                ]
+            )
+        cols = self._normalize_mask(col_mask, self.cols)
+        out = np.zeros((hit_rows.shape[0], self.cols), dtype=np.float64)
+        if hit_rows.shape[0] == 0 or cols.size == 0:
+            return out
+        out[:, cols] = hit_rows @ (inputs[:, None] * self._weights[:, cols])
+        self._record_batch_macs(hit_rows.sum(axis=1), int(cols.size))
+        return out
+
+    def mac_rowwise_many(
+        self,
+        inputs: np.ndarray,
+        hit_rows: np.ndarray,
+        col_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched per-row MAC: one :meth:`mac_rowwise` per query.
+
+        ``inputs`` has shape ``(q, cols)`` (each query drives its own
+        column inputs — e.g. its source vertex's distance) and
+        ``hit_rows`` shape ``(q, rows)``; the result has shape
+        ``(q, rows)``, row ``i`` equal to ``mac_rowwise(inputs[i],
+        row_mask=hit_rows[i], col_mask)``. Like :meth:`mac_rowwise`,
+        the two-operand SpMV-add runs at full precision in both modes
+        (weights are read at their stored values), so no quantized
+        fallback is needed.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        hit_rows = np.asarray(hit_rows, dtype=bool)
+        if hit_rows.ndim != 2 or hit_rows.shape[1] != self.rows:
+            raise ConfigError(f"hit matrix must have {self.rows} columns")
+        if inputs.shape != (hit_rows.shape[0], self.cols):
+            raise ConfigError(
+                f"inputs must have shape ({hit_rows.shape[0]}, {self.cols})"
+            )
+        cols = self._normalize_mask(col_mask, self.cols)
+        if hit_rows.shape[0] == 0 or cols.size == 0:
+            return np.zeros((hit_rows.shape[0], self.rows), dtype=np.float64)
+        candidates = inputs[:, cols] @ self._weights[:, cols].T
+        self._record_batch_macs(hit_rows.sum(axis=1), int(cols.size))
+        return np.where(hit_rows, candidates, 0.0)
 
     def mac_transposed(
         self,
@@ -306,3 +408,73 @@ class MacCrossbar:
                 shift = phase + (self.bit_slices - 1 - s) * self.cell_bits
                 total += digital.astype(np.int64) << shift
         return total / (self.fmt.scale * self.fmt.scale)
+
+
+class MacBank:
+    """Lockstep gang view over same-geometry MAC crossbars.
+
+    The row-wise companion of :class:`~repro.xbar.cam_array.CamBank`:
+    it snapshots its members' stored weights so one
+    :meth:`mac_rowwise_many` call resolves a batch of per-row MACs
+    routed to *different* member arrays without a Python loop per
+    crossbar. Members must share one event log; event totals are
+    identical to issuing the same queries member by member. The
+    snapshot is taken at construction — rebuild the bank after
+    reprogramming any member.
+    """
+
+    def __init__(self, macs: Sequence[MacCrossbar]) -> None:
+        macs = list(macs)
+        if not macs:
+            raise ConfigError("a MAC bank needs at least one member")
+        first = macs[0]
+        for mac in macs:
+            if (
+                mac.rows != first.rows
+                or mac.cols != first.cols
+                or mac.accumulate_limit != first.accumulate_limit
+            ):
+                raise ConfigError("bank members must share one geometry")
+            if mac.events is not first.events:
+                raise ConfigError("bank members must share one event log")
+        self._ref = first
+        self.events = first.events
+        self._weights = np.stack([mac._weights for mac in macs])
+
+    def mac_rowwise_many(
+        self,
+        member_ids: np.ndarray,
+        inputs: np.ndarray,
+        hit_rows: np.ndarray,
+        col_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Gang per-row MAC: query ``i`` runs on ``member_ids[i]``.
+
+        Shapes and semantics match
+        :meth:`MacCrossbar.mac_rowwise_many`, except each query reads
+        the weights of its own member array. Like the single-array
+        method, the two-operand SpMV-add runs at full precision in
+        both numeric modes.
+        """
+        ref = self._ref
+        member_ids = np.asarray(member_ids, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        hit_rows = np.asarray(hit_rows, dtype=bool)
+        if hit_rows.ndim != 2 or hit_rows.shape[1] != ref.rows:
+            raise ConfigError(f"hit matrix must have {ref.rows} columns")
+        if member_ids.shape != (hit_rows.shape[0],):
+            raise ConfigError("need exactly one member id per query")
+        if inputs.shape != (hit_rows.shape[0], ref.cols):
+            raise ConfigError(
+                f"inputs must have shape ({hit_rows.shape[0]}, {ref.cols})"
+            )
+        cols = ref._normalize_mask(col_mask, ref.cols)
+        if hit_rows.shape[0] == 0 or cols.size == 0:
+            return np.zeros((hit_rows.shape[0], ref.rows), dtype=np.float64)
+        # Slice the engaged columns before gathering per query: the
+        # (members, rows, k) sub-tensor is tiny, the (q, rows, cols)
+        # full gather is not.
+        weights = self._weights[:, :, cols][member_ids]
+        candidates = np.einsum("qrk,qk->qr", weights, inputs[:, cols])
+        ref._record_batch_macs(hit_rows.sum(axis=1), int(cols.size))
+        return np.where(hit_rows, candidates, 0.0)

@@ -43,6 +43,22 @@ class TestGraph:
         assert np.array_equal(g.out_degrees(), [2, 1, 0])
         assert np.array_equal(g.in_degrees(), [0, 1, 2])
 
+    def test_degrees_cached_and_immutable(self):
+        # The edge set is immutable, so the cached degree vector is
+        # shared across calls — and must be unwritable so no caller can
+        # corrupt what every later caller sees.
+        g = Graph.from_edge_list([(0, 1), (0, 2), (1, 2)], num_vertices=3)
+        first = g.out_degrees()
+        assert g.out_degrees() is first
+        assert g.in_degrees() is g.in_degrees()
+        with pytest.raises(ValueError):
+            first[0] = 99
+        assert np.array_equal(g.out_degrees(), [2, 1, 0])
+        # Mutable copies stay cheap and do not poison the cache.
+        copy = g.out_degrees().astype(float)
+        copy[0] = -1.0
+        assert np.array_equal(g.out_degrees(), [2, 1, 0])
+
     def test_reversed(self):
         g = Graph.from_edge_list([(0, 1)], num_vertices=2).reversed()
         assert g.edges.rows[0] == 1 and g.edges.cols[0] == 0

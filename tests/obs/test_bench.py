@@ -241,7 +241,7 @@ class TestBenchCLI:
         assert record["profile"] == "tiny"
         assert set(record["workloads"]) == {
             "engine.pagerank", "cam.search", "mac.accumulate",
-            "exp.abl-interval",
+            "traversal.superstep", "micro.traversal", "exp.abl-interval",
         }
         # The kernel workloads carry crossbar-utilization stats, the
         # experiment workload the traced per-phase decomposition.
@@ -249,6 +249,11 @@ class TestBenchCLI:
         assert 0.0 < mac["xbar.occupancy"] <= 1.0
         exp = record["workloads"]["exp.abl-interval"]["metrics"]
         assert any(key.startswith("phase.") for key in exp)
+        # The frontier workloads expose their superstep/event shape.
+        trav = record["workloads"]["traversal.superstep"]["metrics"]
+        assert trav["traversal.supersteps"] > 1000
+        micro = record["workloads"]["micro.traversal"]["metrics"]
+        assert micro["events.cam_searches"] > 0
 
     def test_quick_suite_exports_openmetrics(self, quick_run):
         text = (quick_run / "metrics.om").read_text()
@@ -280,6 +285,32 @@ class TestBenchCLI:
         bench.append_record(path, slowed)
         assert main(["bench-compare", path, "--warn-only"]) == 0
         assert "regression" in capsys.readouterr().out
+
+    def test_compare_workload_filter_scopes_the_gate(
+        self, quick_run, tmp_path, capsys
+    ):
+        # Slow down one workload only: gating on an unaffected workload
+        # passes, gating on the slowed one fails, an unknown name is a
+        # usage error.
+        source = bench.bench_path(str(quick_run), "quick")
+        baseline = bench.latest_record(bench.load_trajectory(source))
+        slowed = copy.deepcopy(baseline)
+        wall = slowed["workloads"]["micro.traversal"]["wall_s"]
+        wall["median_s"] *= 2.0
+        wall["mad_s"] = wall["median_s"] * 0.01
+        path = bench.bench_path(str(tmp_path), "quick")
+        bench.append_record(path, baseline)
+        bench.append_record(path, slowed)
+        assert main(
+            ["bench-compare", path, "--workload", "traversal.superstep"]
+        ) == 0
+        assert main(
+            ["bench-compare", path, "--workload", "micro.traversal"]
+        ) == 3
+        assert main(
+            ["bench-compare", path, "--workload", "no.such.workload"]
+        ) == 1
+        assert "absent" in capsys.readouterr().err
 
     def test_compare_identical_records_passes(self, quick_run, tmp_path,
                                               capsys):
