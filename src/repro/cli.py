@@ -11,6 +11,7 @@ Usage::
     python -m repro bench --quick              # perf record -> BENCH_*.json
     python -m repro bench-compare BENCH_quick.json   # regression gate
     python -m repro metrics-export r/metrics.json    # OpenMetrics text
+    python -m repro serve --port 8100 --preload WV   # always-on daemon
 
 ``run`` and ``run-all`` dispatch through the parallel cache-aware
 executor: ``--jobs N`` sizes the worker pool (default: all cores),
@@ -28,6 +29,13 @@ diffs two records with noise-aware thresholds and exits ``3`` on a
 regression (the CI perf gate). ``--prof PATH`` on any run records a
 cProfile pstats dump; ``repro trace-summary --pstats PATH`` renders its
 top self-time table.
+
+``serve`` runs the always-on analytics daemon (:mod:`repro.serve`):
+queries over warm pre-loaded engines with request coalescing,
+per-tenant quotas, and ``/metrics`` OpenMetrics exposition. Service
+failures map to distinct exit codes through
+:func:`repro.errors.exit_code_for` (4 over-quota, 5 deadline, 6
+saturated; generic library errors stay 1).
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .errors import ReproError
+from .errors import ReproError, exit_code_for
 from .experiments.registry import EXPERIMENTS
 from .experiments.runner import RunRequest, RunSession
 from .graphs.datasets import DATASETS
@@ -104,9 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
     _add_run_options(run)
 
-    run_all_p = sub.add_parser("run-all", help="run every experiment")
-    _add_run_options(run_all_p)
-    run_all_p.add_argument(
+    everything = sub.add_parser("run-all", help="run every experiment")
+    _add_run_options(everything)
+    everything.add_argument(
         "--only", action="append", default=None, metavar="ID",
         help="restrict to this experiment id (repeatable)",
     )
@@ -140,7 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite", default=None, choices=("quick", "kernels",
-                                          "experiments", "full"),
+                                          "experiments", "serve", "full"),
         help="workload suite (default: quick)",
     )
     bench.add_argument(
@@ -216,6 +224,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "snapshot", nargs="?", default=None, metavar="PATH",
         help="metrics.json snapshot (e.g. from --out DIR); omitted: "
              "the live in-process registry",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="always-on analytics daemon: queries over warm sessions",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8100,
+        help="bind port; 0 picks an ephemeral port (default: 8100)",
+    )
+    serve.add_argument(
+        "--preload", action="append", default=None, metavar="KEY",
+        choices=sorted(DATASETS), dest="preload",
+        help="warm a session for this dataset before accepting traffic "
+             "(repeatable)",
+    )
+    serve.add_argument(
+        "--profile", default="bench", choices=("tiny", "bench", "full"),
+        help="dataset scale for preloaded sessions (default: bench)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8, metavar="N",
+        help="warm-session pool capacity (default: 8)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="distinct in-flight queries before shedding (default: 64)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=None, metavar="QPS",
+        help="per-tenant sustained queries/second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=int, default=64, metavar="N",
+        help="per-tenant burst allowance (default: 64)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="engine executor threads (default: asyncio's own sizing)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="default per-query deadline (default: 60)",
+    )
+    serve.add_argument(
+        "--log-level", default=None, choices=sorted(LEVELS),
+        help="stderr log verbosity",
     )
     return parser
 
@@ -359,6 +418,34 @@ def _run_metrics_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.http import serve_forever
+    from .serve.server import AnalyticsService
+
+    service = AnalyticsService(
+        max_sessions=args.max_sessions,
+        max_pending=args.max_pending,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        workers=args.workers,
+        default_timeout_s=args.timeout,
+    )
+    if args.preload:
+        service.preload(args.preload, args.profile)
+        log.info(
+            "serve.preloaded",
+            datasets=list(args.preload),
+            profile=args.profile,
+        )
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        log.info("serve.stopped")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -401,6 +488,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_bench_compare(args)
         elif args.command == "metrics-export":
             return _run_metrics_export(args)
+        elif args.command == "serve":
+            return _run_serve(args)
         elif args.command == "datasets":
             header = (
                 f"{'key':<4} {'name':<12} {'vertices':>10} {'edges':>12}  "
@@ -416,7 +505,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
     except ReproError as exc:
         log.error("command.failed", command=args.command, error=str(exc))
-        return 1
+        return exit_code_for(exc)
     return 0
 
 

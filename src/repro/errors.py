@@ -3,6 +3,14 @@
 All library-raised exceptions derive from :class:`ReproError` so callers
 can catch everything coming out of this package with a single clause
 while still letting programming errors (``TypeError`` et al.) propagate.
+
+The :class:`ServiceError` branch covers the always-on analytics service
+(:mod:`repro.serve`). Because a service failure has to surface both at
+the CLI (exit code) and over HTTP (status code), the mapping from
+exception class to each transport lives here — in one place — rather
+than in ad-hoc ``except`` clauses: :func:`exit_code_for` and
+:func:`http_status_for` walk the exception's MRO, so the most specific
+registered class wins and new subclasses inherit their parent's codes.
 """
 
 from __future__ import annotations
@@ -34,3 +42,71 @@ class AlgorithmError(ReproError):
 
 class DatasetError(ReproError):
     """An unknown dataset name or an unsatisfiable scaling profile."""
+
+
+# ----------------------------------------------------------------------
+# Service branch (repro.serve)
+# ----------------------------------------------------------------------
+class ServiceError(ReproError):
+    """Base class for analytics-service failures."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exhausted its token-bucket query quota."""
+
+
+class QueryTimeoutError(ServiceError):
+    """A query did not complete within its deadline."""
+
+
+class SessionPoolExhaustedError(ServiceError):
+    """The service is saturated: no warm session can be created or the
+    bounded pending-query queue is full (load was shed, not queued)."""
+
+
+# ----------------------------------------------------------------------
+# Transport mappings (the single source of truth)
+# ----------------------------------------------------------------------
+#: CLI exit codes. 1 is the generic library-error exit the CLI has
+#: always used; 2 belongs to argparse / failed validation and 3 to the
+#: bench regression gate, so the service branch starts at 4.
+EXIT_CODES = {
+    QuotaExceededError: 4,
+    QueryTimeoutError: 5,
+    SessionPoolExhaustedError: 6,
+    ReproError: 1,
+}
+
+#: HTTP status codes for the daemon's query endpoint. Malformed or
+#: unsatisfiable requests are client errors; saturation and deadline
+#: failures use the standard throttling/gateway statuses.
+HTTP_STATUS = {
+    QuotaExceededError: 429,
+    QueryTimeoutError: 504,
+    SessionPoolExhaustedError: 503,
+    ServiceError: 500,
+    GraphFormatError: 400,
+    ConfigError: 400,
+    AlgorithmError: 400,
+    DatasetError: 400,
+    CapacityError: 400,
+    PartitionError: 400,
+    ReproError: 500,
+}
+
+
+def _lookup(exc: BaseException, table: dict, default: int) -> int:
+    for klass in type(exc).__mro__:
+        if klass in table:
+            return table[klass]
+    return default
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for an exception (most specific class wins)."""
+    return _lookup(exc, EXIT_CODES, 1)
+
+
+def http_status_for(exc: BaseException) -> int:
+    """The HTTP status for an exception (most specific class wins)."""
+    return _lookup(exc, HTTP_STATUS, 500)

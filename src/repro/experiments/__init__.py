@@ -4,13 +4,7 @@ from .executor import ExecutionReport, ManifestEntry, RunManifest, execute
 from .harness import CellResult, ComparisonMatrix, comparison_matrix
 from .registry import EXPERIMENTS, ExperimentSpec
 from .reporting import ExperimentResult, Series, geometric_mean
-from .runner import (
-    RunRequest,
-    RunSession,
-    persist_result,
-    run_all,
-    run_experiment,
-)
+from .runner import RunRequest, RunSession, persist_result
 
 __all__ = [
     "ComparisonMatrix",
@@ -28,6 +22,4 @@ __all__ = [
     "execute",
     "geometric_mean",
     "persist_result",
-    "run_all",
-    "run_experiment",
 ]

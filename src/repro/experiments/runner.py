@@ -15,15 +15,16 @@ cache-affinity grouping, the process pool, and the layout cache.
     results = session.run()           # id -> ExperimentResult
     print(session.manifest.summary())
 
-``run_experiment`` / ``run_all`` remain as thin deprecated shims over
-the old ad-hoc ``**kwargs`` signature.
+This is the *batch* half of the public surface; the query-level
+counterpart (one algorithm over a warm session, served concurrently)
+lives in :mod:`repro.serve`. The pre-``RunRequest`` ad-hoc shims were
+removed once their deprecation cycle ended.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -264,61 +265,3 @@ def persist_result(result: ExperimentResult, output_dir: str) -> None:
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(result.to_dict(), handle, indent=2)
         handle.write("\n")
-
-
-# ----------------------------------------------------------------------
-# Deprecated shims (the pre-RunRequest surface)
-# ----------------------------------------------------------------------
-def run_experiment(
-    experiment_id: str,
-    output_dir: Optional[str] = None,
-    **kwargs: object,
-) -> ExperimentResult:
-    """Run one registered experiment and optionally save its report.
-
-    .. deprecated::
-        Use :class:`RunRequest` / :class:`RunSession` instead. This
-        shim keeps the old ad-hoc ``**kwargs`` passthrough working:
-        keywords go straight to the driver, except that ``profile`` is
-        dropped for specs that declare ``accepts_profile=False`` (the
-        behaviour the registry's lambda wrappers used to provide).
-    """
-    warnings.warn(
-        "run_experiment(**kwargs) is deprecated; use "
-        "RunRequest/RunSession",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    spec = get_experiment(experiment_id)
-    if not spec.accepts_profile:
-        kwargs.pop("profile", None)
-    result = spec.driver(**kwargs)
-    if output_dir is not None:
-        persist_result(result, output_dir)
-    return result
-
-
-def run_all(
-    output_dir: Optional[str] = None, **kwargs: object
-) -> Dict[str, ExperimentResult]:
-    """Run every registered experiment; returns id -> result.
-
-    .. deprecated::
-        Use ``RunSession(RunRequest(...))`` — it adds parallelism,
-        caching, and the run manifest.
-    """
-    warnings.warn(
-        "run_all(**kwargs) is deprecated; use RunRequest/RunSession",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    results: Dict[str, ExperimentResult] = {}
-    for experiment_id, spec in EXPERIMENTS.items():
-        driver_kwargs = dict(kwargs)
-        if not spec.accepts_profile:
-            driver_kwargs.pop("profile", None)
-        result = spec.driver(**driver_kwargs)
-        if output_dir is not None:
-            persist_result(result, output_dir)
-        results[experiment_id] = result
-    return results

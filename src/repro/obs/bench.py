@@ -320,6 +320,31 @@ def _micro_traversal_workload() -> Workload:
     return Workload("micro.traversal", "kernel", setup, run, collect)
 
 
+def _serve_burst_workload() -> Workload:
+    """Serving latency: a mixed query burst against the warm service.
+
+    Runs :class:`repro.serve.bench.ServeBench` — duplicate and
+    distinct queries over all five servable algorithms against an
+    in-process :class:`~repro.serve.server.AnalyticsService` with a
+    pre-warmed pool — and records per-request latency percentiles plus
+    the coalescing hit rate. This is the number every later speedup
+    must move: what a client actually waits.
+    """
+
+    def setup(profile: str):
+        from ..serve.bench import ServeBench
+
+        return ServeBench(profile=profile)
+
+    def run(bench):
+        return bench.run()
+
+    def collect(_bench, payload) -> Dict[str, float]:
+        return {name: float(value) for name, value in payload.items()}
+
+    return Workload("serve.burst", "serve", setup, run, collect)
+
+
 def _experiment_workload(experiment_id: str) -> Workload:
     """A registered paper artifact run through the executor, traced."""
 
@@ -375,6 +400,7 @@ def _build_workloads() -> Dict[str, Workload]:
         _mac_accumulate_workload(),
         _traversal_superstep_workload(),
         _micro_traversal_workload(),
+        _serve_burst_workload(),
         _experiment_workload("abl-interval"),
         _experiment_workload("abl-xbar"),
         _experiment_workload("fig13"),
@@ -403,6 +429,7 @@ SUITES: Dict[str, Tuple[Tuple[str, ...], str, int]] = {
         ("exp.abl-interval", "exp.abl-xbar", "exp.fig13", "exp.table1"),
         "bench", 3,
     ),
+    "serve": (("serve.burst",), "tiny", 3),
     "full": (tuple(WORKLOADS), "bench", 5),
 }
 
@@ -651,7 +678,14 @@ def metric_direction(name: str) -> str:
         ("_s", "_j")
     ):
         return "lower"
-    if name in ("cache.hit_rate", "xbar.occupancy", "xbar.full_frac"):
+    if name.startswith(("serve.latency_", "serve.engine_run_")):
+        return "lower"
+    if name in (
+        "cache.hit_rate",
+        "xbar.occupancy",
+        "xbar.full_frac",
+        "serve.coalesce_hit_rate",
+    ):
         return "higher"
     return "neutral"
 

@@ -57,6 +57,15 @@ def _summary_lines(name: str, summary: Mapping[str, Any]) -> List[str]:
         f"{name}_count {_format_value(int(summary.get('count', 0)))}",
         f"{name}_sum {_format_value(summary.get('sum', 0))}",
     ]
+    # Reservoir quantiles ride the summary family as labelled samples
+    # (the OpenMetrics summary form Prometheus understands natively);
+    # they must stay contiguous with the family's _count/_sum samples.
+    for label, key in (("0.5", "p50"), ("0.99", "p99")):
+        if key in summary:
+            lines.append(
+                f'{name}{{quantile="{label}"}} '
+                f"{_format_value(summary[key])}"
+            )
     for bound in ("min", "max"):
         if bound in summary:
             lines.append(f"# TYPE {name}_{bound} gauge")

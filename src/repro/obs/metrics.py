@@ -22,10 +22,19 @@ returns a plain nested dict for manifests, tests, and ad-hoc dumps.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 Number = Union[int, float]
+
+
+def _nearest_rank(samples: List[Number], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample list."""
+    if not samples:
+        return 0.0
+    index = max(0, math.ceil(q * len(samples)) - 1)
+    return float(samples[index])
 
 
 class Counter:
@@ -72,9 +81,22 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max)."""
+    """Streaming summary of observed values (count/sum/min/max) plus
+    a bounded sample reservoir for quantile estimation.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    The reservoir is a ring of the most recent
+    :data:`RESERVOIR_SIZE` observations — O(1) per observe, bounded
+    memory however many queries a long-lived service absorbs — so
+    :meth:`quantile` reports *recent* latency percentiles, which is
+    what a serving dashboard wants anyway.
+    """
+
+    #: Ring-buffer capacity backing :meth:`quantile`.
+    RESERVOIR_SIZE = 512
+
+    __slots__ = (
+        "name", "count", "total", "min", "max", "_samples", "_lock"
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -82,10 +104,15 @@ class Histogram:
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        self._samples: list = []
         self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
         with self._lock:
+            if len(self._samples) < self.RESERVOIR_SIZE:
+                self._samples.append(value)
+            else:
+                self._samples[self.count % self.RESERVOIR_SIZE] = value
             self.count += 1
             self.total += value
             if self.min is None or value < self.min:
@@ -98,16 +125,30 @@ class Histogram:
         with self._lock:
             return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the recent-sample reservoir.
+
+        Nearest-rank on a sorted copy; 0.0 when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        return _nearest_rank(samples, q)
+
     def summary(self) -> Dict[str, Number]:
         # Taken under the lock so a concurrent observe() cannot tear
         # the summary (count updated but sum not yet, mean off).
         with self._lock:
+            samples = sorted(self._samples)
             return {
                 "count": self.count,
                 "sum": self.total,
                 "min": self.min if self.min is not None else 0,
                 "max": self.max if self.max is not None else 0,
                 "mean": self.total / self.count if self.count else 0.0,
+                "p50": _nearest_rank(samples, 0.5),
+                "p99": _nearest_rank(samples, 0.99),
             }
 
 

@@ -1,0 +1,31 @@
+"""Always-on analytics service: async query API over warm sessions.
+
+The serving layer of the reproduction — the counterpart of the batch
+:class:`~repro.experiments.runner.RunRequest` API for the "heavy
+traffic" half of the north star. See ``docs/serving.md`` for the
+architecture and ``repro serve --help`` for the daemon.
+"""
+
+from .pool import SessionPool, WarmSession
+from .protocol import (
+    SERVABLE_ALGORITHMS,
+    QueryRequest,
+    QueryResult,
+    query_key,
+    summarize_result,
+)
+from .quotas import AdmissionController, TokenBucket
+from .server import AnalyticsService
+
+__all__ = [
+    "AdmissionController",
+    "AnalyticsService",
+    "QueryRequest",
+    "QueryResult",
+    "SERVABLE_ALGORITHMS",
+    "SessionPool",
+    "TokenBucket",
+    "WarmSession",
+    "query_key",
+    "summarize_result",
+]

@@ -1,0 +1,135 @@
+"""ServeBench: serving-latency measurement through the bench store.
+
+Every batch-side speedup already lands in ``BENCH_<suite>.json``
+trajectories; this workload gives the *serving* path the same
+treatment, so later engine/cache/pool work gets a p50/p99 number, not
+just a kernel median. One run = one mixed query burst against a fresh
+in-process :class:`~repro.serve.server.AnalyticsService`:
+
+* duplicate queries (same graph, algorithm, params) issued
+  concurrently, proving the coalescing window under load;
+* distinct-parameter variants of the same algorithm, proving they do
+  *not* coalesce;
+* all five servable algorithms, collaborative filtering included.
+
+The collected metrics are flat bench-store values:
+``serve.latency_p50_s`` / ``serve.latency_p99_s`` (per-request service
+latency percentiles), ``serve.coalesce_hit_rate``, and the raw
+query/engine-run counts. :mod:`repro.obs.bench` registers this as the
+``serve.burst`` workload of the ``serve`` suite, appending to
+``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from .protocol import QueryRequest
+from .server import AnalyticsService
+
+
+def default_burst(profile: str) -> Tuple[QueryRequest, ...]:
+    """The standard mixed burst (fixed composition, so trajectories
+    stay comparable): 18 queries resolving to 7 distinct engine runs."""
+    mk = lambda alg, params, dataset="WV": QueryRequest(  # noqa: E731
+        dataset=dataset, algorithm=alg, params=params, profile=profile
+    )
+    return (
+        # 4-way duplicate PageRank (coalesces to one run) ...
+        *(mk("pagerank", {"iterations": 5}) for _ in range(4)),
+        # ... plus a distinct-parameter variant (must NOT coalesce).
+        mk("pagerank", {"iterations": 10}),
+        *(mk("bfs", {"source": 0}) for _ in range(3)),
+        *(mk("sssp", {"source": 0}) for _ in range(3)),
+        *(mk("wcc", {}) for _ in range(3)),
+        *(
+            mk(
+                "cf",
+                {"num_features": 4, "epochs": 1},
+                dataset="NF",
+            )
+            for _ in range(4)
+        ),
+    )
+
+
+@dataclass
+class ServeBench:
+    """One reproducible serving burst; ``run()`` returns flat metrics.
+
+    ``run_delay_s`` injects a small artificial kernel latency so the
+    coalescing window is deterministic across hosts (without it, a
+    fast machine could finish the first tiny-profile run before the
+    event loop has admitted the duplicates, making the hit rate
+    noise). It inflates every latency by the same constant, so
+    percentile *trajectories* remain comparable.
+    """
+
+    profile: str = "tiny"
+    run_delay_s: float = 0.002
+    max_pending: int = 64
+    workers: int = 4
+    results: List[Dict[str, float]] = field(default_factory=list)
+
+    def queries(self) -> Tuple[QueryRequest, ...]:
+        return default_burst(self.profile)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, float]:
+        """Issue the burst; returns the bench-store metric mapping."""
+        return asyncio.run(self._run())
+
+    async def _run(self) -> Dict[str, float]:
+        # A private registry keeps the burst's counters per-run (the
+        # process registry would accumulate across bench repeats).
+        service = AnalyticsService(
+            max_pending=self.max_pending,
+            workers=self.workers,
+            run_delay_s=self.run_delay_s,
+            registry=MetricsRegistry(),
+        )
+        try:
+            burst = self.queries()
+            # Warm the pool outside the measured burst: serving
+            # latency, not cold-start latency, is the tracked metric.
+            await asyncio.gather(
+                *(
+                    service.submit(query)
+                    for query in {
+                        q.session_selector: q for q in burst
+                    }.values()
+                )
+            )
+            warm_runs = service.stats()["engine_runs"]
+            results = await asyncio.gather(
+                *(service.submit(query) for query in burst)
+            )
+            stats = service.stats()
+            latencies = np.array(
+                [r.latency_s for r in results], dtype=np.float64
+            )
+            return {
+                "serve.latency_p50_s": float(
+                    np.percentile(latencies, 50)
+                ),
+                "serve.latency_p99_s": float(
+                    np.percentile(latencies, 99)
+                ),
+                "serve.latency_mean_s": float(latencies.mean()),
+                "serve.coalesce_hit_rate": float(
+                    stats["coalesced"] / len(burst)
+                ),
+                "serve.queries": float(len(burst)),
+                "serve.engine_runs": float(
+                    stats["engine_runs"] - warm_runs
+                ),
+                "serve.shed": float(stats["shed"]),
+                "serve.errors": float(stats["errors"]),
+            }
+        finally:
+            await service.aclose()

@@ -1,0 +1,242 @@
+"""Minimal HTTP/1.1 front end for the analytics service.
+
+Hand-rolled on ``asyncio`` streams — the repository deliberately takes
+no web-framework dependency — and small on purpose: four routes, JSON
+bodies, one connection per request (``Connection: close``).
+
+Routes
+------
+``POST /query``
+    Body: the :meth:`~repro.serve.protocol.QueryRequest.to_dict`
+    schema. Response: a
+    :meth:`~repro.serve.protocol.QueryResult.to_dict` payload.
+    Failures map to statuses through
+    :func:`repro.errors.http_status_for` — 429 over quota, 503 shed,
+    504 deadline, 400 malformed — with a
+    ``{"error": <class>, "message": <str>}`` body.
+``GET /metrics``
+    The process metrics registry as OpenMetrics text
+    (:mod:`repro.obs.export`) — the Prometheus scrape target, covering
+    the ``serve.*`` family and everything else the process recorded.
+``GET /stats``
+    The service's operational JSON snapshot (pool, quotas, latency).
+``GET /healthz``
+    Liveness: ``{"status": "ok"}`` once the server accepts sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigError, ReproError, http_status_for
+from ..obs.export import render_openmetrics
+from ..obs.log import get_logger
+from .protocol import QueryRequest
+from .server import AnalyticsService
+
+log = get_logger("repro.serve.http")
+
+#: Largest accepted request body (a query is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _response(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: Dict[str, Any]) -> bytes:
+    return _response(
+        status, (json.dumps(payload) + "\n").encode("utf-8")
+    )
+
+
+def _error_response(exc: BaseException) -> bytes:
+    return _json_response(
+        http_status_for(exc),
+        {"error": type(exc).__name__, "message": str(exc)},
+    )
+
+
+class HttpFrontend:
+    """Bind an :class:`AnalyticsService` to a TCP listen socket."""
+
+    def __init__(
+        self,
+        service: AnalyticsService,
+        host: str = "127.0.0.1",
+        port: int = 8100,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Start listening; returns the bound (host, port).
+
+        ``port=0`` binds an ephemeral port (tests), reported back here.
+        """
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        log.info("serve.listening", host=self.host, port=self.port)
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            payload = await self._respond(reader)
+        except Exception as exc:  # last-resort: never drop a connection
+            log.error("serve.request_failed", error=str(exc))
+            payload = _error_response(exc)
+        try:
+            writer.write(payload)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                return _json_response(
+                    400, {"error": "BadRequest",
+                          "message": "malformed request line"}
+                )
+            method, path = parts[0].upper(), parts[1]
+            headers = await self._read_headers(reader)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return b""
+        if path.startswith("/query"):
+            if method != "POST":
+                return _json_response(
+                    405, {"error": "MethodNotAllowed",
+                          "message": "POST /query"}
+                )
+            return await self._handle_query(reader, headers)
+        if method != "GET":
+            return _json_response(
+                405, {"error": "MethodNotAllowed",
+                      "message": f"GET {path}"}
+            )
+        if path == "/metrics":
+            return _response(
+                200,
+                render_openmetrics(self.service.registry).encode("utf-8"),
+                content_type=(
+                    "application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8"
+                ),
+            )
+        if path == "/stats":
+            return _json_response(200, self.service.stats())
+        if path == "/healthz":
+            return _json_response(200, {"status": "ok"})
+        return _json_response(
+            404, {"error": "NotFound", "message": path}
+        )
+
+    @staticmethod
+    async def _read_headers(
+        reader: asyncio.StreamReader,
+    ) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    async def _handle_query(
+        self,
+        reader: asyncio.StreamReader,
+        headers: Dict[str, str],
+    ) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            return _json_response(
+                413, {"error": "PayloadTooLarge",
+                      "message": f"body must be 0..{MAX_BODY_BYTES} bytes"}
+            )
+        body = await reader.readexactly(length) if length else b""
+        try:
+            try:
+                decoded = json.loads(body.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ConfigError(
+                    f"query body is not valid JSON: {exc}"
+                ) from exc
+            query = QueryRequest.from_dict(decoded)
+            result = await self.service.submit(query)
+        except ReproError as exc:
+            return _error_response(exc)
+        return _json_response(200, result.to_dict())
+
+
+async def serve_forever(
+    service: AnalyticsService,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+) -> None:
+    """Run the daemon until cancelled (the ``repro serve`` body)."""
+    frontend = HttpFrontend(service, host, port)
+    await frontend.start()
+    try:
+        await frontend.serve_forever()
+    except asyncio.CancelledError:  # graceful ^C path
+        pass
+    finally:
+        await frontend.aclose()

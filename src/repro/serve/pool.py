@@ -1,0 +1,214 @@
+"""Warm engine sessions for the analytics service.
+
+Serving latency is dominated by everything that happens *before* a
+kernel iterates: generating/loading the dataset, lexsorting the shard
+grid, packing crossbar layouts. The pool pays those costs once per
+(dataset, profile, config) and keeps the resulting
+:class:`~repro.core.engine.GaaSXEngine` alive across queries — the
+serving-side counterpart of the batch layer's content-keyed layout
+cache, and keyed on the very same content identities
+(:func:`~repro.core.cache.graph_fingerprint` +
+:func:`~repro.core.cache.config_fingerprint`).
+
+Capacity is bounded: when full, the least-recently-used *idle* session
+is evicted; if every resident session is busy the pool refuses with
+:class:`~repro.errors.SessionPoolExhaustedError` instead of queueing —
+admission control belongs to the service layer, which sheds load with
+typed errors rather than building invisible backlogs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..config import ArchConfig
+from ..core.cache import config_fingerprint, graph_fingerprint
+from ..core.engine import GaaSXEngine
+from ..errors import SessionPoolExhaustedError
+from ..graphs.datasets import load_dataset
+from ..obs.log import get_logger
+
+log = get_logger("repro.serve.pool")
+
+#: Layout orientations warmed at session creation. ``col`` feeds
+#: PageRank/CF's column-streamed passes, ``row`` the traversal kernels;
+#: warming both means the first query of either family is compute-only.
+WARM_ORDERS = ("col", "row")
+
+
+class WarmSession:
+    """One pre-loaded engine bound to a (dataset, profile, config).
+
+    The session owns no concurrency itself beyond a busy flag — the
+    service serializes kernel runs per session (crossbar state is a
+    single physical resource) and marks the session busy for the
+    duration. ``content_key`` is the content-addressed identity query
+    keys build on.
+    """
+
+    def __init__(
+        self, dataset: str, profile: str, config: ArchConfig
+    ) -> None:
+        self.dataset = dataset
+        self.profile = profile
+        self.config = config
+        graph = load_dataset(dataset, profile)
+        self.engine = GaaSXEngine(graph, config=config)
+        for order in WARM_ORDERS:
+            self.engine.layout(order)
+        #: Content-addressed identity: same graph bytes + same config
+        #: fields => same key, whatever process created the session.
+        self.content_key = (
+            f"{graph_fingerprint(self.engine.graph)}-"
+            f"{config_fingerprint(config)}"
+        )
+        self.created_unix = time.time()
+        self.queries_served = 0
+        self.busy = False
+
+    @property
+    def num_vertices(self) -> int:
+        return self.engine.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.engine.graph.num_edges
+
+    def describe(self) -> Dict[str, object]:
+        """Introspection payload for the service's /stats endpoint."""
+        return {
+            "dataset": self.dataset,
+            "profile": self.profile,
+            "content_key": self.content_key,
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "queries_served": self.queries_served,
+            "busy": self.busy,
+        }
+
+
+class SessionPool:
+    """Bounded LRU pool of :class:`WarmSession` objects.
+
+    Thread-safe: creation happens inside the lock-free gap under a
+    per-selector reservation so two concurrent first queries for the
+    same graph build one session, not two.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ArchConfig] = None,
+        max_sessions: int = 8,
+    ) -> None:
+        if max_sessions < 1:
+            raise SessionPoolExhaustedError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        self.config = config if config is not None else ArchConfig()
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[Tuple[str, str], WarmSession]" = (
+            OrderedDict()
+        )
+        self._building: Dict[Tuple[str, str], threading.Event] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, selector: Tuple[str, str]) -> Optional[WarmSession]:
+        """The resident session for a selector, or ``None`` (no build)."""
+        with self._lock:
+            session = self._sessions.get(selector)
+            if session is not None:
+                self._sessions.move_to_end(selector)
+                self.hits += 1
+            return session
+
+    def acquire(self, dataset: str, profile: str) -> WarmSession:
+        """Get-or-create the warm session for (dataset, profile).
+
+        Blocking (dataset generation + layout packing on a miss) — the
+        service calls this off the event loop. Raises
+        :class:`~repro.errors.SessionPoolExhaustedError` when the pool
+        is full of busy sessions.
+        """
+        selector = (dataset.upper(), profile)
+        while True:
+            with self._lock:
+                session = self._sessions.get(selector)
+                if session is not None:
+                    self._sessions.move_to_end(selector)
+                    self.hits += 1
+                    return session
+                building = self._building.get(selector)
+                if building is None:
+                    self._building[selector] = threading.Event()
+                    break
+            # Another thread is building this session; wait and retry.
+            building.wait()
+        try:
+            session = WarmSession(selector[0], profile, self.config)
+            with self._lock:
+                self._evict_for_room_locked()
+                self._sessions[selector] = session
+                self.misses += 1
+            log.info(
+                "pool.session_created", dataset=selector[0],
+                profile=profile, vertices=session.num_vertices,
+                edges=session.num_edges,
+                resident=len(self._sessions),
+            )
+            return session
+        finally:
+            with self._lock:
+                event = self._building.pop(selector, None)
+            if event is not None:
+                event.set()
+
+    def _evict_for_room_locked(self) -> None:
+        """Drop idle LRU sessions until one slot is free (lock held)."""
+        while len(self._sessions) >= self.max_sessions:
+            victim_key = None
+            for key, session in self._sessions.items():  # LRU first
+                if not session.busy:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                raise SessionPoolExhaustedError(
+                    f"session pool is full ({self.max_sessions} busy "
+                    f"sessions); retry later or raise --max-sessions"
+                )
+            evicted = self._sessions.pop(victim_key)
+            self.evictions += 1
+            log.info(
+                "pool.session_evicted", dataset=evicted.dataset,
+                profile=evicted.profile,
+                queries_served=evicted.queries_served,
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def describe(self) -> Dict[str, object]:
+        """Introspection payload for the service's /stats endpoint."""
+        with self._lock:
+            sessions = [s.describe() for s in self._sessions.values()]
+        return {
+            "max_sessions": self.max_sessions,
+            "resident": len(sessions),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "sessions": sessions,
+        }
+
+    def clear(self) -> None:
+        """Drop every resident session (shutdown/tests)."""
+        with self._lock:
+            self._sessions.clear()

@@ -1,0 +1,288 @@
+"""Query-level protocol of the always-on analytics service.
+
+The batch layer asks "regenerate paper artifact X" through
+:class:`~repro.experiments.runner.RunRequest`; the serving layer asks
+"run algorithm A on pre-loaded graph G with parameters P" through
+:class:`QueryRequest`. A query is content-addressed: its
+:func:`query_key` folds the warm session's content key (graph
+fingerprint + :class:`~repro.config.ArchConfig` fingerprint, the same
+identity the layout cache uses) together with the algorithm and the
+canonicalized parameter mapping, so two equal queries — whoever issued
+them, whenever — share one key. The service coalesces concurrent
+queries on exactly that key.
+
+:class:`QueryResult` is transport-friendly: the raw kernel results
+carry graph-sized numpy arrays, so :func:`summarize_result` compresses
+them into a small JSON payload (checksums, counts, top-k) next to the
+modelled hardware statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import AlgorithmError, ConfigError, DatasetError
+from ..graphs.datasets import DATASETS, PROFILES
+
+#: Algorithms the service accepts. ``gnn`` is excluded: its inputs
+#: (feature/weight matrices) are not expressible in a JSON query.
+SERVABLE_ALGORITHMS = ("pagerank", "bfs", "sssp", "wcc", "cf")
+
+#: Tenant used when a query does not name one.
+DEFAULT_TENANT = "default"
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """The canonical JSON encoding of a parameter mapping.
+
+    Sorted keys and JSON scalar coercion make logically equal mappings
+    byte-equal, which is what the coalescing key relies on. Raises
+    :class:`~repro.errors.ConfigError` on non-JSON values (arrays,
+    objects) — those cannot travel over the wire anyway.
+    """
+    try:
+        return json.dumps(dict(params), sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"query params must be JSON-serializable scalars: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One analytics query against a pre-loaded graph.
+
+    Parameters
+    ----------
+    dataset:
+        Table II dataset key (``"WV"``, ``"NF"``, ...). Case-insensitive.
+    algorithm:
+        One of :data:`SERVABLE_ALGORITHMS`.
+    params:
+        Keyword arguments forwarded to the kernel (e.g. ``source`` for
+        BFS/SSSP, ``iterations`` for PageRank). JSON scalars only.
+    profile:
+        Dataset scale, as in the batch API (``tiny``/``bench``/``full``).
+    tenant:
+        Quota bucket this query draws from.
+    timeout_s:
+        Per-query deadline; ``None`` uses the service default.
+    """
+
+    dataset: str
+    algorithm: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    profile: str = "bench"
+    tenant: str = DEFAULT_TENANT
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataset", str(self.dataset).upper())
+        if self.dataset not in DATASETS:
+            raise DatasetError(
+                f"unknown dataset {self.dataset!r}; known: "
+                f"{sorted(DATASETS)}"
+            )
+        if self.algorithm not in SERVABLE_ALGORITHMS:
+            raise AlgorithmError(
+                f"unknown algorithm {self.algorithm!r}; servable: "
+                f"{list(SERVABLE_ALGORITHMS)}"
+            )
+        if self.profile not in PROFILES:
+            raise ConfigError(
+                f"unknown profile {self.profile!r}; expected one of "
+                f"{PROFILES}"
+            )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ConfigError("tenant must be a non-empty string")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        # Canonicalize once; also validates JSON-serializability.
+        object.__setattr__(
+            self, "params", json.loads(canonical_params(self.params))
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def session_selector(self) -> tuple:
+        """The warm-pool lookup key: which engine can serve this query."""
+        return (self.dataset, self.profile)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the HTTP request body schema)."""
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "profile": self.profile,
+            "tenant": self.tenant,
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryRequest":
+        """Build a validated request from a decoded JSON object."""
+        if not isinstance(payload, Mapping):
+            raise ConfigError("query payload must be a JSON object")
+        unknown = set(payload) - {
+            "dataset", "algorithm", "params", "profile", "tenant",
+            "timeout_s",
+        }
+        if unknown:
+            raise ConfigError(
+                f"unknown query field(s): {sorted(unknown)}"
+            )
+        for required in ("dataset", "algorithm"):
+            if required not in payload:
+                raise ConfigError(f"query field {required!r} is required")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ConfigError("query field 'params' must be an object")
+        return cls(
+            dataset=payload["dataset"],
+            algorithm=payload["algorithm"],
+            params=params,
+            profile=payload.get("profile", "bench"),
+            tenant=payload.get("tenant", DEFAULT_TENANT),
+            timeout_s=payload.get("timeout_s"),
+        )
+
+
+def query_key(session_content_key: str, query: QueryRequest) -> str:
+    """The content-addressed identity of one query.
+
+    ``session_content_key`` is the warm session's content key (graph
+    fingerprint + config fingerprint, from
+    :meth:`repro.serve.pool.WarmSession.content_key`); equal keys mean
+    "same engine state, same algorithm, same parameters" — the sharing
+    unit for request coalescing.
+    """
+    payload = "|".join(
+        (
+            session_content_key,
+            query.algorithm,
+            canonical_params(query.params),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def summarize_result(algorithm: str, result: Any) -> Dict[str, Any]:
+    """Compress a kernel result into a small JSON payload.
+
+    Serving returns summaries, not graph-sized arrays: enough for a
+    client to consume (counts, extrema, top-k) and for tests to prove
+    two queries did not cross-contaminate (checksums differ when the
+    underlying arrays differ).
+    """
+    if algorithm == "pagerank":
+        ranks = np.asarray(result.ranks, dtype=np.float64)
+        top = np.argsort(ranks)[::-1][:5]
+        return {
+            "iterations": int(result.iterations),
+            "num_vertices": int(ranks.size),
+            "rank_sum": float(ranks.sum()),
+            "checksum": _checksum(ranks),
+            "top_vertices": [int(v) for v in top],
+            "top_ranks": [float(ranks[v]) for v in top],
+        }
+    if algorithm in ("bfs", "sssp"):
+        distances = np.asarray(result.distances, dtype=np.float64)
+        reached = np.isfinite(distances)
+        return {
+            "source": int(result.source),
+            "supersteps": int(result.supersteps),
+            "num_vertices": int(distances.size),
+            "reached": int(reached.sum()),
+            "max_distance": float(distances[reached].max())
+            if reached.any()
+            else 0.0,
+            "checksum": _checksum(np.where(reached, distances, -1.0)),
+        }
+    if algorithm == "wcc":
+        labels = np.asarray(result.labels)
+        sizes = result.component_sizes()
+        return {
+            "supersteps": int(result.supersteps),
+            "num_vertices": int(labels.size),
+            "num_components": int(result.num_components),
+            "largest_component": int(sizes[0]) if sizes.size else 0,
+            "checksum": _checksum(labels.astype(np.float64)),
+        }
+    if algorithm == "cf":
+        user = np.asarray(result.user_features, dtype=np.float64)
+        item = np.asarray(result.item_features, dtype=np.float64)
+        return {
+            "epochs": int(result.epochs),
+            "num_users": int(user.shape[0]),
+            "num_items": int(item.shape[0]),
+            "num_features": int(user.shape[1]),
+            "checksum": _checksum(np.concatenate(
+                (user.ravel(), item.ravel())
+            )),
+        }
+    raise AlgorithmError(f"no result summary for algorithm {algorithm!r}")
+
+
+def _checksum(values: np.ndarray) -> str:
+    """Stable content digest of a float array (result identity)."""
+    return hashlib.sha256(
+        np.ascontiguousarray(values, dtype=np.float64).tobytes()
+    ).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """What the service returns for one query.
+
+    ``coalesced`` is per-request: of N identical concurrent queries,
+    exactly one carries ``coalesced=False`` (it triggered the engine
+    run) and the other N-1 carry ``True``. ``latency_s`` is this
+    request's service-side wall time (admission to response), not the
+    shared engine run's.
+    """
+
+    key: str
+    dataset: str
+    algorithm: str
+    profile: str
+    tenant: str
+    payload: Dict[str, Any]
+    modelled: Dict[str, float]
+    latency_s: float
+    coalesced: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the HTTP response body schema)."""
+        return {
+            "key": self.key,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "profile": self.profile,
+            "tenant": self.tenant,
+            "payload": dict(self.payload),
+            "modelled": dict(self.modelled),
+            "latency_s": self.latency_s,
+            "coalesced": self.coalesced,
+        }
+
+
+def modelled_stats(stats: Any) -> Dict[str, float]:
+    """The modelled hardware statistics a result travels with."""
+    return {
+        "total_s": float(stats.total_time_s),
+        "load_s": float(stats.load_time_s),
+        "compute_s": float(stats.compute_time_s),
+        "energy_j": float(stats.total_energy_j),
+        "passes": float(stats.passes),
+    }

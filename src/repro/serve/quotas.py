@@ -1,0 +1,135 @@
+"""Admission control: per-tenant token buckets and a bounded queue.
+
+The service never builds an unbounded backlog. Every incoming query
+passes two gates *before* any engine work is scheduled:
+
+* a per-tenant **token bucket** — ``burst`` tokens deep, refilled at
+  ``rate`` tokens/second — so one chatty tenant cannot starve the rest
+  (:class:`~repro.errors.QuotaExceededError` when empty), and
+* a **pending-query bound** enforced by the service on distinct
+  in-flight engine runs — load past it is shed with
+  :class:`~repro.errors.SessionPoolExhaustedError`, never queued
+  invisibly (coalesced duplicates ride an existing run and are exempt:
+  they add no engine work).
+
+Both gates fail with typed errors so callers (and the HTTP front end,
+via :func:`repro.errors.http_status_for`) can tell throttling from
+saturation from failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigError, QuotaExceededError
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate`` tokens/s.
+
+    ``rate=None`` disables metering (the bucket always admits).
+    Refill is computed lazily from the elapsed monotonic time, so an
+    idle bucket costs nothing.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ConfigError(f"quota rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ConfigError(f"quota burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; returns whether they were."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently available (refilled to now)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            now = self._clock()
+            return min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+
+
+class AdmissionController:
+    """Per-tenant quota enforcement for the analytics service.
+
+    One :class:`TokenBucket` per tenant, created on first sight with
+    the shared (rate, burst) policy. ``admit`` is the only gate the
+    service calls; it raises rather than blocks, so admission can never
+    deadlock the event loop.
+    """
+
+    def __init__(
+        self,
+        quota_rate: Optional[float] = None,
+        quota_burst: float = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.quota_rate = quota_rate
+        self.quota_burst = quota_burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket (created on first use)."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.quota_rate, self.quota_burst, self._clock
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Charge one query to the tenant; raises when over quota."""
+        if not self.bucket(tenant).try_acquire():
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is over quota "
+                f"({self.quota_rate}/s, burst {self.quota_burst}); "
+                f"retry later"
+            )
+
+    def describe(self) -> Dict[str, object]:
+        """Introspection payload for the service's /stats endpoint."""
+        with self._lock:
+            tenants = {
+                tenant: round(bucket.available, 3)
+                if bucket.rate is not None
+                else "unlimited"
+                for tenant, bucket in self._buckets.items()
+            }
+        return {
+            "quota_rate": self.quota_rate,
+            "quota_burst": self.quota_burst,
+            "tenants": tenants,
+        }

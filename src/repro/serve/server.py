@@ -1,0 +1,345 @@
+"""The always-on analytics service: async queries over warm sessions.
+
+:class:`AnalyticsService` is the in-process core the HTTP daemon, the
+CLI, tests, and :class:`~repro.serve.bench.ServeBench` all drive. One
+query's life:
+
+1. **Admission** — the tenant's token bucket is charged
+   (:class:`~repro.serve.quotas.AdmissionController`); over-quota
+   traffic fails fast with
+   :class:`~repro.errors.QuotaExceededError`.
+2. **Session** — the warm pool hands back the pre-loaded engine for
+   (dataset, profile); a cold first query builds it off the event loop.
+3. **Coalescing** — the query's content key
+   (:func:`~repro.serve.protocol.query_key`) is looked up in the
+   in-flight table. A hit rides the existing engine run; a miss first
+   checks the bounded pending-run count (past it, load is shed with
+   :class:`~repro.errors.SessionPoolExhaustedError` — never queued
+   invisibly) and then schedules exactly one engine run.
+4. **Execution** — the kernel runs in a worker thread, serialized per
+   session (one physical accelerator's crossbar state per session).
+5. **Deadline** — each waiter applies its own ``timeout_s``
+   (:class:`~repro.errors.QueryTimeoutError`); the shared run is
+   shielded, so one impatient client cannot cancel work others wait on.
+
+Every step is metered through :mod:`repro.obs.metrics` under stable
+``serve.*`` names — instruments are get-or-created once per service,
+never per query or per session, so warm-pool reuse cannot leak or
+double-register collectors. ``/metrics`` exposition reuses
+:mod:`repro.obs.export` unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from ..config import ArchConfig
+from ..errors import (
+    AlgorithmError,
+    ConfigError,
+    QueryTimeoutError,
+    QuotaExceededError,
+    SessionPoolExhaustedError,
+)
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, get_metrics
+from .pool import SessionPool, WarmSession
+from .protocol import (
+    QueryRequest,
+    QueryResult,
+    modelled_stats,
+    query_key,
+    summarize_result,
+)
+from .quotas import AdmissionController
+
+log = get_logger("repro.serve")
+
+
+class AnalyticsService:
+    """Asyncio query service over a warm session pool.
+
+    Parameters
+    ----------
+    arch_config:
+        Machine configuration every warm engine uses (Table I default).
+    max_sessions:
+        Warm-pool capacity (LRU-evicted, idle sessions only).
+    max_pending:
+        Bound on distinct in-flight engine runs; excess distinct
+        queries are shed. Coalesced duplicates are exempt.
+    quota_rate, quota_burst:
+        Per-tenant token-bucket policy; ``quota_rate=None`` disables
+        metering.
+    workers:
+        Engine worker threads (default: ``max_pending`` capped at 8).
+    default_timeout_s:
+        Deadline applied when a query names none.
+    run_delay_s:
+        Artificial per-run kernel latency (seconds). Testing/benchmark
+        knob that widens the coalescing window deterministically; keep
+        0 in production.
+    registry:
+        Metrics registry to meter into (default: the process-wide one).
+    """
+
+    def __init__(
+        self,
+        arch_config: Optional[ArchConfig] = None,
+        max_sessions: int = 8,
+        max_pending: int = 64,
+        quota_rate: Optional[float] = None,
+        quota_burst: float = 64,
+        workers: Optional[int] = None,
+        default_timeout_s: float = 60.0,
+        run_delay_s: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ConfigError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if default_timeout_s <= 0:
+            raise ConfigError(
+                f"default_timeout_s must be > 0, got {default_timeout_s}"
+            )
+        self.pool = SessionPool(arch_config, max_sessions=max_sessions)
+        self.admission = AdmissionController(quota_rate, quota_burst)
+        self.max_pending = max_pending
+        self.default_timeout_s = default_timeout_s
+        self.run_delay_s = run_delay_s
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers
+            if workers is not None
+            else min(max_pending, 8),
+            thread_name_prefix="repro-serve",
+        )
+        self._inflight: Dict[str, "asyncio.Task"] = {}
+        self._session_locks: Dict[str, "asyncio.Lock"] = {}
+        self._closed = False
+        # Instruments are created exactly once per service under fixed
+        # names; re-instantiating a service over the same registry
+        # get-or-creates the same objects (no duplicates, no kind
+        # conflicts) — the warm-pool double-registration audit.
+        registry = registry if registry is not None else get_metrics()
+        self.registry = registry
+        self._m = {
+            "queries": registry.counter("serve.queries"),
+            "engine_runs": registry.counter("serve.engine_runs"),
+            "coalesced": registry.counter("serve.coalesced"),
+            "quota_rejected": registry.counter("serve.quota_rejected"),
+            "shed": registry.counter("serve.shed"),
+            "timeouts": registry.counter("serve.timeouts"),
+            "errors": registry.counter("serve.errors"),
+            "inflight": registry.gauge("serve.inflight"),
+            "sessions": registry.gauge("serve.sessions_resident"),
+            "latency": registry.histogram("serve.latency_s"),
+            "engine_run": registry.histogram("serve.engine_run_s"),
+        }
+        # Per-algorithm latency histograms: a fixed, finite name set
+        # (the servable algorithms), registered up front — never minted
+        # from query content.
+        from .protocol import SERVABLE_ALGORITHMS
+
+        self._latency_by_algorithm = {
+            algorithm: registry.histogram(
+                f"serve.latency_s.{algorithm}"
+            )
+            for algorithm in SERVABLE_ALGORITHMS
+        }
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    async def submit(self, query: QueryRequest) -> QueryResult:
+        """Serve one query; returns its :class:`QueryResult`.
+
+        Raises the typed service errors documented in
+        :mod:`repro.errors`; malformed queries fail in
+        :class:`~repro.serve.protocol.QueryRequest` before ever
+        reaching here.
+        """
+        if self._closed:
+            raise SessionPoolExhaustedError("service is shut down")
+        start = time.perf_counter()
+        self._m["queries"].inc()
+        try:
+            self.admission.admit(query.tenant)
+        except QuotaExceededError:
+            self._m["quota_rejected"].inc()
+            raise
+        session = await self._session_for(query)
+        key = query_key(session.content_key, query)
+        # No awaits between the in-flight lookup and registration: the
+        # check-then-register step is atomic on the event loop.
+        task = self._inflight.get(key)
+        coalesced = task is not None
+        if coalesced:
+            self._m["coalesced"].inc()
+        else:
+            if len(self._inflight) >= self.max_pending:
+                self._m["shed"].inc()
+                raise SessionPoolExhaustedError(
+                    f"{len(self._inflight)} queries already in flight "
+                    f"(max_pending={self.max_pending}); load shed"
+                )
+            task = asyncio.get_running_loop().create_task(
+                self._execute(session, query, key)
+            )
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda _t, _key=key: self._inflight.pop(_key, None)
+            )
+            self._m["inflight"].set(len(self._inflight))
+        timeout = (
+            query.timeout_s
+            if query.timeout_s is not None
+            else self.default_timeout_s
+        )
+        try:
+            payload, modelled = await asyncio.wait_for(
+                asyncio.shield(task), timeout
+            )
+        except asyncio.TimeoutError:
+            self._m["timeouts"].inc()
+            raise QueryTimeoutError(
+                f"query {query.algorithm} on {query.dataset} missed its "
+                f"{timeout}s deadline (the engine run continues for "
+                f"coalesced waiters)"
+            ) from None
+        latency = time.perf_counter() - start
+        self._m["latency"].observe(latency)
+        self._latency_by_algorithm[query.algorithm].observe(latency)
+        return QueryResult(
+            key=key,
+            dataset=query.dataset,
+            algorithm=query.algorithm,
+            profile=query.profile,
+            tenant=query.tenant,
+            payload=payload,
+            modelled=modelled,
+            latency_s=latency,
+            coalesced=coalesced,
+        )
+
+    async def _session_for(self, query: QueryRequest) -> WarmSession:
+        """Warm-pool lookup; cold builds happen off the event loop."""
+        session = self.pool.get(query.session_selector)
+        if session is not None:
+            return session
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                self.pool.acquire,
+                query.dataset,
+                query.profile,
+            )
+        except SessionPoolExhaustedError:
+            self._m["shed"].inc()
+            raise
+
+    async def _execute(
+        self, session: WarmSession, query: QueryRequest, key: str
+    ) -> Tuple[Dict[str, Any], Dict[str, float]]:
+        """The one engine run a coalescing key resolves to."""
+        lock = self._session_locks.setdefault(
+            session.content_key, asyncio.Lock()
+        )
+        try:
+            async with lock:  # one crossbar state, one run at a time
+                session.busy = True
+                try:
+                    payload, modelled = await asyncio.get_running_loop(
+                    ).run_in_executor(
+                        self._executor, self._run_engine, session, query
+                    )
+                finally:
+                    session.busy = False
+                    session.queries_served += 1
+            self._m["sessions"].set(len(self.pool))
+            return payload, modelled
+        except Exception:
+            self._m["errors"].inc()
+            raise
+        finally:
+            self._m["inflight"].set(max(len(self._inflight) - 1, 0))
+
+    def _run_engine(
+        self, session: WarmSession, query: QueryRequest
+    ) -> Tuple[Dict[str, Any], Dict[str, float]]:
+        """Worker-thread body: the actual kernel dispatch."""
+        if self.run_delay_s > 0:
+            time.sleep(self.run_delay_s)
+        start = time.perf_counter()
+        try:
+            result = session.engine.run(query.algorithm, **query.params)
+        except TypeError as exc:
+            # Bad keyword against the kernel signature: a client error,
+            # not a programming error in the service.
+            raise AlgorithmError(
+                f"invalid params for {query.algorithm!r}: {exc}"
+            ) from None
+        run_s = time.perf_counter() - start
+        self._m["engine_runs"].inc()
+        self._m["engine_run"].observe(run_s)
+        log.debug(
+            "serve.engine_run", dataset=query.dataset,
+            algorithm=query.algorithm, run_s=round(run_s, 6),
+        )
+        return (
+            summarize_result(query.algorithm, result),
+            modelled_stats(result.stats),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------
+    def preload(self, datasets, profile: str = "bench") -> None:
+        """Synchronously warm sessions for the given dataset keys."""
+        for dataset in datasets:
+            self.pool.acquire(dataset, profile)
+        self._m["sessions"].set(len(self.pool))
+
+    @property
+    def coalesce_hit_rate(self) -> float:
+        """Fraction of admitted queries served by an existing run."""
+        queries = self._m["queries"].value
+        return self._m["coalesced"].value / queries if queries else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot (the /stats endpoint payload)."""
+        return {
+            "queries": self._m["queries"].value,
+            "engine_runs": self._m["engine_runs"].value,
+            "coalesced": self._m["coalesced"].value,
+            "coalesce_hit_rate": round(self.coalesce_hit_rate, 4),
+            "quota_rejected": self._m["quota_rejected"].value,
+            "shed": self._m["shed"].value,
+            "timeouts": self._m["timeouts"].value,
+            "errors": self._m["errors"].value,
+            "inflight": len(self._inflight),
+            "latency": self._m["latency"].summary(),
+            "pool": self.pool.describe(),
+            "admission": self.admission.describe(),
+        }
+
+    async def drain(self) -> None:
+        """Wait for every in-flight run to settle (shutdown helper)."""
+        tasks = list(self._inflight.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Stop admitting, drain in-flight work, release the pool."""
+        self._closed = True
+        await self.drain()
+        self.close()
+
+    def close(self) -> None:
+        """Synchronous teardown (tests; prefer :meth:`aclose`)."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        self.pool.clear()

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS
 from repro.experiments.harness import ComparisonMatrix
 from repro.experiments.registry import get_experiment
 from repro.experiments.runner import RunRequest, RunSession
@@ -18,9 +18,7 @@ def drive(experiment_id, **kwargs):
     """Invoke one registered driver directly with custom keywords.
 
     Parameterized harness runs (explicit matrices, sweep overrides) go
-    straight to the driver; plain runs use RunRequest/RunSession. The
-    deprecated run_experiment shim is exercised only by
-    TestLegacyShim.
+    straight to the driver; plain runs use RunRequest/RunSession.
     """
     spec = get_experiment(experiment_id)
     if not spec.accepts_profile:
@@ -252,16 +250,9 @@ class TestJSONExport:
         assert len(data["series"]) == 2
 
 
-class TestLegacyShim:
-    def test_run_experiment_still_works_but_warns(self, tmp_path):
-        """The pre-RunRequest surface stays functional, with a
-        DeprecationWarning — the one place the shim is exercised."""
-        with pytest.warns(DeprecationWarning, match="RunRequest"):
-            r = run_experiment("table1", output_dir=str(tmp_path))
-        assert r.experiment_id == "table1"
-        assert (tmp_path / "table1.txt").exists()
-
-    def test_rest_of_module_is_warning_free(self, matrix):
+class TestNoDeprecationWarnings:
+    def test_module_is_warning_free(self, matrix):
+        """The shims are gone, so nothing here may warn about them."""
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             drive("fig11", profile="tiny", matrix=matrix)

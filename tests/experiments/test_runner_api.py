@@ -1,4 +1,4 @@
-"""Tests for the typed RunRequest/RunSession API and deprecated shims."""
+"""Tests for the typed RunRequest/RunSession API."""
 
 from __future__ import annotations
 
@@ -8,13 +8,7 @@ import pytest
 
 from repro.core import cache as layout_cache
 from repro.errors import ConfigError
-from repro.experiments import (
-    EXPERIMENTS,
-    RunRequest,
-    RunSession,
-    run_all,
-    run_experiment,
-)
+from repro.experiments import EXPERIMENTS, RunRequest, RunSession
 
 
 @pytest.fixture(autouse=True)
@@ -109,29 +103,17 @@ class TestRunSession:
         assert "abl-interval" in rendered
 
 
-class TestDeprecatedShims:
-    def test_run_experiment_warns(self, tmp_path):
-        with pytest.warns(DeprecationWarning, match="RunRequest"):
-            result = run_experiment(
-                "abl-interval", profile="tiny",
-                output_dir=str(tmp_path),
-            )
-        assert result.experiment_id == "abl-interval"
-        assert (tmp_path / "abl-interval.txt").exists()
+class TestRetiredShims:
+    """The pre-RunRequest ad-hoc surface is gone, not merely warning."""
 
-    def test_run_experiment_drops_profile_when_unsupported(self):
-        spec = EXPERIMENTS["table1"]
-        assert not spec.accepts_profile
-        with pytest.warns(DeprecationWarning):
-            result = run_experiment("table1", profile="tiny")
-        assert result.experiment_id == "table1"
+    def test_shims_are_not_importable(self):
+        import repro.experiments as experiments
+        import repro.experiments.runner as runner
 
-    def test_run_all_warns(self):
-        with pytest.warns(DeprecationWarning, match="RunRequest"):
-            with pytest.raises(TypeError):
-                # The warning fires before any driver runs; an invalid
-                # driver keyword keeps the full sweep from executing.
-                run_all(no_such_keyword=True)
+        for retired in ("run" "_experiment", "run" "_all"):
+            assert not hasattr(runner, retired)
+            assert not hasattr(experiments, retired)
+            assert retired not in experiments.__all__
 
 
 class TestSpecMetadata:

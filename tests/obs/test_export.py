@@ -13,8 +13,10 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import MetricsRegistry
 
-#: Every sample line: name, optional whitespace, numeric value.
-SAMPLE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]* \S+$")
+#: Every sample line: name, optional {label="..."} set, numeric value.
+SAMPLE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_]+=\"[^\"]*\"\})? \S+$"
+)
 
 
 def parse_families(text):
@@ -79,6 +81,17 @@ class TestRenderFromRegistry:
         assert f"{name}_sum 3.5" in samples
         assert families[f"{name}_min"] == "gauge"
         assert families[f"{name}_max"] == "gauge"
+
+    def test_histogram_quantiles_ride_the_summary_family(self, registry):
+        text = render_openmetrics(registry)
+        _families, samples = parse_families(text)
+        name = "repro_executor_experiment_wall_s"
+        assert f'{name}{{quantile="0.5"}} 1.0' in samples
+        assert f'{name}{{quantile="0.99"}} 2.5' in samples
+        # Labelled quantile samples must stay contiguous with the
+        # summary family: between _sum and the _min companion gauge.
+        assert text.index(f"{name}_sum") < text.index('quantile="0.5"')
+        assert text.index('quantile="0.99"') < text.index(f"{name}_min")
 
     def test_terminated_by_eof(self, registry):
         assert render_openmetrics(registry).endswith("# EOF\n")

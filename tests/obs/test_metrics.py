@@ -47,6 +47,55 @@ class TestInstruments:
         summary = Histogram("x").summary()
         assert summary["count"] == 0
         assert summary["mean"] == 0.0
+        assert summary["p50"] == 0.0
+        assert summary["p99"] == 0.0
+
+
+class TestHistogramQuantiles:
+    def test_nearest_rank(self):
+        h = Histogram("x")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_summary_carries_p50_p99(self):
+        h = Histogram("x")
+        for v in (5.0, 1.0, 9.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["p50"] == 5.0
+        assert summary["p99"] == 9.0
+
+    def test_two_samples_p99_is_the_larger(self):
+        h = Histogram("x")
+        h.observe(1.0)
+        h.observe(2.5)
+        assert h.quantile(0.99) == 2.5
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("x").quantile(0.5) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_reservoir_is_bounded_and_recent(self):
+        h = Histogram("x")
+        size = Histogram.RESERVOIR_SIZE
+        for _ in range(size):
+            h.observe(1000.0)
+        # A full second generation overwrites the ring entirely, so
+        # quantiles reflect recent traffic, not the old plateau.
+        for _ in range(size):
+            h.observe(1.0)
+        assert len(h._samples) == size
+        assert h.quantile(0.99) == 1.0
+        # The streaming aggregates still cover everything observed.
+        assert h.count == 2 * size
+        assert h.max == 1000.0
 
 
 class TestRegistry:

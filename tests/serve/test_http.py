@@ -1,0 +1,200 @@
+"""HTTP front-end tests over an ephemeral-port daemon."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import AnalyticsService
+from repro.serve.http import HttpFrontend
+
+
+async def raw_request(host, port, payload: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return response
+
+
+async def request(host, port, method, path, body=None):
+    """One HTTP/1.1 exchange; returns (status, headers, body bytes)."""
+    encoded = (
+        json.dumps(body).encode("utf-8") if body is not None else b""
+    )
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(encoded)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    raw = await raw_request(host, port, head + encoded)
+    header_blob, _, payload = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("ascii").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+async def with_daemon(scenario, **service_kwargs):
+    """Run ``scenario(host, port)`` against a live ephemeral daemon."""
+    service_kwargs.setdefault("registry", MetricsRegistry())
+    service = AnalyticsService(**service_kwargs)
+    service.preload(["WV"], "tiny")
+    frontend = HttpFrontend(service, port=0)
+    host, port = await frontend.start()
+    try:
+        return await scenario(host, port)
+    finally:
+        await frontend.aclose()
+
+
+QUERY = {
+    "dataset": "WV",
+    "algorithm": "pagerank",
+    "params": {"iterations": 3},
+    "profile": "tiny",
+}
+
+
+class TestRoutes:
+    def test_healthz(self):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/healthz")
+
+        status, _headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_query_round_trip(self):
+        async def scenario(host, port):
+            return await request(host, port, "POST", "/query", QUERY)
+
+        status, headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        result = json.loads(body)
+        assert result["dataset"] == "WV"
+        assert result["algorithm"] == "pagerank"
+        assert result["payload"]["iterations"] == 3
+        assert result["payload"]["checksum"]
+        assert result["modelled"]["energy_j"] > 0
+
+    def test_concurrent_queries_coalesce_over_http(self):
+        async def scenario(host, port):
+            responses = await asyncio.gather(
+                *(
+                    request(host, port, "POST", "/query", QUERY)
+                    for _ in range(4)
+                )
+            )
+            return [json.loads(body) for _status, _h, body in responses]
+
+        results = asyncio.run(with_daemon(scenario, run_delay_s=0.05))
+        assert sum(1 for r in results if r["coalesced"]) == 3
+        assert len({r["key"] for r in results}) == 1
+
+    def test_metrics_exposition(self):
+        async def scenario(host, port):
+            await request(host, port, "POST", "/query", QUERY)
+            return await request(host, port, "GET", "/metrics")
+
+        status, headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        assert headers["content-type"].startswith(
+            "application/openmetrics-text"
+        )
+        text = body.decode("utf-8")
+        assert "repro_serve_queries_total 1" in text
+        assert "repro_serve_engine_runs_total 1" in text
+        assert 'repro_serve_latency_s{quantile="0.5"}' in text
+        assert text.endswith("# EOF\n")
+
+    def test_stats_endpoint(self):
+        async def scenario(host, port):
+            await request(host, port, "POST", "/query", QUERY)
+            return await request(host, port, "GET", "/stats")
+
+        status, _headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        stats = json.loads(body)
+        assert stats["queries"] == 1
+        assert stats["pool"]["resident"] == 1
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "body,status,error",
+        [
+            ({**QUERY, "dataset": "XX"}, 400, "DatasetError"),
+            ({**QUERY, "algorithm": "gnn"}, 400, "AlgorithmError"),
+            ({**QUERY, "bogus": 1}, 400, "ConfigError"),
+            ({"algorithm": "bfs"}, 400, "ConfigError"),
+        ],
+    )
+    def test_client_errors_are_400(self, body, status, error):
+        async def scenario(host, port):
+            return await request(host, port, "POST", "/query", body)
+
+        got_status, _headers, payload = asyncio.run(with_daemon(scenario))
+        assert got_status == status
+        assert json.loads(payload)["error"] == error
+
+    def test_malformed_json_is_400(self):
+        async def scenario(host, port):
+            raw = (
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 9\r\nConnection: close\r\n\r\n"
+                b"not json!"
+            )
+            return await raw_request(host, port, raw)
+
+        response = asyncio.run(with_daemon(scenario))
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_quota_exceeded_is_429(self):
+        async def scenario(host, port):
+            first = await request(host, port, "POST", "/query", QUERY)
+            second = await request(host, port, "POST", "/query", QUERY)
+            return first, second
+
+        first, second = asyncio.run(
+            with_daemon(scenario, quota_rate=0.001, quota_burst=1)
+        )
+        assert first[0] == 200
+        assert second[0] == 429
+        assert json.loads(second[2])["error"] == "QuotaExceededError"
+
+    def test_timeout_is_504(self):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/query",
+                {**QUERY, "timeout_s": 0.05},
+            )
+
+        status, _headers, body = asyncio.run(
+            with_daemon(scenario, run_delay_s=0.5)
+        )
+        assert status == 504
+        assert json.loads(body)["error"] == "QueryTimeoutError"
+
+    def test_unknown_path_is_404(self):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/nope")
+
+        status, _headers, _body = asyncio.run(with_daemon(scenario))
+        assert status == 404
+
+    def test_wrong_method_is_405(self):
+        async def scenario(host, port):
+            get_query = await request(host, port, "GET", "/query")
+            post_stats = await request(host, port, "POST", "/stats")
+            return get_query[0], post_stats[0]
+
+        assert asyncio.run(with_daemon(scenario)) == (405, 405)

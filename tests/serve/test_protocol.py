@@ -1,0 +1,125 @@
+"""Query protocol tests: validation, content keys, summaries."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    ConfigError,
+    DatasetError,
+)
+from repro.serve.protocol import (
+    SERVABLE_ALGORITHMS,
+    QueryRequest,
+    canonical_params,
+    query_key,
+)
+
+
+class TestQueryRequestValidation:
+    def test_minimal_query(self):
+        query = QueryRequest("WV", "pagerank")
+        assert query.dataset == "WV"
+        assert query.params == {}
+        assert query.profile == "bench"
+        assert query.tenant == "default"
+
+    def test_dataset_case_insensitive(self):
+        assert QueryRequest("wv", "pagerank").dataset == "WV"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError, match="XX"):
+            QueryRequest("XX", "pagerank")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(AlgorithmError, match="kmeans"):
+            QueryRequest("WV", "kmeans")
+
+    def test_gnn_not_servable(self):
+        assert "gnn" not in SERVABLE_ALGORITHMS
+        with pytest.raises(AlgorithmError):
+            QueryRequest("WV", "gnn")
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ConfigError, match="profile"):
+            QueryRequest("WV", "pagerank", profile="huge")
+
+    def test_empty_tenant_rejected(self):
+        with pytest.raises(ConfigError, match="tenant"):
+            QueryRequest("WV", "pagerank", tenant="")
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigError, match="timeout"):
+            QueryRequest("WV", "pagerank", timeout_s=0)
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            QueryRequest("WV", "pagerank", params={"x": object()})
+
+    def test_frozen(self):
+        query = QueryRequest("WV", "pagerank")
+        with pytest.raises(AttributeError):
+            query.dataset = "SD"
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        query = QueryRequest(
+            "WV", "bfs", params={"source": 3}, profile="tiny",
+            tenant="acme", timeout_s=9.5,
+        )
+        assert QueryRequest.from_dict(query.to_dict()) == query
+
+    def test_from_dict_requires_dataset_and_algorithm(self):
+        with pytest.raises(ConfigError, match="dataset"):
+            QueryRequest.from_dict({"algorithm": "bfs"})
+        with pytest.raises(ConfigError, match="algorithm"):
+            QueryRequest.from_dict({"dataset": "WV"})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="frobnicate"):
+            QueryRequest.from_dict(
+                {"dataset": "WV", "algorithm": "bfs", "frobnicate": 1}
+            )
+
+    def test_from_dict_rejects_non_object_params(self):
+        with pytest.raises(ConfigError, match="params"):
+            QueryRequest.from_dict(
+                {"dataset": "WV", "algorithm": "bfs", "params": [1]}
+            )
+
+
+class TestContentKeys:
+    def test_canonical_params_order_independent(self):
+        assert canonical_params({"a": 1, "b": 2}) == canonical_params(
+            {"b": 2, "a": 1}
+        )
+
+    def test_equal_queries_share_a_key(self):
+        a = QueryRequest("WV", "pagerank", params={"iterations": 5})
+        b = QueryRequest("wv", "pagerank", params={"iterations": 5})
+        assert query_key("sess", a) == query_key("sess", b)
+
+    def test_params_change_the_key(self):
+        a = QueryRequest("WV", "pagerank", params={"iterations": 5})
+        b = QueryRequest("WV", "pagerank", params={"iterations": 6})
+        assert query_key("sess", a) != query_key("sess", b)
+
+    def test_algorithm_changes_the_key(self):
+        a = QueryRequest("WV", "bfs", params={"source": 0})
+        b = QueryRequest("WV", "sssp", params={"source": 0})
+        assert query_key("sess", a) != query_key("sess", b)
+
+    def test_session_changes_the_key(self):
+        query = QueryRequest("WV", "pagerank")
+        assert query_key("sess-a", query) != query_key("sess-b", query)
+
+    def test_tenant_does_not_change_the_key(self):
+        # Coalescing is content-addressed: the same computation is
+        # shared across tenants (quotas are charged per request).
+        a = QueryRequest("WV", "pagerank", tenant="t1")
+        b = QueryRequest("WV", "pagerank", tenant="t2")
+        assert query_key("sess", a) == query_key("sess", b)
+
+    def test_session_selector(self):
+        query = QueryRequest("WV", "pagerank", profile="tiny")
+        assert query.session_selector == ("WV", "tiny")

@@ -1,0 +1,96 @@
+"""Token-bucket and admission-control tests (fake clock, no sleeps)."""
+
+import pytest
+
+from repro.errors import ConfigError, QuotaExceededError
+from repro.serve.quotas import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_is_none(self):
+        bucket = TokenBucket(None, burst=1)
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.available == float("inf")
+
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == 2.0
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0, burst=2)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_unlimited_by_default(self):
+        controller = AdmissionController()
+        for _ in range(100):
+            controller.admit("anyone")
+
+    def test_over_quota_raises_typed_error(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            quota_rate=1.0, quota_burst=2, clock=clock
+        )
+        controller.admit("greedy")
+        controller.admit("greedy")
+        with pytest.raises(QuotaExceededError, match="greedy"):
+            controller.admit("greedy")
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            quota_rate=1.0, quota_burst=1, clock=clock
+        )
+        controller.admit("noisy")
+        with pytest.raises(QuotaExceededError):
+            controller.admit("noisy")
+        # A different tenant draws from its own bucket.
+        controller.admit("quiet")
+
+    def test_describe_reports_tenants(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            quota_rate=1.0, quota_burst=4, clock=clock
+        )
+        controller.admit("acme")
+        described = controller.describe()
+        assert described["quota_rate"] == 1.0
+        assert described["tenants"]["acme"] == 3.0
+
+    def test_describe_unlimited(self):
+        controller = AdmissionController()
+        controller.admit("acme")
+        assert controller.describe()["tenants"]["acme"] == "unlimited"

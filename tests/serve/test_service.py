@@ -1,0 +1,313 @@
+"""Service-level proofs: coalescing, isolation, quotas, shedding.
+
+The headline guarantee — N identical concurrent queries execute exactly
+one engine run — is asserted through the ``serve.*`` metrics counters,
+not timing: each service here meters into a private
+:class:`~repro.obs.metrics.MetricsRegistry`, so counter values are
+exact, not racy.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.engine import GaaSXEngine
+from repro.errors import (
+    QueryTimeoutError,
+    QuotaExceededError,
+    SessionPoolExhaustedError,
+)
+from repro.graphs.datasets import load_dataset
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import AnalyticsService, QueryRequest
+from repro.serve.protocol import SERVABLE_ALGORITHMS, summarize_result
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    return AnalyticsService(**kwargs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def submit_burst(service, queries):
+    """Submit all queries concurrently; returns results in order."""
+    return await asyncio.gather(
+        *(service.submit(q) for q in queries), return_exceptions=True
+    )
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_run_once(self):
+        """Ten equal queries -> exactly one engine run, nine coalesced."""
+        service = make_service(run_delay_s=0.05)
+        query = QueryRequest(
+            "WV", "pagerank", params={"iterations": 4}, profile="tiny"
+        )
+        try:
+            service.preload(["WV"], "tiny")
+            results = run(submit_burst(service, [query] * 10))
+        finally:
+            service.close()
+        assert not any(isinstance(r, Exception) for r in results)
+        registry = service.registry.snapshot()
+        assert registry["serve.queries"] == 10
+        assert registry["serve.engine_runs"] == 1
+        assert registry["serve.coalesced"] == 9
+        # Exactly one request triggered the run; the rest rode it.
+        assert sum(1 for r in results if not r.coalesced) == 1
+        assert sum(1 for r in results if r.coalesced) == 9
+        # Shared run => shared key and byte-identical payloads.
+        assert len({r.key for r in results}) == 1
+        assert len({r.payload["checksum"] for r in results}) == 1
+
+    def test_different_params_do_not_coalesce(self):
+        service = make_service(run_delay_s=0.02)
+        queries = [
+            QueryRequest(
+                "WV", "pagerank", params={"iterations": n},
+                profile="tiny",
+            )
+            for n in (2, 4)
+        ]
+        try:
+            service.preload(["WV"], "tiny")
+            results = run(submit_burst(service, queries))
+        finally:
+            service.close()
+        assert service.registry.snapshot()["serve.engine_runs"] == 2
+        assert results[0].key != results[1].key
+        assert (
+            results[0].payload["checksum"]
+            != results[1].payload["checksum"]
+        )
+
+    def test_mixed_queries_match_direct_engine_runs(self):
+        """Concurrent mixed traffic returns exactly what a dedicated
+        engine computes for each query — no cross-contamination."""
+        service = make_service(run_delay_s=0.01)
+        queries = [
+            QueryRequest(
+                "WV", "pagerank", params={"iterations": 3},
+                profile="tiny",
+            ),
+            QueryRequest(
+                "WV", "bfs", params={"source": 0}, profile="tiny"
+            ),
+            QueryRequest("WV", "wcc", profile="tiny"),
+        ]
+        try:
+            service.preload(["WV"], "tiny")
+            results = run(submit_burst(service, queries))
+        finally:
+            service.close()
+        engine = GaaSXEngine(
+            load_dataset("WV", "tiny"), config=ArchConfig()
+        )
+        for query, served in zip(queries, results):
+            direct = summarize_result(
+                query.algorithm,
+                engine.run(query.algorithm, **query.params),
+            )
+            assert served.payload["checksum"] == direct["checksum"], (
+                query.algorithm
+            )
+
+    def test_sequential_queries_do_not_coalesce(self):
+        """Coalescing shares in-flight work only; a finished run's key
+        is released and the next identical query runs fresh."""
+        service = make_service()
+        query = QueryRequest("WV", "wcc", profile="tiny")
+
+        async def twice():
+            first = await service.submit(query)
+            second = await service.submit(query)
+            return first, second
+
+        try:
+            service.preload(["WV"], "tiny")
+            first, second = run(twice())
+        finally:
+            service.close()
+        assert service.registry.snapshot()["serve.engine_runs"] == 2
+        assert not first.coalesced and not second.coalesced
+        assert first.payload == second.payload
+
+
+class TestAdmission:
+    def test_over_quota_tenant_rejected_in_quota_proceeds(self):
+        service = make_service(quota_rate=0.001, quota_burst=2)
+        query = QueryRequest("WV", "wcc", profile="tiny")
+
+        async def scenario():
+            greedy = [
+                QueryRequest(
+                    "WV", "wcc", profile="tiny", tenant="greedy"
+                )
+            ] * 3
+            outcomes = await submit_burst(service, greedy)
+            polite = await service.submit(
+                QueryRequest("WV", "wcc", profile="tiny", tenant="polite")
+            )
+            return outcomes, polite
+
+        try:
+            service.preload(["WV"], "tiny")
+            outcomes, polite = run(scenario())
+        finally:
+            service.close()
+        rejected = [
+            r for r in outcomes if isinstance(r, QuotaExceededError)
+        ]
+        served = [r for r in outcomes if not isinstance(r, Exception)]
+        assert len(rejected) == 1 and len(served) == 2
+        assert polite.payload["num_components"] >= 1
+        snapshot = service.registry.snapshot()
+        assert snapshot["serve.quota_rejected"] == 1
+
+    def test_queue_bound_sheds_excess_distinct_queries(self):
+        service = make_service(max_pending=1, run_delay_s=0.1)
+        queries = [
+            QueryRequest(
+                "WV", "pagerank", params={"iterations": n},
+                profile="tiny",
+            )
+            for n in (1, 2, 3)
+        ]
+        try:
+            service.preload(["WV"], "tiny")
+            results = run(submit_burst(service, queries))
+        finally:
+            service.close()
+        shed = [
+            r for r in results
+            if isinstance(r, SessionPoolExhaustedError)
+        ]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert len(served) == 1 and len(shed) == 2
+        assert service.registry.snapshot()["serve.shed"] == 2
+
+    def test_duplicates_are_exempt_from_the_queue_bound(self):
+        """Coalesced queries add no engine work, so max_pending=1 must
+        still serve any number of identical concurrent queries."""
+        service = make_service(max_pending=1, run_delay_s=0.05)
+        query = QueryRequest("WV", "wcc", profile="tiny")
+        try:
+            service.preload(["WV"], "tiny")
+            results = run(submit_burst(service, [query] * 5))
+        finally:
+            service.close()
+        assert not any(isinstance(r, Exception) for r in results)
+        assert service.registry.snapshot()["serve.shed"] == 0
+
+    def test_timeout_raises_typed_error(self):
+        service = make_service(run_delay_s=0.5)
+        query = QueryRequest(
+            "WV", "wcc", profile="tiny", timeout_s=0.05
+        )
+        try:
+            service.preload(["WV"], "tiny")
+            with pytest.raises(QueryTimeoutError, match="deadline"):
+                run(service.submit(query))
+        finally:
+            service.close()
+        assert service.registry.snapshot()["serve.timeouts"] == 1
+
+    def test_closed_service_refuses_queries(self):
+        service = make_service()
+        service.close()
+        with pytest.raises(SessionPoolExhaustedError, match="shut down"):
+            run(service.submit(QueryRequest("WV", "wcc", profile="tiny")))
+
+
+class TestAllAlgorithms:
+    def test_every_servable_algorithm_answers(self):
+        params = {
+            "pagerank": {"iterations": 3},
+            "bfs": {"source": 0},
+            "sssp": {"source": 0},
+            "wcc": {},
+            "cf": {"num_features": 4, "epochs": 1},
+        }
+        assert set(params) == set(SERVABLE_ALGORITHMS)
+        service = make_service()
+        queries = [
+            QueryRequest(
+                "NF" if algorithm == "cf" else "WV",
+                algorithm,
+                params=params[algorithm],
+                profile="tiny",
+            )
+            for algorithm in SERVABLE_ALGORITHMS
+        ]
+        try:
+            service.preload(["WV", "NF"], "tiny")
+            results = run(submit_burst(service, queries))
+        finally:
+            service.close()
+        assert not any(isinstance(r, Exception) for r in results)
+        for result in results:
+            assert result.payload["checksum"]
+            assert result.modelled["total_s"] > 0
+            assert result.latency_s > 0
+
+
+class TestMetricsHygiene:
+    def test_session_reuse_never_registers_new_instruments(self):
+        """The double-registration audit: instruments are minted once
+        per service; serving more queries over reused warm sessions
+        must not grow the registry."""
+        registry = MetricsRegistry()
+        service = make_service(registry=registry)
+        query = QueryRequest("WV", "wcc", profile="tiny")
+        try:
+            service.preload(["WV"], "tiny")
+            run(service.submit(query))
+            count_after_first = len(registry.instruments())
+            for _ in range(3):
+                run(service.submit(query))
+            run(
+                service.submit(
+                    QueryRequest(
+                        "WV", "pagerank", params={"iterations": 2},
+                        profile="tiny",
+                    )
+                )
+            )
+            assert len(registry.instruments()) == count_after_first
+        finally:
+            service.close()
+
+    def test_reinstantiation_over_shared_registry_is_safe(self):
+        """Two services over one registry share instruments instead of
+        colliding (no TypeError, no duplicate families)."""
+        registry = MetricsRegistry()
+        first = make_service(registry=registry)
+        names = set(registry.instruments())
+        second = make_service(registry=registry)  # must not raise
+        assert set(registry.instruments()) == names
+        first.close()
+        second.close()
+
+    def test_instrument_names_are_fixed_not_query_derived(self):
+        registry = MetricsRegistry()
+        service = make_service(registry=registry)
+        try:
+            service.preload(["WV"], "tiny")
+            run(
+                service.submit(
+                    QueryRequest(
+                        "WV", "bfs", params={"source": 7},
+                        profile="tiny", tenant="acme",
+                    )
+                )
+            )
+        finally:
+            service.close()
+        for name in registry.instruments():
+            assert "acme" not in name
+            assert "WV" not in name
+            assert "7" not in name
