@@ -83,6 +83,14 @@ def graph_fingerprint(graph: "Graph") -> str:
     Memoized on the graph instance: the arrays are immutable by
     convention (``load_dataset`` hands out shared instances), so the
     hash is computed once per object.
+
+    The hash is over **canonical little-endian** bytes (``<i8`` ids,
+    ``<f8`` weights), never native-order ``tobytes()``: a big-endian
+    host, or an int32 edge array from a foreign loader, must fingerprint
+    the same content identically or every ``CACHE_VERSION``-keyed
+    identity silently forks across hosts. On little-endian hosts with
+    canonical dtypes the ``astype`` below is a no-op view, so existing
+    disk-cache entries remain valid.
     """
     cached = getattr(graph, _FINGERPRINT_ATTR, None)
     if cached is not None:
@@ -90,14 +98,30 @@ def graph_fingerprint(graph: "Graph") -> str:
     edges = graph.edges
     h = hashlib.sha256()
     h.update(str(graph.num_vertices).encode("ascii"))
-    for arr in (edges.rows, edges.cols, edges.data):
-        h.update(np.ascontiguousarray(arr).tobytes())
+    for arr, dtype in (
+        (edges.rows, "<i8"),
+        (edges.cols, "<i8"),
+        (edges.data, "<f8"),
+    ):
+        h.update(
+            np.ascontiguousarray(arr).astype(dtype, copy=False).tobytes()
+        )
     digest = h.hexdigest()[:16]
+    seed_fingerprint(graph, digest)
+    return digest
+
+
+def seed_fingerprint(graph: "Graph", digest: str) -> None:
+    """Pre-seed a graph's memoized content fingerprint.
+
+    Used by the mmap store so every process that opens the same stored
+    file derives identical cache keys without hashing gigabytes of
+    memmapped edges first.
+    """
     try:
         setattr(graph, _FINGERPRINT_ATTR, digest)
     except AttributeError:  # slotted/frozen graph stand-ins
         pass
-    return digest
 
 
 def _entry_key(kind: str, *parts: object) -> str:

@@ -44,6 +44,10 @@ class DatasetError(ReproError):
     """An unknown dataset name or an unsatisfiable scaling profile."""
 
 
+class StorageError(ReproError):
+    """A graph store file is missing, corrupt, or wrongly versioned."""
+
+
 # ----------------------------------------------------------------------
 # Service branch (repro.serve)
 # ----------------------------------------------------------------------

@@ -75,6 +75,7 @@ class RunManifest:
     cache_dir: Optional[str] = None
     wall_time_s: float = 0.0
     entries: List[ManifestEntry] = field(default_factory=list)
+    schedule: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_totals(self) -> Dict[str, int]:
@@ -108,6 +109,7 @@ class RunManifest:
             "wall_time_s": self.wall_time_s,
             "cache_totals": self.cache_totals,
             "cache_hit_rate": self.cache_hit_rate,
+            "schedule": self.schedule,
             "experiments": [e.to_dict() for e in self.entries],
         }
 
@@ -153,24 +155,84 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def group_weight(
+    group: Tuple[str, ...], profile: str = "bench"
+) -> int:
+    """Estimated edge workload of one cache-affinity group.
+
+    The sum of every member dataset's profile-scaled edge count (from
+    the Table II registry). Edge count is the honest proxy for a
+    group's cost: partitioning, layout packing, and every per-edge
+    hardware event scale with it, while experiment *count* (the old
+    scheduling key) says nothing — one LiveJournal experiment outweighs
+    a dozen WikiVote ones. Dataset-free groups (tables, parameter
+    sweeps) weigh a nominal 1 so they sort last.
+    """
+    from ..graphs.datasets import DATASETS
+
+    total = 0
+    for key in group:
+        spec = DATASETS.get(key)
+        if spec is not None:
+            total += spec.sizes(profile)[1]
+    return max(total, 1)
+
+
 def plan_groups(
     specs: Sequence[ExperimentSpec],
+    profile: str = "bench",
 ) -> List[Tuple[ExperimentSpec, ...]]:
-    """Partition specs into cache-affinity groups.
+    """Partition specs into degree-sorted cache-affinity groups.
 
     Specs with equal :attr:`ExperimentSpec.cache_group` (the datasets
     their drivers load) share partition grids, layouts, and — for the
     figure experiments — the whole comparison matrix, so scheduling
     them on one worker converts recomputation into in-process cache
-    hits. Groups come back largest-first so the pool starts its longest
-    work earliest.
+    hits. Groups come back **heaviest-first by estimated edge count**
+    (:func:`group_weight`): with a pool pulling groups in submission
+    order this is the LPT heuristic, so the big-graph groups start
+    immediately and no worker is left grinding LiveJournal alone while
+    the rest sit idle behind a tail of tiny groups.
     """
     by_group: Dict[Tuple[str, ...], List[ExperimentSpec]] = {}
     for spec in specs:
         by_group.setdefault(spec.cache_group, []).append(spec)
     groups = [tuple(members) for members in by_group.values()]
-    groups.sort(key=len, reverse=True)
+    groups.sort(
+        key=lambda g: (group_weight(g[0].cache_group, profile), len(g)),
+        reverse=True,
+    )
     return groups
+
+
+def schedule_summary(
+    groups: Sequence[Tuple[ExperimentSpec, ...]],
+    jobs: int,
+    profile: str = "bench",
+) -> Dict[str, object]:
+    """Manifest accounting of the planned edge-count balance.
+
+    Simulates the pool's greedy pull (groups in planned order, each to
+    the lightest worker) and reports the per-worker edge loads plus a
+    ``balance`` ratio (mean/max; 1.0 is perfect). Purely an estimate —
+    the live pool assigns by completion order — but it is exactly the
+    quantity the degree-sorted ordering optimizes, so regressions in
+    the planner surface here.
+    """
+    weights = [group_weight(g[0].cache_group, profile) for g in groups]
+    loads = [0] * max(jobs, 1)
+    for weight in weights:
+        loads[loads.index(min(loads))] += weight
+    peak = max(loads) if loads else 0
+    mean = sum(loads) / len(loads) if loads else 0.0
+    return {
+        "groups": [
+            {"datasets": list(g[0].cache_group), "weight": w, "members": len(g)}
+            for g, w in zip(groups, weights)
+        ],
+        "worker_edge_loads": loads,
+        "balance": (mean / peak) if peak else 1.0,
+    }
 
 
 def _run_group(
@@ -274,7 +336,7 @@ def execute(
     resolved_dir: Optional[str] = None
     if disk_cache:
         resolved_dir = layout_cache.enable_disk_cache(cache_dir)
-    groups = plan_groups(specs)
+    groups = plan_groups(specs, profile)
     id_groups = [
         tuple(spec.experiment_id for spec in group) for group in groups
     ]
@@ -282,6 +344,7 @@ def execute(
         profile=profile, jobs=min(jobs, max(len(groups), 1)),
         cache_dir=resolved_dir,
     )
+    manifest.schedule = schedule_summary(groups, manifest.jobs, profile)
     tracer = get_tracer()
     log.info(
         "run.start", profile=profile, experiments=len(specs),
@@ -357,3 +420,6 @@ def _publish_metrics(manifest: RunManifest) -> None:
             registry.counter(f"cache.{name}").inc(value)
     if manifest.entries:
         registry.gauge("cache.hit_rate").set(manifest.cache_hit_rate)
+    balance = manifest.schedule.get("balance")
+    if balance is not None:
+        registry.gauge("executor.schedule_balance").set(float(balance))

@@ -86,6 +86,31 @@ class CSRMatrix:
         """Entries per row."""
         return np.diff(self.indptr)
 
+    def slice_rows(self, lo: int, hi: int) -> "CSRMatrix":
+        """Rows ``[lo, hi)`` as a CSR over the same column space.
+
+        ``indices``/``data`` are zero-copy views of this matrix (memmap
+        slices stay memmap slices); the only allocation is the rebased
+        ``hi - lo + 1``-element local indptr. This is what makes a
+        stored sub-shard free to hand to a worker.
+        """
+        if not 0 <= lo <= hi <= self.shape[0]:
+            raise GraphFormatError(
+                f"row slice [{lo}, {hi}) out of bounds for "
+                f"{self.shape[0]} rows"
+            )
+        edge_lo = int(self.indptr[lo])
+        edge_hi = int(self.indptr[hi])
+        local = np.asarray(
+            self.indptr[lo : hi + 1], dtype=np.int64
+        ) - edge_lo
+        return CSRMatrix(
+            local,
+            self.indices[edge_lo:edge_hi],
+            self.data[edge_lo:edge_hi],
+            (hi - lo, self.shape[1]),
+        )
+
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """Sparse matrix-vector product ``A @ x``."""
         x = np.asarray(x, dtype=np.float64)

@@ -197,3 +197,30 @@ def load_dataset(key: str, profile: str = "bench") -> Graph | BipartiteGraph:
     from ..core.cache import get_cache
 
     return get_cache().cached_graph(f"dataset|{spec.key}|{profile}", _build)
+
+
+def load_dataset_mmap(key: str, profile: str = "bench") -> Graph:
+    """Load a dataset as a shared, memmap-backed :class:`Graph`.
+
+    First call per (key, profile) converts the stand-in into the
+    content-addressed CSR store (``$REPRO_STORE_DIR`` or
+    ``~/.cache/repro/store``); every later call — in this or any other
+    process — reopens zero-copy read-only views over the same file, so
+    N engines on one host share one copy of the edge arrays through
+    the page cache. Bipartite datasets (Netflix) are refused: their
+    consumers need the :class:`BipartiteGraph` shape, which the square
+    store deliberately does not preserve — use :func:`load_dataset`.
+    """
+    spec = DATASETS.get(key.upper())
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {key!r}; known: {sorted(DATASETS)}"
+        )
+    if spec.bipartite:
+        raise DatasetError(
+            f"dataset {spec.key} is bipartite; the mmap store serves "
+            f"square graphs only — use load_dataset()"
+        )
+    from ..storage.mmap_store import get_store
+
+    return get_store().dataset(spec.key, profile).graph()

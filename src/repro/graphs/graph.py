@@ -68,6 +68,29 @@ class Graph:
             coo = coo.deduplicated("last")
         return cls(coo, name=name)
 
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, name: str = "graph") -> "Graph":
+        """Build a graph around an existing CSR without copying edges.
+
+        The COO façade reuses the CSR's ``indices``/``data`` arrays
+        directly (memmap views stay memmap views); only the source-id
+        column is materialized, because CSR stores it implicitly. The
+        CSR itself is pre-seeded into the cache slot, so ``csr()`` —
+        the reference baselines' entry point — returns the original
+        zero-copy object instead of rebuilding it from COO.
+        """
+        if csr.shape[0] != csr.shape[1]:
+            raise GraphFormatError(
+                f"a Graph requires a square matrix, got {csr.shape}"
+            )
+        rows = np.repeat(
+            np.arange(csr.shape[0], dtype=np.int64), np.diff(csr.indptr)
+        )
+        coo = COOMatrix(rows, csr.indices, csr.data, csr.shape)
+        graph = cls(coo, name=name)
+        graph._csr = csr
+        return graph
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------

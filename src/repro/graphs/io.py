@@ -189,3 +189,36 @@ def load_binary(path: str | os.PathLike) -> Graph:
         coo = COOMatrix(archive["src"], archive["dst"], archive["weight"], (n, n))
         name = str(archive["name"]) if "name" in archive.files else "graph"
     return Graph(coo, name=name)
+
+
+def save_store(graph: Graph, path: str | os.PathLike) -> str:
+    """Write a graph as a canonical CSR store file; returns its digest.
+
+    This is the mmap-native counterpart of :func:`save_binary`: the
+    result reopens as zero-copy read-only views via :func:`load_store`
+    and is byte-identical for equal graphs on every host (canonical
+    little-endian CSR layout, see :mod:`repro.storage.mmap_store`).
+    """
+    from ..storage.mmap_store import write_graph_file
+
+    csr = graph.csr()
+    return write_graph_file(
+        os.fspath(path),
+        graph.num_vertices,
+        csr.indptr,
+        csr.indices,
+        csr.data,
+        name=graph.name,
+    )
+
+
+def load_store(path: str | os.PathLike) -> Graph:
+    """Open a CSR store file as a memmap-backed :class:`Graph`.
+
+    Destination ids and weights stay memory-mapped (read-only; shared
+    across processes through the page cache); the graph's content
+    fingerprint is pre-seeded from the store digest.
+    """
+    from ..storage.mmap_store import StoredGraph
+
+    return StoredGraph(os.fspath(path)).graph()

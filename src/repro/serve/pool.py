@@ -27,8 +27,8 @@ from typing import Dict, Optional, Tuple
 from ..config import ArchConfig
 from ..core.cache import config_fingerprint, graph_fingerprint
 from ..core.engine import GaaSXEngine
-from ..errors import SessionPoolExhaustedError
-from ..graphs.datasets import load_dataset
+from ..errors import SessionPoolExhaustedError, StorageError
+from ..graphs.datasets import DATASETS, load_dataset, load_dataset_mmap
 from ..obs.log import get_logger
 
 log = get_logger("repro.serve.pool")
@@ -55,7 +55,29 @@ class WarmSession:
         self.dataset = dataset
         self.profile = profile
         self.config = config
-        graph = load_dataset(dataset, profile)
+        # Warm sessions share edge arrays through the mmap CSR store:
+        # every session (and every serving process on the host) maps
+        # the same read-only file, so per-session residency is the
+        # engine's layout state, not another copy of the graph — the
+        # LRU pool holds proportionally more engines. Bipartite
+        # datasets keep the in-memory path (collaborative filtering
+        # needs the BipartiteGraph shape); a store failure (read-only
+        # disk, quota) degrades to the in-memory loader rather than
+        # failing the query.
+        spec = DATASETS.get(dataset.upper())
+        self.mmap_backed = False
+        graph = None
+        if spec is not None and not spec.bipartite:
+            try:
+                graph = load_dataset_mmap(dataset, profile)
+                self.mmap_backed = True
+            except (StorageError, OSError) as exc:
+                log.warning(
+                    "pool.mmap_fallback", dataset=dataset,
+                    profile=profile, error=str(exc),
+                )
+        if graph is None:
+            graph = load_dataset(dataset, profile)
         self.engine = GaaSXEngine(graph, config=config)
         for order in WARM_ORDERS:
             self.engine.layout(order)
@@ -87,6 +109,7 @@ class WarmSession:
             "edges": self.num_edges,
             "queries_served": self.queries_served,
             "busy": self.busy,
+            "mmap_backed": self.mmap_backed,
         }
 
 

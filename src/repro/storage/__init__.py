@@ -1,6 +1,24 @@
-"""Disk storage substrate: shard files and streaming cost model."""
+"""Disk storage substrate: mmap CSR store, shard files, cost model."""
 
 from .disk import DiskModel
+from .mmap_store import (
+    MmapStore,
+    StoredGraph,
+    StoredShard,
+    StreamChunk,
+    get_store,
+    reset_store,
+)
 from .shards import ShardStore, estimate_stream_time
 
-__all__ = ["DiskModel", "ShardStore", "estimate_stream_time"]
+__all__ = [
+    "DiskModel",
+    "MmapStore",
+    "ShardStore",
+    "StoredGraph",
+    "StoredShard",
+    "StreamChunk",
+    "estimate_stream_time",
+    "get_store",
+    "reset_store",
+]

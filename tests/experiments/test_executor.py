@@ -10,8 +10,10 @@ from repro.core import cache as layout_cache
 from repro.errors import ConfigError
 from repro.experiments.executor import (
     execute,
+    group_weight,
     plan_groups,
     resolve_jobs,
+    schedule_summary,
 )
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 
@@ -47,11 +49,30 @@ class TestPlanGroups:
         for group in groups:
             assert len({spec.cache_group for spec in group}) == 1
 
-    def test_groups_sorted_largest_first(self):
+    def test_groups_sorted_heaviest_first(self):
         groups = plan_groups(list(EXPERIMENTS.values()))
-        lengths = [len(g) for g in groups]
-        assert lengths == sorted(lengths, reverse=True)
-        assert sum(lengths) == len(EXPERIMENTS)
+        weights = [group_weight(g[0].cache_group) for g in groups]
+        assert weights == sorted(weights, reverse=True)
+        assert sum(len(g) for g in groups) == len(EXPERIMENTS)
+
+    def test_group_weight_scales_with_dataset_edges(self):
+        # LiveJournal dwarfs WikiVote at every profile; the scheduler
+        # must see that, not just member counts.
+        assert group_weight(("LJ",)) > group_weight(("WV",)) * 10
+        assert group_weight(()) == 1  # dataset-free groups sort last
+
+    def test_schedule_summary_balance(self):
+        groups = plan_groups(list(EXPERIMENTS.values()))
+        summary = schedule_summary(groups, jobs=4)
+        loads = summary["worker_edge_loads"]
+        assert len(loads) == 4
+        assert sum(loads) == sum(
+            group_weight(g[0].cache_group) for g in groups
+        )
+        assert 0.0 < summary["balance"] <= 1.0
+        # LPT over these group weights keeps workers within 2x of the
+        # mean — the degenerate all-on-one-worker plan cannot pass.
+        assert summary["balance"] > 0.5
 
 
 class TestExecute:

@@ -83,6 +83,94 @@ class TestCSR:
         assert CSRMatrix.from_coo(sample_coo).nnz == 4
 
 
+class TestCSREdgeCases:
+    """Satellite coverage: empties, boundary slicing, round trips,
+    and mmap-view immutability."""
+
+    def test_zero_edge_matrix(self):
+        coo = COOMatrix(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            shape=(4, 4),
+        )
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.nnz == 0
+        assert np.array_equal(csr.indptr, [0, 0, 0, 0, 0])
+        assert np.array_equal(csr.row_degrees(), [0, 0, 0, 0])
+        assert np.allclose(csr.spmv(np.ones(4)), np.zeros(4))
+        back = csr.to_coo()
+        assert back.nnz == 0 and back.shape == (4, 4)
+
+    def test_zero_by_zero_matrix(self):
+        csr = CSRMatrix(
+            np.array([0]), np.array([], dtype=np.int64),
+            np.array([], dtype=np.float64), (0, 0),
+        )
+        assert csr.nnz == 0
+        assert csr.spmv(np.array([])).size == 0
+
+    def test_leading_and_trailing_empty_rows(self):
+        # Only the middle row has entries; rows 0, 2, 3 are empty.
+        coo = COOMatrix(np.array([1, 1]), np.array([0, 3]), shape=(4, 4))
+        csr = CSRMatrix.from_coo(coo)
+        assert np.array_equal(csr.indptr, [0, 0, 2, 2, 2])
+        for i in (0, 2, 3):
+            cols, vals = csr.row(i)
+            assert cols.size == 0 and vals.size == 0
+
+    def test_coo_csr_round_trip_equality(self, medium_rmat):
+        coo = medium_rmat.edges
+        back = CSRMatrix.from_coo(coo).to_coo()
+        # COOMatrix.__eq__ compares canonical (row, col) ordering.
+        assert back == coo
+
+    def test_slice_rows_full_and_empty_boundaries(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        full = csr.slice_rows(0, 3)
+        assert full.nnz == csr.nnz
+        assert np.array_equal(full.indptr, csr.indptr)
+        for lo, hi in ((0, 0), (3, 3)):
+            empty = csr.slice_rows(lo, hi)
+            assert empty.shape == (0, 3) and empty.nnz == 0
+
+    def test_slice_rows_interior(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        mid = csr.slice_rows(1, 3)
+        assert mid.shape == (2, 3)
+        assert np.array_equal(mid.indptr, [0, 1, 2])
+        assert np.array_equal(mid.indices, [0, 2])
+        assert np.array_equal(mid.data, [3.0, 4.0])
+
+    def test_slice_rows_is_zero_copy(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        sliced = csr.slice_rows(1, 3)
+        assert np.shares_memory(sliced.indices, csr.indices)
+        assert np.shares_memory(sliced.data, csr.data)
+
+    def test_slice_rows_rejects_out_of_bounds(self, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        for lo, hi in ((-1, 2), (0, 4), (2, 1)):
+            with pytest.raises(GraphFormatError):
+                csr.slice_rows(lo, hi)
+
+    def test_mmap_view_immutability(self, tmp_path, medium_rmat):
+        from repro.graphs.io import load_store, save_store
+
+        path = str(tmp_path / "g.gsx")
+        save_store(medium_rmat, path)
+        graph = load_store(path)
+        csr = graph.csr()
+        for view in (csr.indptr, csr.indices, csr.data,
+                     graph.edges.cols, graph.edges.data):
+            with pytest.raises(ValueError):
+                view[0] = 99
+        # The slices a shard consumer receives are equally read-only.
+        sliced = csr.slice_rows(0, min(2, csr.shape[0]))
+        if sliced.nnz:
+            with pytest.raises(ValueError):
+                sliced.indices[0] = 1
+
+
 class TestCSC:
     def test_from_coo_structure(self, sample_coo):
         csc = CSCMatrix.from_coo(sample_coo)

@@ -338,7 +338,29 @@ class TestBenchCLI:
     def test_compare_missing_file_fails_cleanly(self, tmp_path, capsys):
         missing = str(tmp_path / "BENCH_quick.json")
         assert main(["bench-compare", missing]) == 1
-        assert "cannot read" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # The message must name the exact path and how to create it.
+        assert "does not exist" in err
+        assert "BENCH_quick.json" in err
+        assert "repro bench" in err
+
+    def test_compare_missing_baseline_names_path(self, tmp_path, capsys):
+        cur_path = bench.bench_path(str(tmp_path), "quick")
+        bench.append_record(cur_path, synth_record())
+        missing = str(tmp_path / "baselines" / "BENCH_quick.json")
+        assert main(["bench-compare", cur_path, missing]) == 1
+        err = capsys.readouterr().err
+        assert "baseline" in err and "does not exist" in err
+        assert "baselines" in err
+
+    def test_compare_empty_baseline_fails_cleanly(self, tmp_path, capsys):
+        cur_path = bench.bench_path(str(tmp_path), "quick")
+        bench.append_record(cur_path, synth_record())
+        empty = tmp_path / "BENCH_empty.json"
+        empty.write_bytes(b"")
+        assert main(["bench-compare", cur_path, str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "empty" in err and "BENCH_empty.json" in err
 
     def test_bench_prints_summary_table(self, quick_run, capsys):
         # Re-run the cheapest comparison path: the fixture's stdout was

@@ -123,3 +123,48 @@ class TestArgs:
     def test_bad_profile_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig5", "--profile", "huge"])
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def store_sandbox(self, monkeypatch, tmp_path):
+        """Point the mmap store at a throwaway directory for one test."""
+        from repro.storage.mmap_store import reset_store
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        reset_store()
+        yield tmp_path / "store"
+        reset_store()
+
+    def test_store_convert_reports_digest(self, capsys, store_sandbox):
+        assert main(["store-convert", "WV", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "digest=" in out
+        assert "WV-tiny" in out
+        assert "shards=" in out
+        assert store_sandbox.exists()
+
+    def test_store_convert_is_idempotent(self, capsys, store_sandbox):
+        assert main(["store-convert", "WV", "--profile", "tiny"]) == 0
+        first = capsys.readouterr().out
+        assert main(["store-convert", "WV", "--profile", "tiny"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        gsx_files = list(store_sandbox.glob("*.gsx"))
+        assert len(gsx_files) == 1
+
+    def test_store_info_lists_conversions(self, capsys, store_sandbox):
+        main(["store-convert", "WV", "--profile", "tiny"])
+        capsys.readouterr()
+        assert main(["store-info"]) == 0
+        out = capsys.readouterr().out
+        assert "WV-tiny" in out
+        assert "1 stored graph(s)" in out
+
+    def test_store_info_empty_store(self, capsys, store_sandbox):
+        assert main(["store-info"]) == 0
+        assert "0 stored graph(s)" in capsys.readouterr().out
+
+    def test_store_convert_rejects_unknown_dataset(self, store_sandbox):
+        with pytest.raises(SystemExit):
+            main(["store-convert", "NOPE"])
