@@ -12,6 +12,8 @@ Usage::
     python -m repro bench-compare BENCH_quick.json   # regression gate
     python -m repro metrics-export r/metrics.json    # OpenMetrics text
     python -m repro serve --port 8100 --preload WV   # always-on daemon
+    python -m repro slo-report                       # burn-rate table
+    python -m repro trace-grep 4bf92f…               # one request's spans
     python -m repro store-convert LJ --profile full  # mmap CSR store
     python -m repro store-info                       # stored graphs
 
@@ -38,6 +40,12 @@ per-tenant quotas, and ``/metrics`` OpenMetrics exposition. Service
 failures map to distinct exit codes through
 :func:`repro.errors.exit_code_for` (4 over-quota, 5 deadline, 6
 saturated; generic library errors stay 1).
+
+``slo-report`` renders a running daemon's error-budget state (or a
+saved ``/stats`` JSON file) as a per-window burn-rate table;
+``trace-grep TRACE_ID`` reconstructs one request's span tree from the
+daemon's ``/debug/flight`` ring (or a flight dump / trace file on
+disk) and exits ``1`` when the trace is not found.
 """
 
 from __future__ import annotations
@@ -311,6 +319,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--log-level", default=None, choices=sorted(LEVELS),
         help="stderr log verbosity",
     )
+    serve.add_argument(
+        "--flight-capacity", type=int, default=256, metavar="N",
+        help="completed traces kept in the flight recorder "
+             "(default: 256)",
+    )
+    serve.add_argument(
+        "--slo-availability", type=float, default=0.999, metavar="FRAC",
+        help="availability objective in (0, 1) (default: 0.999)",
+    )
+    serve.add_argument(
+        "--slo-latency", type=float, default=1.0, metavar="SECONDS",
+        help="p99 latency objective in seconds (default: 1.0)",
+    )
+
+    slo_report = sub.add_parser(
+        "slo-report",
+        help="error-budget burn-rate table from a running daemon",
+    )
+    slo_report.add_argument(
+        "source", nargs="?", default=None, metavar="SOURCE",
+        help="a /stats URL or saved /stats JSON file "
+             "(default: http://127.0.0.1:8100/stats)",
+    )
+
+    trace_grep = sub.add_parser(
+        "trace-grep",
+        help="reconstruct one request's span tree by trace id",
+    )
+    trace_grep.add_argument(
+        "trace_id", metavar="TRACE_ID",
+        help="full trace id, or an unambiguous prefix",
+    )
+    trace_grep.add_argument(
+        "source", nargs="?", default=None, metavar="SOURCE",
+        help="a /debug/flight URL, a saved flight dump, or a trace "
+             "file (default: http://127.0.0.1:8100/debug/flight)",
+    )
     return parser
 
 
@@ -520,9 +565,17 @@ def _run_metrics_export(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .obs.slo import SLOConfig
     from .serve.http import serve_forever
     from .serve.server import AnalyticsService
 
+    try:
+        slo = SLOConfig(
+            availability_target=args.slo_availability,
+            latency_target_s=args.slo_latency,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
     service = AnalyticsService(
         max_sessions=args.max_sessions,
         max_pending=args.max_pending,
@@ -530,6 +583,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         quota_burst=args.quota_burst,
         workers=args.workers,
         default_timeout_s=args.timeout,
+        flight_capacity=args.flight_capacity,
+        slo=slo,
     )
     if args.preload:
         service.preload(args.preload, args.profile)
@@ -542,6 +597,130 @@ def _run_serve(args: argparse.Namespace) -> int:
         asyncio.run(serve_forever(service, args.host, args.port))
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         log.info("serve.stopped")
+    return 0
+
+
+#: Default daemon endpoints the observability commands read from.
+DEFAULT_STATS_URL = "http://127.0.0.1:8100/stats"
+DEFAULT_FLIGHT_URL = "http://127.0.0.1:8100/debug/flight"
+
+
+def _read_json_source(source: str):
+    """JSON from a URL (a running daemon) or a file on disk."""
+    import json as json_module
+
+    if source.startswith(("http://", "https://")):
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(source, timeout=10) as response:
+                return json_module.loads(
+                    response.read().decode("utf-8")
+                )
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot fetch {source!r}: {exc} — is the daemon "
+                f"running? (repro serve)"
+            ) from exc
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            return json_module.load(handle)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read {source!r}: {exc}"
+        ) from exc
+    except json_module.JSONDecodeError as exc:
+        raise ReproError(
+            f"{source!r} is not valid JSON: {exc}"
+        ) from exc
+
+
+def _run_slo_report(args: argparse.Namespace) -> int:
+    from .obs.slo import render_slo_report
+
+    source = args.source or DEFAULT_STATS_URL
+    payload = _read_json_source(source)
+    # Accept the whole /stats payload or a bare tracker snapshot.
+    snapshot = (
+        payload.get("slo", payload) if isinstance(payload, dict) else None
+    )
+    if not isinstance(snapshot, dict) or "windows" not in snapshot:
+        raise ReproError(
+            f"{source!r} holds no SLO snapshot (expected a /stats "
+            f"payload with an 'slo' key, or the snapshot itself)"
+        )
+    print(f"source: {source}")
+    print(render_slo_report(snapshot))
+    return 0
+
+
+def _run_trace_grep(args: argparse.Namespace) -> int:
+    from .obs.summary import filter_trace, load_trace, render_span_tree
+
+    source = args.source or DEFAULT_FLIGHT_URL
+    is_url = source.startswith(("http://", "https://"))
+    payload = None
+    if is_url:
+        payload = _read_json_source(source)
+    else:
+        import json as json_module
+
+        # A file may be a flight dump (one JSON object with "entries")
+        # or a recorded trace (JSONL / Chrome); sniff, then fall back.
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                payload = json_module.load(handle)
+        except OSError as exc:
+            raise ReproError(f"cannot read {source!r}: {exc}") from exc
+        except json_module.JSONDecodeError:
+            payload = None
+        if not (isinstance(payload, dict) and "entries" in payload):
+            spans = filter_trace(load_trace(source), args.trace_id)
+            if not spans:
+                print(
+                    f"trace {args.trace_id} not found in {source}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"trace {args.trace_id} ({len(spans)} spans)")
+            print(render_span_tree(spans))
+            return 0
+    entries = payload.get("entries", []) if isinstance(payload, dict) else []
+    matches = [
+        e for e in entries if e.get("trace_id") == args.trace_id
+    ] or [
+        e
+        for e in entries
+        if str(e.get("trace_id", "")).startswith(args.trace_id)
+    ]
+    if not matches:
+        print(
+            f"trace {args.trace_id} not found in {source} "
+            f"({len(entries)} kept traces; errored and slow requests "
+            f"are always kept, fast successes are sampled)",
+            file=sys.stderr,
+        )
+        return 1
+    if len(matches) > 1:
+        raise ReproError(
+            f"trace id prefix {args.trace_id!r} is ambiguous: "
+            + ", ".join(str(e.get("trace_id")) for e in matches)
+        )
+    entry = matches[0]
+    spans = entry.get("spans", [])
+    fields = " ".join(
+        f"{key}={entry[key]}"
+        for key in (
+            "status", "latency_s", "kept_because", "dataset",
+            "algorithm", "tenant", "leader_trace_id",
+        )
+        if key in entry
+    )
+    print(f"trace {entry.get('trace_id')} {fields}")
+    if "error" in entry:
+        print(f"error: {entry['error']}")
+    print(render_span_tree(spans))
     return 0
 
 
@@ -593,6 +772,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_metrics_export(args)
         elif args.command == "serve":
             return _run_serve(args)
+        elif args.command == "slo-report":
+            return _run_slo_report(args)
+        elif args.command == "trace-grep":
+            return _run_trace_grep(args)
         elif args.command == "datasets":
             header = (
                 f"{'key':<4} {'name':<12} {'vertices':>10} {'edges':>12}  "

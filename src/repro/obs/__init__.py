@@ -15,6 +15,20 @@ into:
   with ``$REPRO_LOG_LEVEL`` / ``--log-level`` control, replacing the
   ad-hoc ``print(..., file=sys.stderr)`` calls.
 
+Request-scoped observability for the serve stack builds on the same
+base:
+
+* :mod:`repro.obs.context` — W3C ``traceparent`` trace/span ids in a
+  ``contextvars`` variable, so spans and log lines stamp the current
+  request's trace id without argument plumbing;
+* :mod:`repro.obs.flight` — a tail-sampled flight recorder: spans of
+  every in-flight request accumulate per trace, and errored / slow /
+  sampled traces enter a bounded keep ring (``/debug/flight``,
+  ``repro trace-grep``);
+* :mod:`repro.obs.slo` — availability and p99-latency error budgets
+  with multi-window burn rates, exported as gauges at scrape time
+  (``repro slo-report``).
+
 On top of those sit the perf-telemetry layers:
 
 * :mod:`repro.obs.perf` — host fingerprints, git SHAs, and cProfile
@@ -33,7 +47,16 @@ them without cycles. :mod:`repro.obs.summary` reads phase names from
 import engines and the executor lazily, inside their bodies.
 """
 
+from .context import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_trace_id,
+    from_traceparent,
+    new_root,
+    parse_traceparent,
+)
 from .export import render_openmetrics, write_openmetrics
+from .flight import FlightRecorder
 from .log import configure_logging, get_logger, set_level
 from .metrics import (
     Counter,
@@ -45,6 +68,7 @@ from .metrics import (
     reset_metrics,
 )
 from .perf import git_sha, host_fingerprint
+from .slo import SLOConfig, SLOTracker, render_slo_report
 from .trace import (
     PHASE_CATEGORY,
     TRACE_FORMATS,
@@ -54,6 +78,16 @@ from .trace import (
 )
 
 __all__ = [
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "current_trace_id",
+    "from_traceparent",
+    "new_root",
+    "parse_traceparent",
+    "FlightRecorder",
+    "SLOConfig",
+    "SLOTracker",
+    "render_slo_report",
     "render_openmetrics",
     "write_openmetrics",
     "git_sha",

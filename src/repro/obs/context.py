@@ -1,0 +1,194 @@
+"""Request-scoped trace context: W3C ``traceparent`` over contextvars.
+
+One query entering the serve stack must be followable through the HTTP
+frontend, service coalescing, the warm pool, and the engine's five
+modelled phases. This module carries that identity — a
+:class:`TraceContext` of ``trace_id``/``span_id`` hex strings in the
+W3C Trace Context wire shape — in a :class:`contextvars.ContextVar`,
+so every layer (spans in :mod:`repro.obs.trace`, log lines in
+:mod:`repro.obs.log`, flight-recorder entries in
+:mod:`repro.obs.flight`) can stamp the current trace id without any
+argument plumbing.
+
+``contextvars`` propagate automatically into ``asyncio`` tasks (each
+task copies the context it was created in), but **not** into
+``run_in_executor`` threads; code handing work to a thread pool wraps
+the callable with :func:`wrap` so the worker thread sees the same
+context the event loop did.
+
+This module is dependency-free (stdlib only) so anything in the
+package may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+#: ``traceparent`` version this module emits (the only W3C version).
+TRACEPARENT_VERSION = "00"
+
+#: Inbound/outbound HTTP header carrying the trace context.
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's tracing identity.
+
+    ``trace_id`` names the whole request (32 lowercase hex chars);
+    ``span_id`` names the current operation within it (16 hex chars);
+    ``parent_span_id`` is the caller's span (the remote span id when
+    the context was adopted from an inbound ``traceparent`` header).
+    ``sampled`` mirrors the W3C ``01`` flag bit.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+    sampled: bool = True
+
+    def child(self) -> "TraceContext":
+        """A new context for a sub-operation of this one: same trace,
+        fresh span id, parented here."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_span_id=self.span_id,
+            sampled=self.sampled,
+        )
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        flags = "01" if self.sampled else "00"
+        return (
+            f"{TRACEPARENT_VERSION}-{self.trace_id}-"
+            f"{self.span_id}-{flags}"
+        )
+
+
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def new_trace_id() -> str:
+    """A random 128-bit trace id (32 hex chars, never all-zero)."""
+    while True:
+        trace_id = os.urandom(16).hex()
+        if trace_id != "0" * 32:  # pragma: no branch - astronomically rare
+            return trace_id
+
+
+def new_span_id() -> str:
+    """A random 64-bit span id (16 hex chars, never all-zero)."""
+    while True:
+        span_id = os.urandom(8).hex()
+        if span_id != "0" * 16:  # pragma: no branch - astronomically rare
+            return span_id
+
+
+def new_root(sampled: bool = True) -> TraceContext:
+    """Mint a fresh root context (no inbound ``traceparent``)."""
+    return TraceContext(
+        trace_id=new_trace_id(), span_id=new_span_id(), sampled=sampled
+    )
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header into the *remote* context.
+
+    Returns ``None`` on anything malformed — unknown length, non-hex
+    digits, all-zero trace or span ids, or the reserved ``ff``
+    version — per the W3C spec's "restart the trace" guidance. The
+    returned context's ``span_id`` is the remote caller's span.
+    """
+    if not value or not isinstance(value, str):
+        return None
+    match = _TRACEPARENT.match(value.strip().lower())
+    if match is None:
+        return None
+    if match["version"] == "ff":
+        return None
+    if match["trace_id"] == "0" * 32 or match["span_id"] == "0" * 16:
+        return None
+    try:
+        flags = int(match["flags"], 16)
+    except ValueError:  # pragma: no cover - regex already guarantees hex
+        return None
+    return TraceContext(
+        trace_id=match["trace_id"],
+        span_id=match["span_id"],
+        sampled=bool(flags & 0x01),
+    )
+
+
+def from_traceparent(value: Optional[str]) -> TraceContext:
+    """The server-side context for an inbound request.
+
+    A valid ``traceparent`` continues the remote trace (same trace id,
+    new span id, remote span as parent); a missing or malformed header
+    starts a fresh root trace.
+    """
+    remote = parse_traceparent(value)
+    if remote is None:
+        return new_root()
+    return remote.child()
+
+
+# ----------------------------------------------------------------------
+# Current-context accessors
+# ----------------------------------------------------------------------
+def current() -> Optional[TraceContext]:
+    """The active context, or ``None`` outside any traced request."""
+    return _CURRENT.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id, or ``None`` (the hot-path accessor)."""
+    ctx = _CURRENT.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+def activate(ctx: TraceContext) -> "contextvars.Token":
+    """Install ``ctx`` as the current context; returns a reset token."""
+    return _CURRENT.set(ctx)
+
+
+def restore(token: "contextvars.Token") -> None:
+    """Undo a matching :func:`activate`."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def active(ctx: TraceContext) -> Iterator[TraceContext]:
+    """``with active(ctx):`` — scope-bound :func:`activate`."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Bind ``fn`` to the *caller's* context for thread-pool hand-off.
+
+    ``loop.run_in_executor`` does not propagate contextvars; pass
+    ``wrap(fn)`` instead of ``fn`` so the worker thread runs under a
+    copy of the submitting task's context (trace ids included).
+    """
+    captured = contextvars.copy_context()
+
+    def bound(*args: Any, **kwargs: Any) -> Any:
+        return captured.run(fn, *args, **kwargs)
+
+    return bound

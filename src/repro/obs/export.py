@@ -24,8 +24,9 @@ histogram summaries are recognised by their ``count``/``sum`` keys.
 
 from __future__ import annotations
 
+import math
 import re
-from typing import Any, List, Mapping, Union
+from typing import Any, List, Mapping, Optional, Tuple, Union
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -33,6 +34,22 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 NAMESPACE = "repro"
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+#: OpenMetrics label-value escapes, applied in this order (backslash
+#: first so the escapes themselves survive).
+_LABEL_ESCAPES = (("\\", "\\\\"), ('"', '\\"'), ("\n", "\\n"))
+
+
+def escape_label_value(value: Any) -> str:
+    """A string safe to place between double quotes in a label.
+
+    The OpenMetrics text format requires backslash, double-quote, and
+    line-feed escaped; everything else passes through verbatim.
+    """
+    text = str(value)
+    for raw, escaped in _LABEL_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
 
 
 def metric_name(dotted: str) -> str:
@@ -49,6 +66,63 @@ def _format_value(value: Union[int, float]) -> str:
     if isinstance(value, int):
         return str(value)
     return repr(float(value))
+
+
+def _le_label(bound: float) -> str:
+    """The ``le`` label value for a bucket bound (``+Inf`` for inf)."""
+    if math.isinf(bound):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def _exemplar_suffix(
+    exemplar: Optional[Tuple[str, float, float]]
+) -> str:
+    """The ``# {trace_id="..."} value timestamp`` exemplar clause."""
+    if exemplar is None:
+        return ""
+    trace_id, value, ts = exemplar
+    return (
+        f' # {{trace_id="{escape_label_value(trace_id)}"}} '
+        f"{_format_value(value)} {_format_value(round(ts, 3))}"
+    )
+
+
+def _histogram_lines(name: str, histogram: Histogram) -> List[str]:
+    """A bucketed histogram family with exemplars.
+
+    Emitted for histograms created with explicit buckets (the serve
+    latency family): cumulative ``_bucket`` samples — each carrying the
+    freshest exemplar observed in that bucket, which links the bucket
+    to a concrete request trace id — then ``_count``/``_sum`` and the
+    companion quantile/min/max samples the summary form also exports.
+    """
+    summary = histogram.summary()
+    lines = [
+        f"# TYPE {name} histogram",
+    ]
+    for bound, cumulative, exemplar in histogram.bucket_snapshot():
+        lines.append(
+            f'{name}_bucket{{le="{_le_label(bound)}"}} '
+            f"{_format_value(cumulative)}{_exemplar_suffix(exemplar)}"
+        )
+    lines.append(
+        f"{name}_count {_format_value(int(summary.get('count', 0)))}"
+    )
+    lines.append(f"{name}_sum {_format_value(summary.get('sum', 0))}")
+    for label, key in (("0.5", "p50"), ("0.99", "p99")):
+        if key in summary:
+            lines.append(
+                f'{name}{{quantile="{label}"}} '
+                f"{_format_value(summary[key])}"
+            )
+    for bound_key in ("min", "max"):
+        if bound_key in summary:
+            lines.append(f"# TYPE {name}_{bound_key} gauge")
+            lines.append(
+                f"{name}_{bound_key} {_format_value(summary[bound_key])}"
+            )
+    return lines
 
 
 def _summary_lines(name: str, summary: Mapping[str, Any]) -> List[str]:
@@ -96,7 +170,12 @@ def render_openmetrics(
                 lines.append(f"# TYPE {name} gauge")
                 lines.append(f"{name} {_format_value(instrument.value)}")
             elif isinstance(instrument, Histogram):
-                lines.extend(_summary_lines(name, instrument.summary()))
+                if instrument.buckets is not None:
+                    lines.extend(_histogram_lines(name, instrument))
+                else:
+                    lines.extend(
+                        _summary_lines(name, instrument.summary())
+                    )
     else:
         for dotted in sorted(source):
             name = metric_name(dotted)

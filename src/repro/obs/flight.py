@@ -1,0 +1,218 @@
+"""Flight recorder: a bounded ring of recently completed request traces.
+
+A long-lived serving process cannot keep every span it ever emitted,
+but the traces worth keeping — the error, the p99.9 straggler, the
+request that was in flight when something crashed — are exactly the
+ones a full-buffer export would have aged out. The
+:class:`FlightRecorder` solves this with **tail-based sampling**: spans
+for every in-flight request are accumulated per trace id (fed from the
+tracer through a sink, see :meth:`Tracer.add_sink
+<repro.obs.trace.Tracer.add_sink>`), and only when the request
+*finishes* — when its status and latency are known — does the recorder
+decide whether the trace enters the bounded keep ring:
+
+* every errored request is kept (``keep-on-error``);
+* every request slower than ``slow_threshold_s`` is kept
+  (``keep-on-slow``);
+* one in ``keep_every`` ordinary requests is kept as a baseline
+  (``sampled``), so the ring always holds healthy traces to compare
+  against.
+
+The ring is a ``deque(maxlen=capacity)`` — O(1) per finished request,
+bounded memory forever. :meth:`dump` (the ``/debug/flight`` endpoint
+payload) and :meth:`find` (``repro trace-grep``) read it back.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+#: Per-trace span cap: a runaway kernel cannot balloon one entry.
+MAX_SPANS_PER_TRACE = 512
+
+
+class FlightRecorder:
+    """Tail-sampled ring buffer of completed request traces.
+
+    Thread-safe: spans arrive from engine worker threads while
+    begin/finish run on the event loop.
+
+    Parameters
+    ----------
+    capacity:
+        Keep-ring size (completed traces retained).
+    slow_threshold_s:
+        Latency at or above which a finished trace is always kept.
+    keep_every:
+        Keep every Nth ordinary (fast, successful) trace; ``0``
+        disables baseline sampling entirely.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_threshold_s: float = 1.0,
+        keep_every: int = 16,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.slow_threshold_s = slow_threshold_s
+        self.keep_every = keep_every
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self._active: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self.started = 0
+        self.finished = 0
+        self.kept = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, trace_id: Optional[str], **fields: Any) -> None:
+        """Open span accumulation for one request."""
+        if not trace_id:
+            return
+        entry = {
+            "trace_id": trace_id,
+            "started_unix": round(time.time(), 6),
+            "spans": [],
+            **fields,
+        }
+        with self._lock:
+            self._active[trace_id] = entry
+            self.started += 1
+
+    def annotate(self, trace_id: Optional[str], **fields: Any) -> None:
+        """Attach fields (e.g. a coalescing leader link) mid-flight."""
+        if not trace_id:
+            return
+        with self._lock:
+            entry = self._active.get(trace_id)
+            if entry is not None:
+                entry.update(fields)
+
+    def observe_span(self, record: Dict[str, Any]) -> None:
+        """Tracer sink: route a completed span to its active trace.
+
+        Spans without a ``trace`` field, or for traces the recorder is
+        not accumulating, are ignored — the recorder never grows state
+        for requests it was not told about.
+        """
+        trace_id = record.get("trace")
+        if not trace_id:
+            return
+        with self._lock:
+            entry = self._active.get(trace_id)
+            if entry is None:
+                return
+            if len(entry["spans"]) < MAX_SPANS_PER_TRACE:
+                entry["spans"].append(record)
+
+    def finish(
+        self,
+        trace_id: Optional[str],
+        status: str = "ok",
+        error: Optional[str] = None,
+        latency_s: float = 0.0,
+        **fields: Any,
+    ) -> bool:
+        """Close a request and apply the tail-sampling keep decision.
+
+        Returns whether the trace entered the keep ring. Unknown trace
+        ids (a request that errored before :meth:`begin`, e.g. in the
+        HTTP layer) get a synthetic zero-span entry so the failure is
+        still on record.
+        """
+        if not trace_id:
+            return False
+        with self._lock:
+            entry = self._active.pop(trace_id, None)
+            if entry is None:
+                entry = {
+                    "trace_id": trace_id,
+                    "started_unix": round(time.time(), 6),
+                    "spans": [],
+                }
+            entry.update(fields)
+            entry["status"] = status
+            if error is not None:
+                entry["error"] = error
+            entry["latency_s"] = round(float(latency_s), 6)
+            entry["finished_unix"] = round(time.time(), 6)
+            self.finished += 1
+            reason = self._keep_reason(status, latency_s)
+            if reason is None:
+                self.dropped += 1
+                return False
+            entry["kept_because"] = reason
+            self._ring.append(entry)
+            self.kept += 1
+            return True
+
+    def _keep_reason(
+        self, status: str, latency_s: float
+    ) -> Optional[str]:
+        """Why a finished trace stays, or ``None`` to drop it."""
+        if status != "ok":
+            return "error"
+        if latency_s >= self.slow_threshold_s:
+            return "slow"
+        if self.keep_every and (self.finished - 1) % self.keep_every == 0:
+            # The 1st, (N+1)th, ... finished request is the baseline
+            # sample (finished was already incremented above).
+            return "sampled"
+        return None
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def find(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The kept (or still-active) entry for a trace id, if any."""
+        with self._lock:
+            for entry in reversed(self._ring):
+                if entry["trace_id"] == trace_id:
+                    return dict(entry)
+            active = self._active.get(trace_id)
+            return dict(active) if active is not None else None
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Kept traces, oldest first (shallow copies)."""
+        with self._lock:
+            return [dict(entry) for entry in self._ring]
+
+    def dump(self) -> Dict[str, Any]:
+        """The full ``/debug/flight`` payload."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "slow_threshold_s": self.slow_threshold_s,
+                "keep_every": self.keep_every,
+                "started": self.started,
+                "finished": self.finished,
+                "kept": self.kept,
+                "dropped": self.dropped,
+                "active": sorted(self._active),
+                "entries": [dict(entry) for entry in self._ring],
+            }
+
+    def describe(self) -> Dict[str, Any]:
+        """Small stats payload for ``/stats`` (no trace bodies)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "kept": self.kept,
+                "dropped": self.dropped,
+                "active": len(self._active),
+                "resident": len(self._ring),
+            }
+
+    def clear(self) -> None:
+        """Drop every kept and active trace (tests, shutdown)."""
+        with self._lock:
+            self._ring.clear()
+            self._active.clear()

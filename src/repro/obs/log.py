@@ -31,6 +31,8 @@ import sys
 import time
 from typing import Any, Dict, Optional, TextIO
 
+from .context import current_trace_id
+
 #: Recognised level names, least to most severe.
 LEVELS: Dict[str, int] = {
     "debug": 10,
@@ -102,6 +104,11 @@ class StructuredLogger:
             "logger": self.name,
             "event": event,
         }
+        # Every line emitted while serving a traced request carries its
+        # trace id, so `repro trace-grep` and log search line up.
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
         record.update(fields)
         stream = self._stream if self._stream is not None else sys.stderr
         print(json.dumps(record, default=str), file=stream)

@@ -22,11 +22,20 @@ returns a plain nested dict for manifests, tests, and ad-hoc dumps.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
-from typing import Any, Dict, List, Mapping, Optional, Union
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 Number = Union[int, float]
+
+#: Default bucket bounds (seconds) for serve-latency histograms —
+#: the Prometheus client-library defaults, a good fit for a service
+#: whose p50 is tens of milliseconds.
+DEFAULT_LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 def _nearest_rank(samples: List[Number], q: float) -> float:
@@ -95,19 +104,51 @@ class Histogram:
     RESERVOIR_SIZE = 512
 
     __slots__ = (
-        "name", "count", "total", "min", "max", "_samples", "_lock"
+        "name", "count", "total", "min", "max", "buckets",
+        "_bucket_counts", "_exemplars", "_samples", "_lock"
     )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
         self.name = name
         self.count = 0
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds or list(bounds) != sorted(set(bounds)):
+                raise ValueError(
+                    f"histogram {name!r} buckets must be strictly "
+                    f"increasing and non-empty, got {buckets!r}"
+                )
+            self.buckets: Optional[Tuple[float, ...]] = bounds
+            # One slot per finite bound plus the +Inf overflow slot.
+            self._bucket_counts: Optional[List[int]] = (
+                [0] * (len(bounds) + 1)
+            )
+        else:
+            self.buckets = None
+            self._bucket_counts = None
+        #: bucket index -> (trace_id, value, unix_ts); the freshest
+        #: observation wins, which is what an exemplar is for.
+        self._exemplars: Dict[int, Tuple[str, float, float]] = {}
         self._samples: list = []
         self._lock = threading.Lock()
 
-    def observe(self, value: Number) -> None:
+    def observe(
+        self, value: Number, exemplar: Optional[str] = None
+    ) -> None:
+        """Record one observation.
+
+        ``exemplar`` (a trace id) is attached to the bucket the value
+        lands in, so the OpenMetrics exposition can link latency
+        buckets back to concrete request traces. It is ignored on
+        bucket-less histograms.
+        """
         with self._lock:
             if len(self._samples) < self.RESERVOIR_SIZE:
                 self._samples.append(value)
@@ -119,6 +160,33 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if self._bucket_counts is not None:
+                index = bisect.bisect_left(self.buckets, value)
+                self._bucket_counts[index] += 1
+                if exemplar is not None:
+                    self._exemplars[index] = (
+                        str(exemplar), float(value), time.time()
+                    )
+
+    def bucket_snapshot(
+        self,
+    ) -> List[Tuple[float, int, Optional[Tuple[str, float, float]]]]:
+        """Cumulative ``(le, count, exemplar)`` rows, +Inf last.
+
+        Empty when the histogram was created without buckets.
+        """
+        with self._lock:
+            if self._bucket_counts is None:
+                return []
+            rows = []
+            cumulative = 0
+            bounds = list(self.buckets) + [math.inf]  # type: ignore[arg-type]
+            for index, bound in enumerate(bounds):
+                cumulative += self._bucket_counts[index]
+                rows.append(
+                    (bound, cumulative, self._exemplars.get(index))
+                )
+            return rows
 
     @property
     def mean(self) -> float:
@@ -163,11 +231,11 @@ class MetricsRegistry:
         self._instruments: Dict[str, object] = {}
         self._lock = threading.Lock()
 
-    def _get(self, name: str, kind: type):
+    def _get(self, name: str, kind: type, **kwargs: Any):
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
-                instrument = kind(name)
+                instrument = kind(name, **kwargs)
                 self._instruments[name] = instrument
             elif not isinstance(instrument, kind):
                 raise TypeError(
@@ -182,7 +250,16 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        """Get-or-create; ``buckets`` applies only at first creation
+        (an existing instrument keeps whatever shape it was born with).
+        """
+        if buckets is not None:
+            return self._get(name, Histogram, buckets=buckets)
         return self._get(name, Histogram)
 
     # ------------------------------------------------------------------

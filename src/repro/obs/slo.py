@@ -1,0 +1,232 @@
+"""SLO accounting: availability and latency error budgets, burn rates.
+
+The serve stack's health signal is phrased the SRE way. Two objectives:
+
+* **Availability** — at most ``1 - availability_target`` of requests
+  may fail server-side (timeouts, shed load, internal errors; client
+  rejections such as over-quota do not spend the budget).
+* **Latency** — at most ``1 - latency_quantile`` of requests may run
+  longer than ``latency_target_s`` (i.e. "p99 below the target").
+
+For each configured window the tracker reports a **burn rate**: the
+ratio of the observed bad fraction to the budgeted bad fraction. Burn
+rate 1.0 means the budget is being consumed exactly as fast as it
+accrues; 10 means ten times too fast — the classic multi-window
+multi-burn-rate alerting inputs. The shortest window reacts to an
+active incident, the longest smooths it into budget-remaining terms.
+
+The tracker is its own small reservoir — a bounded deque of
+``(timestamp, ok, latency)`` samples pruned past the longest window —
+because the registry's :class:`~repro.obs.metrics.Histogram`
+reservoirs are count-bounded, not time-bounded, and a burn rate is
+meaningless without a time denominator. The per-window p99 reported
+here uses the same nearest-rank rule as the histogram reservoirs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry, _nearest_rank
+
+#: Hard cap on retained samples however long the windows are.
+MAX_SAMPLES = 65536
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The service-level objectives the tracker measures against."""
+
+    #: Fraction of requests that must succeed (server-side).
+    availability_target: float = 0.999
+    #: Latency objective: ``latency_quantile`` of requests complete
+    #: within this many seconds.
+    latency_target_s: float = 1.0
+    #: The quantile the latency objective is stated at (0.99 == p99).
+    latency_quantile: float = 0.99
+    #: ``(seconds, label)`` windows, shortest first.
+    windows: Tuple[Tuple[int, str], ...] = field(
+        default=((60, "1m"), (300, "5m"), (3600, "1h"))
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability_target < 1.0:
+            raise ValueError(
+                f"availability_target must be in (0, 1), got "
+                f"{self.availability_target}"
+            )
+        if self.latency_target_s <= 0:
+            raise ValueError(
+                f"latency_target_s must be > 0, got "
+                f"{self.latency_target_s}"
+            )
+        if not 0.0 < self.latency_quantile < 1.0:
+            raise ValueError(
+                f"latency_quantile must be in (0, 1), got "
+                f"{self.latency_quantile}"
+            )
+        if not self.windows:
+            raise ValueError("at least one window is required")
+
+    @property
+    def availability_budget(self) -> float:
+        """Budgeted bad fraction for availability."""
+        return 1.0 - self.availability_target
+
+    @property
+    def latency_budget(self) -> float:
+        """Budgeted slow fraction for latency."""
+        return 1.0 - self.latency_quantile
+
+
+class SLOTracker:
+    """Sliding-window error-budget accounting over request outcomes.
+
+    ``record`` is O(1) amortized; ``snapshot``/``export_to`` scan the
+    retained samples (bounded by the longest window and
+    :data:`MAX_SAMPLES`) and are meant for scrape/report time, not the
+    per-request hot path.
+    """
+
+    def __init__(self, config: Optional[SLOConfig] = None) -> None:
+        self.config = config if config is not None else SLOConfig()
+        self._samples: "deque[Tuple[float, bool, float]]" = deque(
+            maxlen=MAX_SAMPLES
+        )
+        self._lock = threading.Lock()
+        self._longest_s = max(s for s, _ in self.config.windows)
+
+    # ------------------------------------------------------------------
+    def record(
+        self, ok: bool, latency_s: float, now: Optional[float] = None
+    ) -> None:
+        """Account one finished request."""
+        now = time.time() if now is None else now
+        with self._lock:
+            self._samples.append((now, bool(ok), float(latency_s)))
+            # Amortized prune: drop samples past the longest window.
+            horizon = now - self._longest_s
+            while self._samples and self._samples[0][0] < horizon:
+                self._samples.popleft()
+
+    # ------------------------------------------------------------------
+    def window_stats(
+        self, seconds: float, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Outcome statistics over the trailing ``seconds`` window."""
+        now = time.time() if now is None else now
+        horizon = now - seconds
+        cfg = self.config
+        with self._lock:
+            window = [s for s in self._samples if s[0] >= horizon]
+        total = len(window)
+        errors = sum(1 for _, ok, _ in window if not ok)
+        slow = sum(
+            1
+            for _, _, latency in window
+            if latency > cfg.latency_target_s
+        )
+        latencies = sorted(latency for _, _, latency in window)
+        error_rate = errors / total if total else 0.0
+        slow_rate = slow / total if total else 0.0
+        return {
+            "window_s": seconds,
+            "total": total,
+            "errors": errors,
+            "slow": slow,
+            "availability": 1.0 - error_rate,
+            "p99_s": _nearest_rank(latencies, 0.99),
+            # Burn rate: observed bad fraction / budgeted bad fraction.
+            "availability_burn_rate": error_rate
+            / cfg.availability_budget,
+            "latency_burn_rate": slow_rate / cfg.latency_budget,
+        }
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Per-window stats plus budget-remaining over the longest
+        window (the ``/stats`` payload and ``repro slo-report`` input).
+        """
+        now = time.time() if now is None else now
+        cfg = self.config
+        windows = {
+            label: self.window_stats(seconds, now)
+            for seconds, label in cfg.windows
+        }
+        longest_label = max(cfg.windows)[1]
+        longest = windows[longest_label]
+        return {
+            "objectives": {
+                "availability_target": cfg.availability_target,
+                "latency_target_s": cfg.latency_target_s,
+                "latency_quantile": cfg.latency_quantile,
+            },
+            "windows": windows,
+            # Budget remaining over the longest window: 1 - burn.
+            # Negative means the budget for that period is blown.
+            "availability_budget_remaining": 1.0
+            - longest["availability_burn_rate"],
+            "latency_budget_remaining": 1.0
+            - longest["latency_burn_rate"],
+        }
+
+    def export_to(
+        self, registry: MetricsRegistry, now: Optional[float] = None
+    ) -> None:
+        """Publish burn-rate and budget gauges into a registry.
+
+        Gauge names are stable (``slo.availability.burn_rate.<label>``
+        etc.), so repeated exports overwrite in place — call this at
+        scrape time to keep ``/metrics`` fresh.
+        """
+        snapshot = self.snapshot(now)
+        for label, stats in snapshot["windows"].items():
+            registry.gauge(f"slo.availability.burn_rate.{label}").set(
+                round(stats["availability_burn_rate"], 6)
+            )
+            registry.gauge(f"slo.latency.burn_rate.{label}").set(
+                round(stats["latency_burn_rate"], 6)
+            )
+            registry.gauge(f"slo.requests.{label}").set(stats["total"])
+        registry.gauge("slo.availability.budget_remaining").set(
+            round(snapshot["availability_budget_remaining"], 6)
+        )
+        registry.gauge("slo.latency.budget_remaining").set(
+            round(snapshot["latency_budget_remaining"], 6)
+        )
+
+
+def render_slo_report(snapshot: Dict[str, Any]) -> str:
+    """Text table for ``repro slo-report`` from a tracker snapshot."""
+    objectives = snapshot.get("objectives", {})
+    lines = [
+        "objectives: availability >= "
+        f"{objectives.get('availability_target', 0):.4%}  "
+        f"p{100 * objectives.get('latency_quantile', 0.99):g} latency "
+        f"<= {objectives.get('latency_target_s', 0)}s",
+        "",
+    ]
+    header = (
+        f"{'window':<8} {'requests':>9} {'errors':>7} {'slow':>6} "
+        f"{'avail':>9} {'p99':>9} {'avail burn':>11} {'lat burn':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, stats in snapshot.get("windows", {}).items():
+        lines.append(
+            f"{label:<8} {stats['total']:>9,} {stats['errors']:>7,} "
+            f"{stats['slow']:>6,} {stats['availability']:>9.4%} "
+            f"{stats['p99_s']:>8.3f}s "
+            f"{stats['availability_burn_rate']:>11.2f} "
+            f"{stats['latency_burn_rate']:>9.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "budget remaining (longest window): availability "
+        f"{snapshot.get('availability_budget_remaining', 0.0):+.2%}, "
+        f"latency {snapshot.get('latency_budget_remaining', 0.0):+.2%}"
+    )
+    return "\n".join(lines)

@@ -12,6 +12,11 @@ Phase rows follow the controller's canonical five-phase order; spans of
 other categories are summarised underneath (count and wall time) so a
 trace of a whole ``run-all`` reads top-down: run → shards →
 experiments → phases.
+
+Also home to the span-tree tools behind ``repro trace-grep``:
+:func:`filter_trace` selects the spans of one distributed trace id and
+:func:`render_span_tree` reconstructs their nesting from start/end
+times (spans are recorded flat, at exit).
 """
 
 from __future__ import annotations
@@ -140,6 +145,67 @@ def summarize_categories(
         row["spans"] += 1
         row["dur_us"] += float(span.get("dur", 0))
     return [rows[name] for name in sorted(rows)]
+
+
+def filter_trace(
+    spans: Sequence[Dict[str, Any]], trace_id: str
+) -> List[Dict[str, Any]]:
+    """The spans belonging to one distributed trace id.
+
+    Matches the top-level ``trace`` field the tracer stamps when a
+    request context is active (Chrome exports carry it inside
+    ``args``, so both spots are checked).
+    """
+    out = []
+    for span in spans:
+        recorded = span.get("trace") or (span.get("args") or {}).get(
+            "trace"
+        )
+        if recorded == trace_id:
+            out.append(span)
+    return out
+
+
+def render_span_tree(spans: Sequence[Dict[str, Any]]) -> str:
+    """An indented start-time-ordered tree of flat span records.
+
+    Spans are recorded at exit with their start timestamp (``ts``, µs)
+    and duration (``dur``, µs); nesting is reconstructed per thread by
+    interval containment — a span starting before the previous one
+    ended is its child. Zero-duration marker spans (e.g.
+    ``serve.coalesced``) render as leaves where they fired.
+    """
+    lines: List[str] = []
+    by_tid: Dict[Any, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_tid.setdefault(span.get("tid", 0), []).append(span)
+    for tid in sorted(by_tid, key=str):
+        ordered = sorted(
+            by_tid[tid],
+            key=lambda s: (
+                float(s.get("ts", 0)), -float(s.get("dur", 0))
+            ),
+        )
+        stack: List[float] = []  # open ancestors' end timestamps
+        for span in ordered:
+            ts = float(span.get("ts", 0))
+            dur = float(span.get("dur", 0))
+            while stack and ts >= stack[-1]:
+                stack.pop()
+            depth = len(stack)
+            stack.append(ts + dur)
+            args = span.get("args") or {}
+            detail = " ".join(
+                f"{key}={args[key]}"
+                for key in sorted(args)
+                if key != "trace" and not isinstance(args[key], dict)
+            )
+            lines.append(
+                f"{'  ' * depth}- {span.get('name', '?')} "
+                f"[{span.get('cat', 'task')}] {_format_us(dur)}"
+                + (f"  {detail}" if detail else "")
+            )
+    return "\n".join(lines) if lines else "(no spans)"
 
 
 def _format_us(us: float) -> str:

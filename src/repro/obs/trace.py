@@ -43,7 +43,9 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from .context import current_trace_id
 
 #: Trace-file formats :meth:`Tracer.write` accepts.
 TRACE_FORMATS = ("jsonl", "chrome")
@@ -112,19 +114,24 @@ class _ActiveSpan:
         stack = self._tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
-        self._tracer._append(
-            {
-                "name": self.name,
-                "cat": self.category,
-                "ts": self._ts_us,
-                "dur": int(dur_us),
-                "pid": os.getpid(),
-                "tid": threading.get_ident() & 0xFFFFFFFF,
-                "id": self.span_id,
-                "parent": self.parent_id,
-                "args": self.args,
-            }
-        )
+        record = {
+            "name": self.name,
+            "cat": self.category,
+            "ts": self._ts_us,
+            "dur": int(dur_us),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "args": self.args,
+        }
+        # Request-scoped spans carry the ambient trace id so one query
+        # is greppable across threads and processes; spans outside any
+        # request (batch runs) stay key-compatible with old traces.
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace"] = trace_id
+        self._tracer._append(record)
         return False
 
 
@@ -138,7 +145,12 @@ class Tracer:
 
     def __init__(self) -> None:
         self.enabled = False
+        #: When set, the buffer is trimmed to (roughly) this many most
+        #: recent records — the always-on service sets it so a week of
+        #: traffic cannot exhaust memory; batch runs leave it ``None``.
+        self.max_records: Optional[int] = None
         self._records: List[Dict[str, Any]] = []
+        self._sinks: tuple = ()
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._counter = itertools.count(1)
@@ -172,19 +184,21 @@ class Tracer:
         if not self.enabled:
             return
         stack = self._stack()
-        self._append(
-            {
-                "name": name,
-                "cat": category,
-                "ts": int(ts_us),
-                "dur": int(dur_us),
-                "pid": os.getpid(),
-                "tid": threading.get_ident() & 0xFFFFFFFF,
-                "id": self._next_id(),
-                "parent": stack[-1].span_id if stack else None,
-                "args": dict(args) if args else {},
-            }
-        )
+        record = {
+            "name": name,
+            "cat": category,
+            "ts": int(ts_us),
+            "dur": int(dur_us),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "id": self._next_id(),
+            "parent": stack[-1].span_id if stack else None,
+            "args": dict(args) if args else {},
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace"] = trace_id
+        self._append(record)
 
     def _next_id(self) -> int:
         return next(self._counter)
@@ -199,6 +213,40 @@ class Tracer:
     def _append(self, record: Dict[str, Any]) -> None:
         with self._lock:
             self._records.append(record)
+            if (
+                self.max_records is not None
+                and len(self._records) > 2 * self.max_records
+            ):
+                # Amortized O(1) trim: cut back to max_records only
+                # when the buffer has doubled past the bound.
+                del self._records[: len(self._records) - self.max_records]
+        for sink in self._sinks:
+            # Sinks (the flight recorder) must never break recording;
+            # a faulty one loses its own data, not the span buffer's.
+            try:
+                sink(record)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    # Sinks (request-scoped consumers, e.g. the flight recorder)
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Deliver every completed span record to ``sink`` as well."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks = self._sinks + (sink,)
+
+    def remove_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Detach a sink added with :meth:`add_sink` (idempotent).
+
+        Equality, not identity: each ``obj.method`` access builds a new
+        bound-method object, so ``is`` would never match the object
+        :meth:`add_sink` stored — bound methods compare equal when the
+        instance and function agree.
+        """
+        with self._lock:
+            self._sinks = tuple(s for s in self._sinks if s != sink)
 
     # ------------------------------------------------------------------
     # Buffer access and cross-process merging

@@ -1,8 +1,15 @@
 """Minimal HTTP/1.1 front end for the analytics service.
 
 Hand-rolled on ``asyncio`` streams — the repository deliberately takes
-no web-framework dependency — and small on purpose: four routes, JSON
-bodies, one connection per request (``Connection: close``).
+no web-framework dependency — and small on purpose: JSON bodies, one
+connection per request (``Connection: close``).
+
+Every request runs under a :mod:`repro.obs.context` trace context:
+adopted from a valid inbound ``traceparent`` header, minted fresh
+otherwise. The context's trace id appears in the ``traceparent`` /
+``x-trace-id`` response headers, in the ``trace_id`` field of the query
+result body, in every span the request emits, and in the structured
+``http.access`` log line written per request.
 
 Routes
 ------
@@ -16,23 +23,36 @@ Routes
     ``{"error": <class>, "message": <str>}`` body.
 ``GET /metrics``
     The process metrics registry as OpenMetrics text
-    (:mod:`repro.obs.export`) — the Prometheus scrape target, covering
-    the ``serve.*`` family and everything else the process recorded.
+    (:mod:`repro.obs.export`) — the Prometheus scrape target. SLO burn
+    gauges are refreshed into the registry at scrape time, and the
+    serve latency family carries exemplars naming request trace ids.
 ``GET /stats``
-    The service's operational JSON snapshot (pool, quotas, latency).
+    The service's operational JSON snapshot (pool, quotas, latency,
+    SLO windows, flight-recorder stats).
 ``GET /healthz``
-    Liveness: ``{"status": "ok"}`` once the server accepts sockets.
+    Liveness: ``{"status": "ok"}`` once the event loop answers at all.
+``GET /readyz``
+    Readiness: 200 when every check in
+    :meth:`~repro.serve.server.AnalyticsService.readiness` passes,
+    503 (with the per-check booleans) otherwise.
+``GET /debug/flight``
+    The flight recorder's tail-sampled trace ring
+    (:meth:`~repro.obs.flight.FlightRecorder.dump`) — the payload
+    ``repro trace-grep`` reads.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ConfigError, ReproError, http_status_for
+from ..obs import context as obs_context
 from ..obs.export import render_openmetrics
 from ..obs.log import get_logger
+from ..obs.trace import get_tracer
 from .protocol import QueryRequest
 from .server import AnalyticsService
 
@@ -58,10 +78,20 @@ def _response(
     status: int, body: bytes, content_type: str = "application/json"
 ) -> bytes:
     reason = _REASONS.get(status, "Unknown")
+    ctx = obs_context.current()
+    trace_headers = ""
+    if ctx is not None:
+        # Propagate the request's trace identity back to the caller:
+        # the full W3C header plus the bare id for easy grepping.
+        trace_headers = (
+            f"traceparent: {ctx.to_traceparent()}\r\n"
+            f"x-trace-id: {ctx.trace_id}\r\n"
+        )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{trace_headers}"
         f"Connection: close\r\n\r\n"
     )
     return head.encode("ascii") + body
@@ -78,6 +108,14 @@ def _error_response(exc: BaseException) -> bytes:
         http_status_for(exc),
         {"error": type(exc).__name__, "message": str(exc)},
     )
+
+
+def _status_of(payload: bytes) -> int:
+    """The status code of a response built by :func:`_response`."""
+    try:
+        return int(payload.split(b" ", 2)[1])
+    except (IndexError, ValueError):
+        return 0
 
 
 class HttpFrontend:
@@ -144,6 +182,7 @@ class HttpFrontend:
                 pass
 
     async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        start = time.perf_counter()
         try:
             request_line = await reader.readline()
             parts = request_line.decode("ascii", "replace").split()
@@ -156,19 +195,80 @@ class HttpFrontend:
             headers = await self._read_headers(reader)
         except (ConnectionError, asyncio.IncompleteReadError):
             return b""
+        ctx = obs_context.from_traceparent(
+            headers.get(obs_context.TRACEPARENT_HEADER)
+        )
+        token = obs_context.activate(ctx)
+        meta = {"tenant": "-"}
+        payload = b""
+        try:
+            with get_tracer().span(
+                "http.request", category="http",
+                method=method, path=path,
+            ):
+                payload = await self._dispatch(
+                    method, path, reader, headers, meta
+                )
+            return payload
+        except Exception as exc:
+            # An error the typed query path did not absorb: record it
+            # in the flight ring (unless the query path already closed
+            # this trace — errored traces are always kept, so find()
+            # is the duplicate guard) and answer with a mapped status.
+            if self.service.flight.find(ctx.trace_id) is None:
+                self.service.flight.finish(
+                    ctx.trace_id,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    latency_s=time.perf_counter() - start,
+                    method=method,
+                    path=path,
+                )
+            log.error(
+                "serve.request_failed", method=method, path=path,
+                error=str(exc),
+            )
+            payload = _error_response(exc)
+            return payload
+        finally:
+            # The per-request structured access line — while the trace
+            # context is still active so it carries the trace id.
+            log.info(
+                "http.access",
+                method=method,
+                path=path,
+                status=_status_of(payload),
+                tenant=meta["tenant"],
+                duration_ms=round(
+                    (time.perf_counter() - start) * 1000.0, 3
+                ),
+            )
+            obs_context.restore(token)
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        reader: asyncio.StreamReader,
+        headers: Dict[str, str],
+        meta: Dict[str, str],
+    ) -> bytes:
         if path.startswith("/query"):
             if method != "POST":
                 return _json_response(
                     405, {"error": "MethodNotAllowed",
                           "message": "POST /query"}
                 )
-            return await self._handle_query(reader, headers)
+            return await self._handle_query(reader, headers, meta)
         if method != "GET":
             return _json_response(
                 405, {"error": "MethodNotAllowed",
                       "message": f"GET {path}"}
             )
         if path == "/metrics":
+            # Burn-rate gauges are derived values; refresh them into
+            # the registry at scrape time rather than per request.
+            self.service.slo.export_to(self.service.registry)
             return _response(
                 200,
                 render_openmetrics(self.service.registry).encode("utf-8"),
@@ -181,6 +281,15 @@ class HttpFrontend:
             return _json_response(200, self.service.stats())
         if path == "/healthz":
             return _json_response(200, {"status": "ok"})
+        if path == "/readyz":
+            ready, checks = self.service.readiness()
+            return _json_response(
+                200 if ready else 503,
+                {"status": "ok" if ready else "unavailable",
+                 "checks": checks},
+            )
+        if path == "/debug/flight":
+            return _json_response(200, self.service.flight.dump())
         return _json_response(
             404, {"error": "NotFound", "message": path}
         )
@@ -201,6 +310,7 @@ class HttpFrontend:
         self,
         reader: asyncio.StreamReader,
         headers: Dict[str, str],
+        meta: Dict[str, str],
     ) -> bytes:
         try:
             length = int(headers.get("content-length", "0"))
@@ -220,6 +330,7 @@ class HttpFrontend:
                     f"query body is not valid JSON: {exc}"
                 ) from exc
             query = QueryRequest.from_dict(decoded)
+            meta["tenant"] = query.tenant
             result = await self.service.submit(query)
         except ReproError as exc:
             return _error_response(exc)

@@ -30,6 +30,7 @@ from ..core.engine import GaaSXEngine
 from ..errors import SessionPoolExhaustedError, StorageError
 from ..graphs.datasets import DATASETS, load_dataset, load_dataset_mmap
 from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, get_metrics
 
 log = get_logger("repro.serve.pool")
 
@@ -50,11 +51,16 @@ class WarmSession:
     """
 
     def __init__(
-        self, dataset: str, profile: str, config: ArchConfig
+        self,
+        dataset: str,
+        profile: str,
+        config: ArchConfig,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.dataset = dataset
         self.profile = profile
         self.config = config
+        registry = registry if registry is not None else get_metrics()
         # Warm sessions share edge arrays through the mmap CSR store:
         # every session (and every serving process on the host) maps
         # the same read-only file, so per-session residency is the
@@ -72,6 +78,10 @@ class WarmSession:
                 graph = load_dataset_mmap(dataset, profile)
                 self.mmap_backed = True
             except (StorageError, OSError) as exc:
+                # Degradations must be visible on /metrics, not only
+                # in /stats: a host silently falling back to in-memory
+                # loading is exactly what a dashboard should catch.
+                registry.counter("serve.pool.mmap_fallback").inc()
                 log.warning(
                     "pool.mmap_fallback", dataset=dataset,
                     profile=profile, error=str(exc),
@@ -125,6 +135,7 @@ class SessionPool:
         self,
         config: Optional[ArchConfig] = None,
         max_sessions: int = 8,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_sessions < 1:
             raise SessionPoolExhaustedError(
@@ -140,6 +151,14 @@ class SessionPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Pool lifecycle counters on the scrapeable registry (they
+        # were previously visible only through /stats).
+        self.registry = registry if registry is not None else get_metrics()
+        self._m_evictions = self.registry.counter("serve.pool.evictions")
+        self._m_created = self.registry.counter(
+            "serve.pool.sessions_created"
+        )
+        self._m_resident = self.registry.gauge("serve.pool.resident")
 
     # ------------------------------------------------------------------
     def get(self, selector: Tuple[str, str]) -> Optional[WarmSession]:
@@ -174,11 +193,15 @@ class SessionPool:
             # Another thread is building this session; wait and retry.
             building.wait()
         try:
-            session = WarmSession(selector[0], profile, self.config)
+            session = WarmSession(
+                selector[0], profile, self.config, registry=self.registry
+            )
             with self._lock:
                 self._evict_for_room_locked()
                 self._sessions[selector] = session
                 self.misses += 1
+                self._m_created.inc()
+                self._m_resident.set(len(self._sessions))
             log.info(
                 "pool.session_created", dataset=selector[0],
                 profile=profile, vertices=session.num_vertices,
@@ -207,6 +230,8 @@ class SessionPool:
                 )
             evicted = self._sessions.pop(victim_key)
             self.evictions += 1
+            self._m_evictions.inc()
+            self._m_resident.set(len(self._sessions))
             log.info(
                 "pool.session_evicted", dataset=evicted.dataset,
                 profile=evicted.profile,
@@ -235,3 +260,4 @@ class SessionPool:
         """Drop every resident session (shutdown/tests)."""
         with self._lock:
             self._sessions.clear()
+            self._m_resident.set(0)

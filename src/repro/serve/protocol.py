@@ -249,7 +249,11 @@ class QueryResult:
     exactly one carries ``coalesced=False`` (it triggered the engine
     run) and the other N-1 carry ``True``. ``latency_s`` is this
     request's service-side wall time (admission to response), not the
-    shared engine run's.
+    shared engine run's. ``trace_id`` is the request's distributed
+    trace id (the same one in the ``traceparent`` response header,
+    every span, and every log line the request emitted) — coalesced
+    followers keep their *own* trace id and link the leader's in their
+    flight-recorder entry.
     """
 
     key: str
@@ -261,6 +265,7 @@ class QueryResult:
     modelled: Dict[str, float]
     latency_s: float
     coalesced: bool
+    trace_id: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (the HTTP response body schema)."""
@@ -274,6 +279,7 @@ class QueryResult:
             "modelled": dict(self.modelled),
             "latency_s": self.latency_s,
             "coalesced": self.coalesced,
+            "trace_id": self.trace_id,
         }
 
 

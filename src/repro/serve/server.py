@@ -32,6 +32,7 @@ double-register collectors. ``/metrics`` exposition reuses
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
@@ -44,8 +45,16 @@ from ..errors import (
     QuotaExceededError,
     SessionPoolExhaustedError,
 )
+from ..obs import context as obs_context
+from ..obs.flight import FlightRecorder
 from ..obs.log import get_logger
-from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_metrics,
+)
+from ..obs.slo import SLOConfig, SLOTracker
+from ..obs.trace import get_tracer
 from .pool import SessionPool, WarmSession
 from .protocol import (
     QueryRequest,
@@ -57,6 +66,11 @@ from .protocol import (
 from .quotas import AdmissionController
 
 log = get_logger("repro.serve")
+
+#: Span-buffer bound installed when the service enables tracing: keeps
+#: a long-lived daemon's tracer memory constant while leaving plenty of
+#: history for ad-hoc exports.
+TRACER_MAX_RECORDS = 20_000
 
 
 class AnalyticsService:
@@ -84,6 +98,17 @@ class AnalyticsService:
         0 in production.
     registry:
         Metrics registry to meter into (default: the process-wide one).
+    flight_capacity:
+        Flight-recorder keep-ring size (completed request traces
+        retained for ``/debug/flight`` / ``repro trace-grep``).
+    slo:
+        Service-level objectives (availability + latency targets and
+        burn-rate windows); default :class:`~repro.obs.slo.SLOConfig`.
+    enable_tracing:
+        Turn the process tracer on (bounded buffer) so request spans —
+        HTTP, service, session, and the five modelled phases — are
+        recorded and routed to the flight recorder. On by default;
+        batch-style embedders can opt out.
     """
 
     def __init__(
@@ -97,6 +122,9 @@ class AnalyticsService:
         default_timeout_s: float = 60.0,
         run_delay_s: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
+        flight_capacity: int = 256,
+        slo: Optional[SLOConfig] = None,
+        enable_tracing: bool = True,
     ) -> None:
         if max_pending < 1:
             raise ConfigError(
@@ -106,7 +134,11 @@ class AnalyticsService:
             raise ConfigError(
                 f"default_timeout_s must be > 0, got {default_timeout_s}"
             )
-        self.pool = SessionPool(arch_config, max_sessions=max_sessions)
+        registry = registry if registry is not None else get_metrics()
+        self.registry = registry
+        self.pool = SessionPool(
+            arch_config, max_sessions=max_sessions, registry=registry
+        )
         self.admission = AdmissionController(quota_rate, quota_burst)
         self.max_pending = max_pending
         self.default_timeout_s = default_timeout_s
@@ -118,14 +150,33 @@ class AnalyticsService:
             thread_name_prefix="repro-serve",
         )
         self._inflight: Dict[str, "asyncio.Task"] = {}
+        #: Coalescing key -> the leader request's trace id, so
+        #: followers can link their trace to the run they rode.
+        self._inflight_trace: Dict[str, str] = {}
         self._session_locks: Dict[str, "asyncio.Lock"] = {}
         self._closed = False
+        # Request-scoped observability: the SLO tracker accounts every
+        # finished request; the flight recorder tail-samples completed
+        # traces, fed spans through a tracer sink.
+        self.slo_config = slo if slo is not None else SLOConfig()
+        self.slo = SLOTracker(self.slo_config)
+        self.flight = FlightRecorder(
+            capacity=flight_capacity,
+            slow_threshold_s=self.slo_config.latency_target_s,
+        )
+        self._tracer = get_tracer()
+        self._tracing_enabled_here = False
+        if enable_tracing:
+            if not self._tracer.enabled:
+                self._tracer.enabled = True
+                self._tracing_enabled_here = True
+            if self._tracer.max_records is None:
+                self._tracer.max_records = TRACER_MAX_RECORDS
+            self._tracer.add_sink(self.flight.observe_span)
         # Instruments are created exactly once per service under fixed
         # names; re-instantiating a service over the same registry
         # get-or-creates the same objects (no duplicates, no kind
         # conflicts) — the warm-pool double-registration audit.
-        registry = registry if registry is not None else get_metrics()
-        self.registry = registry
         self._m = {
             "queries": registry.counter("serve.queries"),
             "engine_runs": registry.counter("serve.engine_runs"),
@@ -136,7 +187,9 @@ class AnalyticsService:
             "errors": registry.counter("serve.errors"),
             "inflight": registry.gauge("serve.inflight"),
             "sessions": registry.gauge("serve.sessions_resident"),
-            "latency": registry.histogram("serve.latency_s"),
+            "latency": registry.histogram(
+                "serve.latency_s", buckets=DEFAULT_LATENCY_BUCKETS
+            ),
             "engine_run": registry.histogram("serve.engine_run_s"),
         }
         # Per-algorithm latency histograms: a fixed, finite name set
@@ -161,11 +214,69 @@ class AnalyticsService:
         :mod:`repro.errors`; malformed queries fail in
         :class:`~repro.serve.protocol.QueryRequest` before ever
         reaching here.
+
+        The query runs under a trace context: the ambient one when the
+        caller (the HTTP frontend) already activated it from an inbound
+        ``traceparent`` header, a freshly minted root otherwise. Every
+        span and log line the query causes carries that trace id; the
+        flight recorder accumulates its spans and tail-samples the
+        finished trace; the SLO tracker accounts the outcome.
         """
         if self._closed:
             raise SessionPoolExhaustedError("service is shut down")
+        ctx = obs_context.current()
+        token = None
+        if ctx is None:
+            ctx = obs_context.new_root()
+            token = obs_context.activate(ctx)
         start = time.perf_counter()
         self._m["queries"].inc()
+        self.flight.begin(
+            ctx.trace_id,
+            dataset=query.dataset,
+            algorithm=query.algorithm,
+            profile=query.profile,
+            tenant=query.tenant,
+        )
+        status, detail, server_fault = "ok", None, False
+        try:
+            with self._tracer.span(
+                "serve.query", category="serve",
+                dataset=query.dataset, algorithm=query.algorithm,
+                tenant=query.tenant,
+            ):
+                return await self._serve(query, ctx, start)
+        except QuotaExceededError as exc:
+            # A client rejection: recorded, but it does not spend the
+            # availability error budget.
+            status, detail = "quota_rejected", str(exc)
+            raise
+        except QueryTimeoutError as exc:
+            status, detail, server_fault = "timeout", str(exc), True
+            raise
+        except SessionPoolExhaustedError as exc:
+            status, detail, server_fault = "shed", str(exc), True
+            raise
+        except Exception as exc:
+            status, detail, server_fault = "error", str(exc), True
+            raise
+        finally:
+            latency = time.perf_counter() - start
+            self.slo.record(ok=not server_fault, latency_s=latency)
+            self.flight.finish(
+                ctx.trace_id,
+                status=status,
+                error=detail,
+                latency_s=latency,
+            )
+            if token is not None:
+                obs_context.restore(token)
+
+    async def _serve(
+        self, query: QueryRequest, ctx: "obs_context.TraceContext",
+        start: float,
+    ) -> QueryResult:
+        """The admission → session → coalesce → wait pipeline."""
         try:
             self.admission.admit(query.tenant)
         except QuotaExceededError:
@@ -179,6 +290,19 @@ class AnalyticsService:
         coalesced = task is not None
         if coalesced:
             self._m["coalesced"].inc()
+            leader_trace = self._inflight_trace.get(key)
+            if leader_trace is not None and leader_trace != ctx.trace_id:
+                # Link the follower's trace to the leader's run: a
+                # zero-duration span naming the leader trace, mirrored
+                # into the follower's flight-recorder entry.
+                self._tracer.add_span(
+                    "serve.coalesced", "serve",
+                    ts_us=time.time_ns() // 1_000, dur_us=0,
+                    args={"leader_trace": leader_trace, "key": key},
+                )
+                self.flight.annotate(
+                    ctx.trace_id, leader_trace_id=leader_trace
+                )
         else:
             if len(self._inflight) >= self.max_pending:
                 self._m["shed"].inc()
@@ -186,12 +310,18 @@ class AnalyticsService:
                     f"{len(self._inflight)} queries already in flight "
                     f"(max_pending={self.max_pending}); load shed"
                 )
+            # create_task copies the current contextvars context, so
+            # the leader's trace context follows the run.
             task = asyncio.get_running_loop().create_task(
                 self._execute(session, query, key)
             )
             self._inflight[key] = task
+            self._inflight_trace[key] = ctx.trace_id
             task.add_done_callback(
-                lambda _t, _key=key: self._inflight.pop(_key, None)
+                lambda _t, _key=key: (
+                    self._inflight.pop(_key, None),
+                    self._inflight_trace.pop(_key, None),
+                )
             )
             self._m["inflight"].set(len(self._inflight))
         timeout = (
@@ -211,7 +341,7 @@ class AnalyticsService:
                 f"coalesced waiters)"
             ) from None
         latency = time.perf_counter() - start
-        self._m["latency"].observe(latency)
+        self._m["latency"].observe(latency, exemplar=ctx.trace_id)
         self._latency_by_algorithm[query.algorithm].observe(latency)
         return QueryResult(
             key=key,
@@ -223,6 +353,7 @@ class AnalyticsService:
             modelled=modelled,
             latency_s=latency,
             coalesced=coalesced,
+            trace_id=ctx.trace_id,
         )
 
     async def _session_for(self, query: QueryRequest) -> WarmSession:
@@ -231,9 +362,11 @@ class AnalyticsService:
         if session is not None:
             return session
         try:
+            # wrap() carries the trace context into the pool thread so
+            # pool.session_created log lines name the triggering query.
             return await asyncio.get_running_loop().run_in_executor(
                 self._executor,
-                self.pool.acquire,
+                obs_context.wrap(self.pool.acquire),
                 query.dataset,
                 query.profile,
             )
@@ -254,7 +387,10 @@ class AnalyticsService:
                 try:
                     payload, modelled = await asyncio.get_running_loop(
                     ).run_in_executor(
-                        self._executor, self._run_engine, session, query
+                        self._executor,
+                        obs_context.wrap(self._run_engine),
+                        session,
+                        query,
                     )
                 finally:
                     session.busy = False
@@ -270,12 +406,25 @@ class AnalyticsService:
     def _run_engine(
         self, session: WarmSession, query: QueryRequest
     ) -> Tuple[Dict[str, Any], Dict[str, float]]:
-        """Worker-thread body: the actual kernel dispatch."""
+        """Worker-thread body: the actual kernel dispatch.
+
+        Runs under a copy of the leader request's trace context (see
+        :func:`repro.obs.context.wrap`), so the session span opened
+        here, the nested ``engine.run`` span, and the five modelled
+        phase spans the controller injects all share the trace id.
+        """
         if self.run_delay_s > 0:
             time.sleep(self.run_delay_s)
         start = time.perf_counter()
         try:
-            result = session.engine.run(query.algorithm, **query.params)
+            with self._tracer.span(
+                "serve.session", category="session",
+                dataset=query.dataset, profile=query.profile,
+                content_key=session.content_key,
+            ):
+                result = session.engine.run(
+                    query.algorithm, **query.params
+                )
         except TypeError as exc:
             # Bad keyword against the kernel signature: a client error,
             # not a programming error in the service.
@@ -324,7 +473,45 @@ class AnalyticsService:
             "latency": self._m["latency"].summary(),
             "pool": self.pool.describe(),
             "admission": self.admission.describe(),
+            "slo": self.slo.snapshot(),
+            "flight": self.flight.describe(),
         }
+
+    def readiness(self) -> Tuple[bool, Dict[str, bool]]:
+        """Readiness checks for the ``/readyz`` endpoint.
+
+        Distinct from liveness (``/healthz``: the loop answers at all):
+        a ready service is accepting queries, has headroom in the
+        pending-run table, can reach the shard store, and — when
+        sessions were preloaded — still holds at least one warm. A
+        cold-but-healthy service reports ``pool_warm`` true (first
+        query warms lazily by design); only a pool that *lost* its
+        sessions after serving reports false.
+        """
+        checks = {
+            "accepting": not self._closed,
+            "queue_headroom": len(self._inflight) < self.max_pending,
+            "pool_warm": (
+                len(self.pool) > 0
+                or self._m["engine_runs"].value == 0
+            ),
+            "store_reachable": self._store_reachable(),
+        }
+        return all(checks.values()), checks
+
+    @staticmethod
+    def _store_reachable() -> bool:
+        """Whether the mmap shard store root exists or can be created."""
+        try:
+            from ..storage.mmap_store import get_store
+
+            root = get_store().root
+            if os.path.isdir(root):
+                return True
+            os.makedirs(root, exist_ok=True)
+            return True
+        except OSError:
+            return False
 
     async def drain(self) -> None:
         """Wait for every in-flight run to settle (shutdown helper)."""
@@ -343,3 +530,10 @@ class AnalyticsService:
         self._closed = True
         self._executor.shutdown(wait=True)
         self.pool.clear()
+        # Detach from the process tracer and restore its enabled state
+        # if this service flipped it — tests build many short-lived
+        # services against one process and must not leak sinks.
+        self._tracer.remove_sink(self.flight.observe_span)
+        if self._tracing_enabled_here:
+            self._tracer.enabled = False
+            self._tracing_enabled_here = False

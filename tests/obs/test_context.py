@@ -1,0 +1,152 @@
+"""Trace-context (W3C traceparent over contextvars) tests."""
+
+import concurrent.futures
+import re
+
+import pytest
+
+from repro.obs import context as obs_context
+from repro.obs.context import (
+    TraceContext,
+    from_traceparent,
+    new_root,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+TRACEPARENT = re.compile(
+    r"^00-[0-9a-f]{32}-[0-9a-f]{16}-0[01]$"
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        trace_id = new_trace_id()
+        assert re.fullmatch(r"[0-9a-f]{32}", trace_id)
+        assert trace_id != "0" * 32
+
+    def test_span_id_shape(self):
+        span_id = new_span_id()
+        assert re.fullmatch(r"[0-9a-f]{16}", span_id)
+        assert span_id != "0" * 16
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestParse:
+    def test_valid_header(self):
+        ctx = parse_traceparent(
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        )
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert ctx.span_id == "00f067aa0ba902b7"
+        assert ctx.sampled is True
+
+    def test_unsampled_flag(self):
+        ctx = parse_traceparent(
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+        )
+        assert ctx is not None and ctx.sampled is False
+
+    def test_case_and_whitespace_normalised(self):
+        ctx = parse_traceparent(
+            "  00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01 "
+        )
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-short-01",
+            # Non-hex digits.
+            "00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+            # All-zero trace / span ids are invalid per the spec.
+            "00-" + "0" * 32 + "-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-" + "0" * 16 + "-01",
+            # Reserved version.
+            "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        ],
+    )
+    def test_malformed_rejected(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestFromTraceparent:
+    def test_valid_header_continues_the_trace(self):
+        header = (
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        )
+        ctx = from_traceparent(header)
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert ctx.span_id != "00f067aa0ba902b7"  # a fresh server span
+        assert ctx.parent_span_id == "00f067aa0ba902b7"
+
+    def test_missing_header_mints_a_root(self):
+        ctx = from_traceparent(None)
+        assert re.fullmatch(r"[0-9a-f]{32}", ctx.trace_id)
+        assert ctx.parent_span_id is None
+
+    def test_malformed_header_mints_a_root(self):
+        ctx = from_traceparent("ff-bad")
+        assert ctx.parent_span_id is None
+
+
+class TestRoundTrip:
+    def test_to_traceparent_shape(self):
+        assert TRACEPARENT.match(new_root().to_traceparent())
+
+    def test_round_trip_preserves_identity(self):
+        ctx = new_root()
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    def test_child_keeps_trace_id(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.parent_span_id == ctx.span_id
+
+
+class TestActivation:
+    def test_no_context_by_default(self):
+        assert obs_context.current() is None
+        assert obs_context.current_trace_id() is None
+
+    def test_activate_and_restore(self):
+        ctx = new_root()
+        token = obs_context.activate(ctx)
+        try:
+            assert obs_context.current() is ctx
+            assert obs_context.current_trace_id() == ctx.trace_id
+        finally:
+            obs_context.restore(token)
+        assert obs_context.current() is None
+
+    def test_active_context_manager(self):
+        ctx = new_root()
+        with obs_context.active(ctx) as active_ctx:
+            assert active_ctx is ctx
+            assert obs_context.current_trace_id() == ctx.trace_id
+        assert obs_context.current() is None
+
+    def test_wrap_carries_context_into_threads(self):
+        # run_in_executor does not propagate contextvars; wrap() must.
+        ctx = new_root()
+        with concurrent.futures.ThreadPoolExecutor(1) as pool:
+            with obs_context.active(ctx):
+                wrapped = obs_context.wrap(obs_context.current_trace_id)
+                bare = pool.submit(obs_context.current_trace_id).result()
+                carried = pool.submit(wrapped).result()
+        assert bare is None
+        assert carried == ctx.trace_id

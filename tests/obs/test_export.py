@@ -7,15 +7,25 @@ import pytest
 
 from repro.cli import main
 from repro.obs.export import (
+    escape_label_value,
     metric_name,
     render_openmetrics,
     write_openmetrics,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
-#: Every sample line: name, optional {label="..."} set, numeric value.
+#: Every sample line: name, optional {label="..."} set, numeric value,
+#: optional exemplar clause (# {labels} value timestamp).
 SAMPLE = re.compile(
-    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_]+=\"[^\"]*\"\})? \S+$"
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_+]+=\"[^\"]*\"\})? \S+"
+    r"( # \{[a-zA-Z_]+=\"[^\"]*\"\} \S+ \S+)?$"
+)
+
+#: A valid OpenMetrics exemplar clause on a _bucket sample. The label
+#: value admits escape sequences (\\, \", \n) per the text format.
+EXEMPLAR = re.compile(
+    r" # \{trace_id=\"(?P<trace_id>(?:\\.|[^\"\\])*)\"\} "
+    r"(?P<value>[0-9.e+-]+) (?P<ts>[0-9.]+)$"
 )
 
 
@@ -98,6 +108,110 @@ class TestRenderFromRegistry:
 
     def test_empty_registry_is_just_eof(self):
         assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+class TestLabelEscaping:
+    def test_backslash_escaped(self):
+        assert escape_label_value("a\\b") == "a\\\\b"
+
+    def test_double_quote_escaped(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_newline_escaped(self):
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+
+    def test_backslash_escaped_before_others(self):
+        # The backslash pass must run first, or the escapes it writes
+        # for quote/newline would themselves get re-escaped.
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+    def test_plain_text_untouched(self):
+        assert escape_label_value("abc-123_ü") == "abc-123_ü"
+
+    def test_escaped_exemplar_stays_one_line(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("serve.latency_s", buckets=(0.1, 1.0))
+        hist.observe(0.05, exemplar='evil\\"\nid')
+        text = render_openmetrics(registry)
+        line = next(
+            l for l in text.splitlines() if "_bucket" in l and "#" in l
+        )
+        assert '\\"' in line and "\\n" in line
+        assert "\n" not in line  # splitlines already proves it, but:
+        assert EXEMPLAR.search(line)
+
+
+class TestBucketedHistogram:
+    @pytest.fixture()
+    def registry(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "serve.latency_s", buckets=DEFAULT_LATENCY_BUCKETS
+        )
+        hist.observe(0.003, exemplar="a" * 32)
+        hist.observe(0.2, exemplar="b" * 32)
+        hist.observe(42.0, exemplar="c" * 32)  # lands in +Inf
+        return registry
+
+    def test_exports_histogram_family(self, registry):
+        families, samples = parse_families(render_openmetrics(registry))
+        assert families["repro_serve_latency_s"] == "histogram"
+        assert "repro_serve_latency_s_count 3" in samples
+
+    def test_buckets_are_cumulative_with_inf_last(self, registry):
+        text = render_openmetrics(registry)
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("repro_serve_latency_s_bucket")
+        ]
+        assert len(buckets) == len(DEFAULT_LATENCY_BUCKETS) + 1
+        assert 'le="+Inf"' in buckets[-1]
+        counts = [int(line.split("#")[0].split()[-1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 3
+
+    def test_exemplars_link_buckets_to_trace_ids(self, registry):
+        text = render_openmetrics(registry)
+        exemplars = {}
+        for line in text.splitlines():
+            match = EXEMPLAR.search(line)
+            if match and "_bucket" in line:
+                exemplars[match["trace_id"]] = float(match["value"])
+        assert exemplars["a" * 32] == 0.003
+        assert exemplars["b" * 32] == 0.2
+        assert exemplars["c" * 32] == 42.0  # the +Inf bucket's exemplar
+
+    def test_every_line_is_valid_openmetrics(self, registry):
+        # parse_families asserts the SAMPLE shape of each line,
+        # exemplar clauses included.
+        parse_families(render_openmetrics(registry))
+
+    def test_quantile_samples_still_present(self, registry):
+        # The serve-smoke CI job asserts on the p99 sample; bucketing
+        # must not remove the quantile series.
+        text = render_openmetrics(registry)
+        assert 'repro_serve_latency_s{quantile="0.99"}' in text
+
+    def test_freshest_exemplar_wins_per_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.5, exemplar="old")
+        hist.observe(0.6, exemplar="new")
+        text = render_openmetrics(registry)
+        assert 'trace_id="new"' in text
+        assert 'trace_id="old"' not in text
+
+    def test_exemplar_free_buckets_have_no_clause(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        bucket_lines = [
+            line
+            for line in render_openmetrics(registry).splitlines()
+            if "_bucket" in line
+        ]
+        assert bucket_lines and all(
+            "#" not in line for line in bucket_lines
+        )
 
 
 class TestRenderFromSnapshot:

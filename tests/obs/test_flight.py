@@ -1,0 +1,147 @@
+"""Flight-recorder (tail-based trace sampling) tests."""
+
+import pytest
+
+from repro.obs.flight import MAX_SPANS_PER_TRACE, FlightRecorder
+
+
+def span(trace_id, name="s", **args):
+    return {
+        "name": name, "cat": "serve", "ts": 0, "dur": 1,
+        "trace": trace_id, "args": args,
+    }
+
+
+class TestTailSampling:
+    def test_errors_always_kept(self):
+        recorder = FlightRecorder(keep_every=0)
+        for index in range(5):
+            trace = f"t{index}"
+            recorder.begin(trace)
+            recorder.finish(trace, status="error", error="boom")
+        assert recorder.kept == 5
+        assert all(
+            e["kept_because"] == "error" for e in recorder.entries()
+        )
+
+    def test_slow_requests_kept(self):
+        recorder = FlightRecorder(slow_threshold_s=0.5, keep_every=0)
+        recorder.begin("fast")
+        recorder.finish("fast", status="ok", latency_s=0.1)
+        recorder.begin("slow")
+        recorder.finish("slow", status="ok", latency_s=0.75)
+        assert [e["trace_id"] for e in recorder.entries()] == ["slow"]
+        assert recorder.entries()[0]["kept_because"] == "slow"
+
+    def test_baseline_sampling_every_nth(self):
+        recorder = FlightRecorder(keep_every=4, slow_threshold_s=10)
+        for index in range(8):
+            trace = f"t{index}"
+            recorder.begin(trace)
+            recorder.finish(trace, status="ok", latency_s=0.01)
+        kept = [e["trace_id"] for e in recorder.entries()]
+        assert kept == ["t0", "t4"]  # the 1st and the (N+1)th
+        assert recorder.dropped == 6
+
+    def test_keep_every_zero_disables_baseline(self):
+        recorder = FlightRecorder(keep_every=0, slow_threshold_s=10)
+        recorder.begin("t")
+        recorder.finish("t", status="ok", latency_s=0.01)
+        assert recorder.kept == 0
+
+    def test_ring_bounded_by_capacity(self):
+        recorder = FlightRecorder(capacity=3, keep_every=1)
+        for index in range(10):
+            trace = f"t{index}"
+            recorder.begin(trace)
+            recorder.finish(trace, status="ok")
+        entries = recorder.entries()
+        assert len(entries) == 3
+        assert [e["trace_id"] for e in entries] == ["t7", "t8", "t9"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestSpanRouting:
+    def test_spans_accumulate_on_active_trace(self):
+        recorder = FlightRecorder(keep_every=1)
+        recorder.begin("t1")
+        recorder.observe_span(span("t1", "serve.query"))
+        recorder.observe_span(span("t1", "serve.session"))
+        recorder.finish("t1", status="ok")
+        entry = recorder.find("t1")
+        assert [s["name"] for s in entry["spans"]] == [
+            "serve.query", "serve.session",
+        ]
+
+    def test_unknown_and_untraced_spans_ignored(self):
+        recorder = FlightRecorder(keep_every=1)
+        recorder.begin("t1")
+        recorder.observe_span(span("other"))
+        recorder.observe_span({"name": "no-trace", "cat": "task"})
+        recorder.finish("t1", status="ok")
+        assert recorder.find("t1")["spans"] == []
+
+    def test_per_trace_span_cap(self):
+        recorder = FlightRecorder(keep_every=1)
+        recorder.begin("t1")
+        for _ in range(MAX_SPANS_PER_TRACE + 10):
+            recorder.observe_span(span("t1"))
+        recorder.finish("t1", status="ok")
+        assert len(recorder.find("t1")["spans"]) == MAX_SPANS_PER_TRACE
+
+
+class TestLifecycle:
+    def test_finish_unknown_trace_makes_synthetic_entry(self):
+        # An error before begin() (e.g. in the HTTP layer) must still
+        # leave a record.
+        recorder = FlightRecorder()
+        kept = recorder.finish(
+            "never-begun", status="error", error="early crash"
+        )
+        assert kept is True
+        entry = recorder.find("never-begun")
+        assert entry["error"] == "early crash"
+        assert entry["spans"] == []
+
+    def test_annotate_attaches_fields_mid_flight(self):
+        recorder = FlightRecorder(keep_every=1)
+        recorder.begin("t1", tenant="acme")
+        recorder.annotate("t1", leader_trace_id="t0")
+        recorder.finish("t1", status="ok")
+        entry = recorder.find("t1")
+        assert entry["tenant"] == "acme"
+        assert entry["leader_trace_id"] == "t0"
+
+    def test_find_sees_active_traces(self):
+        recorder = FlightRecorder()
+        recorder.begin("t1", dataset="WV")
+        assert recorder.find("t1")["dataset"] == "WV"
+        assert recorder.find("nope") is None
+
+    def test_dump_and_describe(self):
+        recorder = FlightRecorder(capacity=8, keep_every=1)
+        recorder.begin("t1")
+        recorder.finish("t1", status="ok", latency_s=0.2)
+        recorder.begin("t2")
+        dump = recorder.dump()
+        assert dump["capacity"] == 8
+        assert dump["started"] == 2
+        assert dump["finished"] == 1
+        assert dump["active"] == ["t2"]
+        assert dump["entries"][0]["trace_id"] == "t1"
+        assert dump["entries"][0]["latency_s"] == 0.2
+        describe = recorder.describe()
+        assert describe["resident"] == 1
+        assert describe["active"] == 1
+        assert "entries" not in describe  # stats only, no bodies
+
+    def test_clear(self):
+        recorder = FlightRecorder(keep_every=1)
+        recorder.begin("t1")
+        recorder.finish("t1")
+        recorder.clear()
+        assert recorder.entries() == []
+        assert recorder.find("t1") is None

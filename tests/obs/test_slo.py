@@ -1,0 +1,144 @@
+"""SLO tracker (error budgets, multi-window burn rates) tests."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOTracker, render_slo_report
+
+NOW = 1_000_000.0
+
+
+def make_tracker(**overrides):
+    config = SLOConfig(**overrides) if overrides else SLOConfig()
+    return SLOTracker(config)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SLOConfig()
+        assert config.availability_target == 0.999
+        assert config.availability_budget == pytest.approx(0.001)
+        assert config.latency_budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"availability_target": 0.0},
+            {"availability_target": 1.0},
+            {"latency_target_s": 0.0},
+            {"latency_quantile": 1.0},
+            {"windows": ()},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestBurnRates:
+    def test_all_ok_burns_nothing(self):
+        tracker = make_tracker()
+        for _ in range(100):
+            tracker.record(ok=True, latency_s=0.01, now=NOW)
+        stats = tracker.window_stats(60, now=NOW)
+        assert stats["availability"] == 1.0
+        assert stats["availability_burn_rate"] == 0.0
+        assert stats["latency_burn_rate"] == 0.0
+
+    def test_availability_burn_rate_math(self):
+        # 1 failure in 100 = 1% observed vs 0.1% budget -> burn 10.
+        tracker = make_tracker()
+        for index in range(100):
+            tracker.record(ok=index != 0, latency_s=0.01, now=NOW)
+        stats = tracker.window_stats(60, now=NOW)
+        assert stats["errors"] == 1
+        assert stats["availability"] == pytest.approx(0.99)
+        assert stats["availability_burn_rate"] == pytest.approx(10.0)
+
+    def test_latency_burn_rate_math(self):
+        # 5 slow in 100 = 5% observed vs 1% budget -> burn 5.
+        tracker = make_tracker(latency_target_s=0.5)
+        for index in range(100):
+            latency = 1.0 if index < 5 else 0.01
+            tracker.record(ok=True, latency_s=latency, now=NOW)
+        stats = tracker.window_stats(60, now=NOW)
+        assert stats["slow"] == 5
+        assert stats["latency_burn_rate"] == pytest.approx(5.0)
+
+    def test_windows_see_different_history(self):
+        tracker = make_tracker()
+        # An error 2 minutes ago: outside 1m, inside 5m and 1h.
+        tracker.record(ok=False, latency_s=0.01, now=NOW - 120)
+        for _ in range(9):
+            tracker.record(ok=True, latency_s=0.01, now=NOW)
+        assert tracker.window_stats(60, now=NOW)["errors"] == 0
+        assert tracker.window_stats(300, now=NOW)["errors"] == 1
+
+    def test_samples_pruned_past_longest_window(self):
+        tracker = make_tracker()
+        tracker.record(ok=False, latency_s=0.01, now=NOW - 7200)
+        tracker.record(ok=True, latency_s=0.01, now=NOW)
+        assert tracker.window_stats(3600, now=NOW)["total"] == 1
+
+    def test_empty_window_is_healthy(self):
+        stats = make_tracker().window_stats(60, now=NOW)
+        assert stats["total"] == 0
+        assert stats["availability"] == 1.0
+        assert stats["availability_burn_rate"] == 0.0
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_shape(self):
+        tracker = make_tracker()
+        tracker.record(ok=True, latency_s=0.01, now=NOW)
+        snapshot = tracker.snapshot(now=NOW)
+        assert set(snapshot["windows"]) == {"1m", "5m", "1h"}
+        assert snapshot["objectives"]["availability_target"] == 0.999
+        assert snapshot["availability_budget_remaining"] == 1.0
+        assert snapshot["latency_budget_remaining"] == 1.0
+
+    def test_budget_remaining_goes_negative_when_blown(self):
+        tracker = make_tracker()
+        for _ in range(10):
+            tracker.record(ok=False, latency_s=0.01, now=NOW)
+        snapshot = tracker.snapshot(now=NOW)
+        assert snapshot["availability_budget_remaining"] < 0
+
+    def test_export_publishes_gauges(self):
+        tracker = make_tracker()
+        for index in range(100):
+            tracker.record(ok=index != 0, latency_s=0.01, now=NOW)
+        registry = MetricsRegistry()
+        tracker.export_to(registry, now=NOW)
+        snapshot = registry.snapshot()
+        assert snapshot["slo.availability.burn_rate.1m"] == (
+            pytest.approx(10.0)
+        )
+        assert snapshot["slo.requests.1m"] == 100
+        assert snapshot["slo.availability.budget_remaining"] == (
+            pytest.approx(-9.0)
+        )
+        assert "slo.latency.burn_rate.1h" in snapshot
+
+    def test_export_overwrites_in_place(self):
+        tracker = make_tracker()
+        registry = MetricsRegistry()
+        tracker.record(ok=False, latency_s=0.01, now=NOW)
+        tracker.export_to(registry, now=NOW)
+        # Two hours later the error aged out of every window.
+        tracker.record(ok=True, latency_s=0.01, now=NOW + 7200)
+        tracker.export_to(registry, now=NOW + 7200)
+        assert registry.snapshot()[
+            "slo.availability.burn_rate.1h"
+        ] == 0.0
+
+
+class TestReport:
+    def test_render_contains_windows_and_budgets(self):
+        tracker = make_tracker()
+        for index in range(50):
+            tracker.record(ok=index != 0, latency_s=0.02, now=NOW)
+        text = render_slo_report(tracker.snapshot(now=NOW))
+        assert "availability >= 99.9000%" in text
+        assert "1m" in text and "1h" in text
+        assert "budget remaining" in text

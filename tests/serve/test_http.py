@@ -20,15 +20,19 @@ async def raw_request(host, port, payload: bytes) -> bytes:
     return response
 
 
-async def request(host, port, method, path, body=None):
+async def request(host, port, method, path, body=None, headers=None):
     """One HTTP/1.1 exchange; returns (status, headers, body bytes)."""
     encoded = (
         json.dumps(body).encode("utf-8") if body is not None else b""
+    )
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
     )
     head = (
         f"{method} {path} HTTP/1.1\r\n"
         f"Host: {host}\r\n"
         f"Content-Length: {len(encoded)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n\r\n"
     ).encode("ascii")
     raw = await raw_request(host, port, head + encoded)
@@ -188,13 +192,214 @@ class TestErrorMapping:
         async def scenario(host, port):
             return await request(host, port, "GET", "/nope")
 
-        status, _headers, _body = asyncio.run(with_daemon(scenario))
+        status, _headers, body = asyncio.run(with_daemon(scenario))
         assert status == 404
+        payload = json.loads(body)
+        assert payload["error"] == "NotFound"
+        assert payload["message"] == "/nope"
 
     def test_wrong_method_is_405(self):
         async def scenario(host, port):
             get_query = await request(host, port, "GET", "/query")
             post_stats = await request(host, port, "POST", "/stats")
-            return get_query[0], post_stats[0]
+            return get_query, post_stats
 
-        assert asyncio.run(with_daemon(scenario)) == (405, 405)
+        get_query, post_stats = asyncio.run(with_daemon(scenario))
+        assert get_query[0] == 405
+        assert post_stats[0] == 405
+        assert json.loads(get_query[2])["error"] == "MethodNotAllowed"
+        assert json.loads(post_stats[2])["error"] == "MethodNotAllowed"
+
+    def test_malformed_json_reports_config_error_payload(self):
+        async def scenario(host, port):
+            raw = (
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 10\r\nConnection: close\r\n\r\n"
+                b"{not json}"
+            )
+            return await raw_request(host, port, raw)
+
+        response = asyncio.run(with_daemon(scenario))
+        assert response.startswith(b"HTTP/1.1 400")
+        payload = json.loads(response.partition(b"\r\n\r\n")[2])
+        assert payload["error"] == "ConfigError"
+        assert "not valid JSON" in payload["message"]
+
+    def test_oversized_body_is_413(self):
+        async def scenario(host, port):
+            # Declare a body past the limit; the server must refuse
+            # from the header alone, without reading the body.
+            raw = (
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 999999999\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            return await raw_request(host, port, raw)
+
+        response = asyncio.run(with_daemon(scenario))
+        assert response.startswith(b"HTTP/1.1 413")
+        payload = json.loads(response.partition(b"\r\n\r\n")[2])
+        assert payload["error"] == "PayloadTooLarge"
+
+    def test_unparseable_content_length_is_413(self):
+        async def scenario(host, port):
+            raw = (
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: banana\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            return await raw_request(host, port, raw)
+
+        response = asyncio.run(with_daemon(scenario))
+        assert response.startswith(b"HTTP/1.1 413")
+
+    def test_malformed_request_line_is_400(self):
+        async def scenario(host, port):
+            return await raw_request(host, port, b"garbage\r\n\r\n")
+
+        response = asyncio.run(with_daemon(scenario))
+        assert response.startswith(b"HTTP/1.1 400")
+
+
+TRACEPARENT_RE = r"^00-[0-9a-f]{32}-[0-9a-f]{16}-0[01]$"
+
+
+class TestTracing:
+    def test_response_carries_traceparent_header(self):
+        import re
+
+        async def scenario(host, port):
+            return await request(host, port, "POST", "/query", QUERY)
+
+        status, headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        assert re.match(TRACEPARENT_RE, headers["traceparent"])
+        result = json.loads(body)
+        # One id everywhere: header, x-trace-id, result body.
+        trace_id = headers["traceparent"].split("-")[1]
+        assert headers["x-trace-id"] == trace_id
+        assert result["trace_id"] == trace_id
+
+    def test_inbound_traceparent_continues_the_trace(self):
+        inbound_trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+        header = f"00-{inbound_trace}-00f067aa0ba902b7-01"
+
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/query", QUERY,
+                headers={"traceparent": header},
+            )
+
+        status, headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        assert headers["x-trace-id"] == inbound_trace
+        assert json.loads(body)["trace_id"] == inbound_trace
+        # The server minted its own span id under the caller's trace.
+        assert headers["traceparent"] != header
+        assert headers["traceparent"].split("-")[1] == inbound_trace
+
+    def test_malformed_traceparent_starts_fresh_trace(self):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/query", QUERY,
+                headers={"traceparent": "ff-bogus"},
+            )
+
+        status, headers, _body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        assert len(headers["x-trace-id"]) == 32
+
+    def test_error_responses_also_carry_trace_headers(self):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/nope")
+
+        status, headers, _body = asyncio.run(with_daemon(scenario))
+        assert status == 404
+        assert "x-trace-id" in headers
+
+    def test_traced_query_lands_in_flight_recorder(self):
+        inbound_trace = "ab" * 16
+        header = f"00-{inbound_trace}-{'cd' * 8}-01"
+
+        async def scenario(host, port):
+            await request(
+                host, port, "POST", "/query", QUERY,
+                headers={"traceparent": header},
+            )
+            return await request(host, port, "GET", "/debug/flight")
+
+        status, _headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        dump = json.loads(body)
+        # The first finished request is the baseline sample.
+        entry = next(
+            e for e in dump["entries"]
+            if e["trace_id"] == inbound_trace
+        )
+        assert entry["status"] == "ok"
+        assert entry["algorithm"] == "pagerank"
+        names = [s["name"] for s in entry["spans"]]
+        # Service, session, and the five modelled phases all share the
+        # trace: the span set proves end-to-end context propagation.
+        assert "serve.query" in names
+        assert "serve.session" in names
+        assert "engine.run" in names
+        assert "Data loading" in names
+        assert all(s["trace"] == inbound_trace for s in entry["spans"])
+
+    def test_metrics_carry_slo_gauges_and_exemplars(self):
+        async def scenario(host, port):
+            await request(host, port, "POST", "/query", QUERY)
+            return await request(host, port, "GET", "/metrics")
+
+        _status, _headers, body = asyncio.run(with_daemon(scenario))
+        text = body.decode("utf-8")
+        assert "repro_slo_availability_burn_rate_1m 0" in text
+        assert "repro_slo_latency_budget_remaining 1" in text
+        # At least one latency bucket links to a real trace id.
+        assert 'repro_serve_latency_s_bucket{le="' in text
+        exemplar_lines = [
+            line for line in text.splitlines()
+            if "_bucket" in line and "trace_id=" in line
+        ]
+        assert exemplar_lines
+
+
+class TestHealth:
+    def test_readyz_when_warm(self):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/readyz")
+
+        status, _headers, body = asyncio.run(with_daemon(scenario))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["checks"] == {
+            "accepting": True,
+            "queue_headroom": True,
+            "pool_warm": True,
+            "store_reachable": True,
+        }
+
+    def test_readyz_unavailable_after_close(self):
+        async def scenario(host, port):
+            return host, port
+
+        async def run():
+            from repro.obs.metrics import MetricsRegistry
+            from repro.serve import AnalyticsService
+            from repro.serve.http import HttpFrontend
+
+            service = AnalyticsService(registry=MetricsRegistry())
+            frontend = HttpFrontend(service, port=0)
+            host, port = await frontend.start()
+            service._closed = True  # simulate shutdown mid-drain
+            try:
+                return await request(host, port, "GET", "/readyz")
+            finally:
+                service._closed = False
+                await frontend.aclose()
+
+        status, _headers, body = asyncio.run(run())
+        assert status == 503
+        assert json.loads(body)["checks"]["accepting"] is False

@@ -311,3 +311,175 @@ class TestMetricsHygiene:
             assert "acme" not in name
             assert "WV" not in name
             assert "7" not in name
+
+
+class TestRequestObservability:
+    def test_result_carries_a_trace_id(self):
+        service = make_service()
+        query = QueryRequest("WV", "wcc", profile="tiny")
+        try:
+            service.preload(["WV"], "tiny")
+            result = run(service.submit(query))
+        finally:
+            service.close()
+        assert len(result.trace_id) == 32
+        assert result.to_dict()["trace_id"] == result.trace_id
+
+    def test_ambient_context_is_adopted(self):
+        from repro.obs import context as obs_context
+
+        service = make_service()
+        query = QueryRequest("WV", "wcc", profile="tiny")
+
+        async def scenario():
+            ctx = obs_context.new_root()
+            with obs_context.active(ctx):
+                result = await service.submit(query)
+            return ctx, result
+
+        try:
+            service.preload(["WV"], "tiny")
+            ctx, result = run(scenario())
+        finally:
+            service.close()
+        assert result.trace_id == ctx.trace_id
+
+    def test_flight_recorder_keeps_the_first_query(self):
+        service = make_service()
+        query = QueryRequest(
+            "WV", "pagerank", params={"iterations": 2}, profile="tiny"
+        )
+        try:
+            service.preload(["WV"], "tiny")
+            result = run(service.submit(query))
+            entry = service.flight.find(result.trace_id)
+        finally:
+            service.close()
+        assert entry is not None
+        assert entry["status"] == "ok"
+        assert entry["kept_because"] == "sampled"
+        names = [s["name"] for s in entry["spans"]]
+        assert "serve.query" in names
+        assert "serve.session" in names
+        assert "engine.run" in names
+
+    def test_errors_keep_their_flight_entry(self):
+        service = make_service(quota_rate=0.001, quota_burst=1)
+        query = QueryRequest("WV", "wcc", profile="tiny")
+        try:
+            service.preload(["WV"], "tiny")
+            run(service.submit(query))
+            with pytest.raises(QuotaExceededError):
+                run(service.submit(query))
+            entries = service.flight.entries()
+        finally:
+            service.close()
+        rejected = [e for e in entries if e["status"] != "ok"]
+        assert len(rejected) == 1
+        assert rejected[0]["status"] == "quota_rejected"
+        assert rejected[0]["kept_because"] == "error"
+
+    def test_slo_counts_server_faults_not_quota_rejections(self):
+        service = make_service(quota_rate=0.001, quota_burst=1)
+        query = QueryRequest("WV", "wcc", profile="tiny")
+        try:
+            service.preload(["WV"], "tiny")
+            run(service.submit(query))
+            with pytest.raises(QuotaExceededError):
+                run(service.submit(query))
+            stats = service.slo.window_stats(60)
+        finally:
+            service.close()
+        # Both requests recorded; the client rejection is not an error.
+        assert stats["total"] == 2
+        assert stats["errors"] == 0
+
+    def test_slo_counts_timeouts_as_server_faults(self):
+        service = make_service(run_delay_s=0.3)
+        query = QueryRequest(
+            "WV", "wcc", profile="tiny", timeout_s=0.05
+        )
+        try:
+            service.preload(["WV"], "tiny")
+            with pytest.raises(QueryTimeoutError):
+                run(service.submit(query))
+            stats = service.slo.window_stats(60)
+        finally:
+            service.close()
+        assert stats["errors"] == 1
+
+    def test_coalesced_followers_link_the_leader_trace(self):
+        service = make_service(run_delay_s=0.05, flight_capacity=64)
+        # keep_every=16 would drop most follower traces; make the ring
+        # keep everything so the link is observable.
+        service.flight.keep_every = 1
+        query = QueryRequest(
+            "WV", "pagerank", params={"iterations": 4}, profile="tiny"
+        )
+        try:
+            service.preload(["WV"], "tiny")
+            results = run(submit_burst(service, [query] * 4))
+            entries = service.flight.entries()
+        finally:
+            service.close()
+        leader = next(r for r in results if not r.coalesced)
+        followers = [
+            e for e in entries if "leader_trace_id" in e
+        ]
+        assert len(followers) == 3
+        assert all(
+            e["leader_trace_id"] == leader.trace_id for e in followers
+        )
+
+    def test_pool_lifecycle_metrics_in_registry(self):
+        registry = MetricsRegistry()
+        service = make_service(registry=registry, max_sessions=1)
+        try:
+            service.preload(["WV"], "tiny")
+            service.preload(["NF"], "tiny")  # evicts WV
+        finally:
+            service.close()
+        snapshot = registry.snapshot()
+        assert snapshot["serve.pool.sessions_created"] == 2
+        assert snapshot["serve.pool.evictions"] == 1
+        assert snapshot["serve.pool.resident"] == 0  # cleared on close
+
+    def test_close_restores_tracer_state(self):
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.enabled = False
+        try:
+            service = make_service()
+            assert tracer.enabled
+            sink_count = len(tracer._sinks)
+            service.close()
+            assert not tracer.enabled
+            assert len(tracer._sinks) == sink_count - 1
+        finally:
+            tracer.enabled = was_enabled
+
+    def test_readiness_checks(self):
+        service = make_service()
+        try:
+            ready, checks = service.readiness()
+            assert ready
+            assert checks["accepting"] and checks["pool_warm"]
+        finally:
+            service.close()
+        ready, checks = service.readiness()
+        assert not ready
+        assert checks["accepting"] is False
+
+    def test_stats_include_slo_and_flight(self):
+        service = make_service()
+        query = QueryRequest("WV", "wcc", profile="tiny")
+        try:
+            service.preload(["WV"], "tiny")
+            run(service.submit(query))
+            stats = service.stats()
+        finally:
+            service.close()
+        assert stats["slo"]["windows"]["1m"]["total"] == 1
+        assert stats["flight"]["kept"] == 1

@@ -168,3 +168,126 @@ class TestStoreCommands:
     def test_store_convert_rejects_unknown_dataset(self, store_sandbox):
         with pytest.raises(SystemExit):
             main(["store-convert", "NOPE"])
+
+
+class TestSloReport:
+    def _stats_file(self, tmp_path):
+        from repro.obs.slo import SLOTracker
+
+        tracker = SLOTracker()
+        now = 1_000_000.0
+        for index in range(20):
+            tracker.record(ok=index != 0, latency_s=0.02, now=now)
+        path = tmp_path / "stats.json"
+        path.write_text(
+            json.dumps({"queries": 20, "slo": tracker.snapshot(now=now)})
+        )
+        return path
+
+    def test_renders_from_stats_file(self, tmp_path, capsys):
+        path = self._stats_file(tmp_path)
+        assert main(["slo-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "availability >= 99.9000%" in out
+        assert "1m" in out and "budget remaining" in out
+
+    def test_accepts_bare_snapshot(self, tmp_path, capsys):
+        from repro.obs.slo import SLOTracker
+
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(SLOTracker().snapshot(now=1.0)))
+        assert main(["slo-report", str(path)]) == 0
+        assert "budget remaining" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["slo-report", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_slo_payload_rejected(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"queries": 3}))
+        assert main(["slo-report", str(path)]) == 1
+        assert "no SLO snapshot" in capsys.readouterr().err
+
+    def test_unreachable_daemon_fails_cleanly(self, capsys):
+        assert main(
+            ["slo-report", "http://127.0.0.1:9/stats"]
+        ) == 1
+        assert "cannot fetch" in capsys.readouterr().err
+
+
+class TestTraceGrep:
+    TRACE = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+    def _flight_file(self, tmp_path):
+        dump = {
+            "capacity": 256,
+            "entries": [
+                {
+                    "trace_id": self.TRACE,
+                    "status": "ok",
+                    "latency_s": 0.12,
+                    "kept_because": "sampled",
+                    "dataset": "WV",
+                    "algorithm": "pagerank",
+                    "spans": [
+                        {"name": "serve.query", "cat": "serve",
+                         "ts": 0, "dur": 120000,
+                         "trace": self.TRACE, "args": {}},
+                        {"name": "serve.session", "cat": "session",
+                         "ts": 10, "dur": 100000,
+                         "trace": self.TRACE, "args": {}},
+                        {"name": "engine.run", "cat": "engine",
+                         "ts": 20, "dur": 90000,
+                         "trace": self.TRACE,
+                         "args": {"algorithm": "pagerank"}},
+                    ],
+                }
+            ],
+        }
+        path = tmp_path / "flight.json"
+        path.write_text(json.dumps(dump))
+        return path
+
+    def test_renders_span_tree_from_flight_dump(self, tmp_path, capsys):
+        path = self._flight_file(tmp_path)
+        assert main(["trace-grep", self.TRACE, str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {self.TRACE}" in out
+        assert "status=ok" in out
+        # Indentation proves the reconstructed nesting.
+        assert "- serve.query" in out
+        assert "  - serve.session" in out
+        assert "    - engine.run" in out
+
+    def test_unique_prefix_matches(self, tmp_path, capsys):
+        path = self._flight_file(tmp_path)
+        assert main(["trace-grep", self.TRACE[:8], str(path)]) == 0
+        assert self.TRACE in capsys.readouterr().out
+
+    def test_missing_trace_exits_one(self, tmp_path, capsys):
+        path = self._flight_file(tmp_path)
+        assert main(["trace-grep", "feedbeef", str(path)]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_reads_plain_trace_files_too(self, tmp_path, capsys):
+        spans = [
+            {"name": "serve.query", "cat": "serve", "ts": 0,
+             "dur": 50, "trace": self.TRACE, "args": {}},
+            {"name": "other.span", "cat": "task", "ts": 0,
+             "dur": 50, "trace": "f" * 32, "args": {}},
+        ]
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(span) for span in spans) + "\n"
+        )
+        assert main(["trace-grep", self.TRACE, str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.query" in out
+        assert "other.span" not in out
+
+    def test_unreachable_daemon_fails_cleanly(self, capsys):
+        assert main(
+            ["trace-grep", "abc", "http://127.0.0.1:9/debug/flight"]
+        ) == 1
+        assert "cannot fetch" in capsys.readouterr().err
