@@ -7,6 +7,7 @@ Usage::
     python -m repro run-all --jobs 4 --out r/  # everything, in parallel
     python -m repro run-all --trace t.json     # … with a Perfetto trace
     python -m repro trace-summary t.json       # per-phase table
+    python -m repro hw-report --dataset WV     # per-array counters
     python -m repro datasets                   # Table II registry
     python -m repro bench --quick              # perf record -> BENCH_*.json
     python -m repro bench-compare BENCH_quick.json   # regression gate
@@ -150,6 +151,52 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument(
         "--top", type=int, default=15, metavar="N",
         help="rows in the --pstats self-time table (default: 15)",
+    )
+
+    hw_report = sub.add_parser(
+        "hw-report",
+        help="per-array hardware counter report from an instrumented "
+             "micro-engine run",
+    )
+    hw_report.add_argument(
+        "--dataset", default="WV", metavar="KEY",
+        choices=sorted(DATASETS),
+        help="Table II dataset key (default: WV)",
+    )
+    hw_report.add_argument(
+        "--profile", default="tiny", choices=("tiny", "bench", "full"),
+        help="dataset scale (default: tiny; the micro engine is the "
+             "slow, honest one)",
+    )
+    hw_report.add_argument(
+        "--algorithm", default="pagerank",
+        choices=("pagerank", "bfs", "sssp"),
+        help="kernel to run (default: pagerank)",
+    )
+    hw_report.add_argument(
+        "--iterations", type=int, default=2, metavar="N",
+        help="PageRank iterations (default: 2)",
+    )
+    hw_report.add_argument(
+        "--source", type=int, default=0, metavar="V",
+        help="bfs/sssp source vertex (default: 0)",
+    )
+    hw_report.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="stdout rendering (default: text)",
+    )
+    hw_report.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="also write the full JSON report to PATH (CI artifact)",
+    )
+    hw_report.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="export the per-bank-labelled counters as OpenMetrics "
+             "text to PATH",
+    )
+    hw_report.add_argument(
+        "--log-level", default=None, choices=sorted(LEVELS),
+        help="stderr log verbosity",
     )
 
     bench = sub.add_parser(
@@ -379,6 +426,75 @@ def _run_session(args: argparse.Namespace, experiment_id) -> int:
         if index < len(results) - 1:
             print()
     log.info("run.summary", summary=session.manifest.summary())
+    return 0
+
+
+def _run_hw_report(args: argparse.Namespace) -> int:
+    """Run the micro engine under an :class:`HwMonitor`, render the
+    per-array report, and fail (exit 1) if attribution does not sum
+    back to the run's global :class:`EventLog`."""
+    import json as json_module
+
+    from .config import ArchConfig
+    from .core.micro import MicroGaaSX
+    from .graphs.datasets import load_dataset
+    from .graphs.graph import Graph
+    from .obs.export import write_openmetrics
+    from .obs.hw import (
+        HwMonitor,
+        build_report,
+        publish_counters,
+        render_report,
+    )
+    from .obs.metrics import get_metrics
+
+    graph = load_dataset(args.dataset, args.profile)
+    if not isinstance(graph, Graph):
+        raise ReproError(
+            f"dataset {args.dataset!r} is bipartite; hw-report drives "
+            f"the micro traversal/PageRank kernels, which need a plain "
+            f"graph"
+        )
+    config = ArchConfig()
+    monitor = HwMonitor(config.mac_accumulate_limit)
+    engine = MicroGaaSX(graph, config=config, hw=monitor)
+    if args.algorithm == "pagerank":
+        _, events = engine.pagerank(iterations=args.iterations)
+    elif args.algorithm == "bfs":
+        _, events = engine.bfs(args.source)
+    else:
+        _, events = engine.sssp(args.source)
+    report = build_report(monitor, events, config.tech)
+    report["dataset"] = args.dataset
+    report["profile"] = args.profile
+    report["algorithm"] = args.algorithm
+    if args.format == "json":
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{args.algorithm} on {args.dataset}-{args.profile}: "
+            f"{graph.num_vertices:,} vertices, "
+            f"{graph.num_edges:,} edges"
+        )
+        print(render_report(report))
+    if args.json_path is not None:
+        import os
+
+        parent = os.path.dirname(os.path.abspath(args.json_path))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+        log.info("hw_report.written", path=args.json_path)
+    publish_counters(monitor, get_metrics())
+    if args.metrics is not None:
+        written = write_openmetrics(get_metrics(), args.metrics)
+        log.info("metrics.written", path=written)
+    if not report["parity"]["ok"]:
+        log.error(
+            "hw_report.parity_failed",
+            mismatches=sorted(report["parity"]["mismatches"]),
+        )
+        return 1
     return 0
 
 
@@ -760,6 +876,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print()
                 print(render_profile_table(rows))
             return 0
+        elif args.command == "hw-report":
+            return _run_hw_report(args)
         elif args.command == "bench":
             return _run_bench(args)
         elif args.command == "bench-compare":

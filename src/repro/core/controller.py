@@ -29,12 +29,19 @@ PHASE_NAMES = (
 
 @dataclass(frozen=True)
 class PhaseSummary:
-    """One execution phase's aggregate activity."""
+    """One execution phase's aggregate activity.
+
+    ``occupancy`` and ``adc_saturations`` only carry signal on the MAC
+    phase (the accumulation window and the converter live there); every
+    other phase reports the zero defaults.
+    """
 
     name: str
     operations: int
     time_s: float
     energy_j: float
+    occupancy: float = 0.0
+    adc_saturations: int = 0
 
     def __str__(self) -> str:
         return (
@@ -80,6 +87,11 @@ def build_plan(
     tech = config.tech
     events = stats.events
     energy = stats.energy
+    # GraphR's config has no mac_accumulate_limit; its 16-row tiles
+    # play the same role for the occupancy signal.
+    accumulate_limit = getattr(
+        config, "mac_accumulate_limit", getattr(config, "tile_size", 16)
+    )
     cam_serial = events.cam_searches * tech.cam_latency_s
     mac_serial = events.mac_ops * (
         tech.mac_latency_s + tech.input_stage_latency_s
@@ -119,6 +131,10 @@ def build_plan(
                 if energy is not None
                 else 0.0
             ),
+            occupancy=events.rows_occupancy(
+                accumulate_limit
+            )["occupancy"],
+            adc_saturations=events.adc_saturations,
         ),
         PhaseSummary(
             "Special function",
@@ -167,6 +183,8 @@ def record_plan(plan: ExecutionPlan, engine: str = "gaasx") -> None:
             args={
                 "operations": phase.operations,
                 "energy_j": phase.energy_j,
+                "occupancy": phase.occupancy,
+                "adc_saturations": phase.adc_saturations,
                 "engine": engine,
                 "modelled": True,
             },

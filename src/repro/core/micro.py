@@ -46,6 +46,8 @@ class _CrossbarPair:
         load_weights: bool,
         search_field: str = "src",
         exact: bool = True,
+        hw=None,
+        index: int = 0,
     ) -> None:
         # Each CAM field spans half the 128-bit row, matching the
         # engine's cam_cell_writes = 2 bits-per-cell-pair x width.
@@ -66,6 +68,12 @@ class _CrossbarPair:
             exact=exact,
             events=events,
         )
+        # Attach per-array counter handles *before* loading: the edge
+        # and weight writes below are events, and attribution must see
+        # them or the counter-vs-EventLog parity check fails.
+        if hw is not None:
+            self.cam.cam.hw = hw.register("cam", index)
+            self.mac.hw = hw.register("mac", index)
         self.src = src
         self.dst = dst
         self.weight = weight
@@ -102,13 +110,22 @@ class MicroGaaSX:
         config: Optional[ArchConfig] = None,
         interval_size: Optional[int] = None,
         quantized: bool = False,
+        hw=None,
     ) -> None:
         """``quantized=True`` runs the MAC arrays through the honest
         fixed-point pipeline (2-bit cells, bit-serial inputs, ADC)
         instead of exact float arithmetic; results then carry bounded
-        quantization error instead of matching references exactly."""
+        quantization error instead of matching references exactly.
+
+        ``hw`` takes an :class:`repro.obs.hw.HwMonitor`: every crossbar
+        pair registers a ``cam``/``mac`` array slot on it and the
+        algorithms close one timeline bin per superstep. A monitor
+        accumulates, while each run gets a fresh :class:`EventLog` —
+        so use one monitor per run to keep the parity check meaningful.
+        """
         self.config = config if config is not None else ArchConfig()
         self.quantized = quantized
+        self.hw = hw
         self.graph = graph
         if interval_size is None:
             interval_size = default_interval_size(graph.num_vertices)
@@ -136,6 +153,8 @@ class MicroGaaSX:
                     load_weights,
                     search_field=search_field,
                     exact=not self.quantized,
+                    hw=self.hw,
+                    index=x,
                 )
             )
         return layout, pairs
@@ -177,6 +196,8 @@ class MicroGaaSX:
             ranks = (1.0 - alpha) + alpha * contrib
             events.sfu_ops += 2 * n  # damping affine per vertex
             events.buffer_writes += n
+            if self.hw is not None:
+                self.hw.end_step()
         return ranks, events
 
     # ------------------------------------------------------------------
@@ -246,6 +267,8 @@ class MicroGaaSX:
             events.buffer_writes += int(improved_any.sum())
             dist = new_dist
             active = improved_any
+            if self.hw is not None:
+                self.hw.end_step()
         return dist, events
 
     def bfs(self, source: int) -> Tuple[np.ndarray, EventLog]:

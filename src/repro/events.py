@@ -49,6 +49,10 @@ class EventLog:
         dense-vs-sparse value-write comparison stays clean.
     adc_conversions / dac_conversions:
         Converter activations.
+    adc_saturations:
+        ADC samples whose analog input exceeded full scale and clipped
+        to ``max_code``. Only the quantized array models digitize real
+        values, so exact-mode runs keep this at zero.
     sfu_ops:
         Scalar special-function operations (min, add, mul, compare).
     buffer_reads / buffer_writes:
@@ -64,6 +68,7 @@ class EventLog:
     cam_cell_writes: int = 0
     cam_row_writes: int = 0
     adc_conversions: int = 0
+    adc_saturations: int = 0
     dac_conversions: int = 0
     sfu_ops: int = 0
     buffer_reads: int = 0
@@ -110,6 +115,7 @@ class EventLog:
         self.cam_cell_writes += other.cam_cell_writes
         self.cam_row_writes += other.cam_row_writes
         self.adc_conversions += other.adc_conversions
+        self.adc_saturations += other.adc_saturations
         self.dac_conversions += other.dac_conversions
         self.sfu_ops += other.sfu_ops
         self.buffer_reads += other.buffer_reads
@@ -199,6 +205,7 @@ class EventLog:
             "cam_cell_writes": self.cam_cell_writes,
             "cam_row_writes": self.cam_row_writes,
             "adc_conversions": self.adc_conversions,
+            "adc_saturations": self.adc_saturations,
             "dac_conversions": self.dac_conversions,
             "sfu_ops": self.sfu_ops,
             "buffer_reads": self.buffer_reads,

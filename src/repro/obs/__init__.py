@@ -57,11 +57,22 @@ from .context import (
 )
 from .export import render_openmetrics, write_openmetrics
 from .flight import FlightRecorder
+from .hw import (
+    HW_COUNTERS,
+    ArrayCounters,
+    HwMonitor,
+    build_report,
+    check_parity,
+    publish_counters,
+    render_report,
+    utilization_summary,
+)
 from .log import configure_logging, get_logger, set_level
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledCounter,
     MetricsRegistry,
     get_metrics,
     observe_event_counts,
@@ -95,9 +106,18 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "set_level",
+    "HW_COUNTERS",
+    "ArrayCounters",
+    "HwMonitor",
+    "build_report",
+    "check_parity",
+    "publish_counters",
+    "render_report",
+    "utilization_summary",
     "Counter",
     "Gauge",
     "Histogram",
+    "LabeledCounter",
     "MetricsRegistry",
     "get_metrics",
     "observe_event_counts",

@@ -320,6 +320,53 @@ def _micro_traversal_workload() -> Workload:
     return Workload("micro.traversal", "kernel", setup, run, collect)
 
 
+def _hw_pagerank_workload() -> Workload:
+    """Micro-engine PageRank under the per-array hardware monitor.
+
+    Times the instrumented run (so the monitor's overhead itself is on
+    the perf trajectory) and records the per-array load-balance figures
+    — occupancy, imbalance, active fraction — plus the
+    counter-vs-EventLog parity verdict as a gated 1.0/0.0 metric.
+    Fixed-size graph, profile-independent, like the other micro
+    workloads.
+    """
+
+    def setup(_profile: str):
+        from ..graphs.generators import rmat
+
+        return rmat(256, 2000, seed=5, name="hw-bench")
+
+    def run(graph):
+        from ..config import ArchConfig
+        from ..core.micro import MicroGaaSX
+        from .hw import HwMonitor
+
+        monitor = HwMonitor(ArchConfig().mac_accumulate_limit)
+        _ranks, events = MicroGaaSX(graph, hw=monitor).pagerank(
+            iterations=2
+        )
+        return monitor, events
+
+    def collect(_graph, payload) -> Dict[str, float]:
+        from .hw import check_parity, utilization_summary
+
+        monitor, events = payload
+        util = utilization_summary(monitor)
+        metrics = {
+            "hw.arrays": float(util["arrays"]),
+            "hw.imbalance": float(util["imbalance"]),
+            "hw.active_frac": float(util["active_frac"]),
+            "hw.parity_ok": 1.0 if check_parity(monitor, events)["ok"]
+            else 0.0,
+        }
+        limit = monitor.accumulate_limit
+        for name, value in events.rows_occupancy(limit).items():
+            metrics[f"xbar.{name}"] = float(value)
+        return metrics
+
+    return Workload("hw.pagerank", "kernel", setup, run, collect)
+
+
 def _serve_burst_workload() -> Workload:
     """Serving latency: a mixed query burst against the warm service.
 
@@ -526,6 +573,7 @@ def _build_workloads() -> Dict[str, Workload]:
         _mac_accumulate_workload(),
         _traversal_superstep_workload(),
         _micro_traversal_workload(),
+        _hw_pagerank_workload(),
         _serve_burst_workload(),
         _dataplane_convert_workload(),
         _dataplane_open_workload(),
@@ -545,13 +593,14 @@ WORKLOADS: Dict[str, Workload] = _build_workloads()
 SUITES: Dict[str, Tuple[Tuple[str, ...], str, int]] = {
     "quick": (
         ("engine.pagerank", "cam.search", "mac.accumulate",
-         "traversal.superstep", "micro.traversal", "exp.abl-interval"),
+         "traversal.superstep", "micro.traversal", "hw.pagerank",
+         "exp.abl-interval"),
         "tiny", 3,
     ),
     "kernels": (
         ("engine.pagerank", "engine.sssp", "layout.build", "shard.scan",
          "cam.search", "mac.accumulate", "traversal.superstep",
-         "micro.traversal"),
+         "micro.traversal", "hw.pagerank"),
         "bench", 5,
     ),
     "experiments": (
@@ -819,8 +868,12 @@ def metric_direction(name: str) -> str:
         "xbar.full_frac",
         "serve.coalesce_hit_rate",
         "dataplane.balance",
+        "hw.active_frac",
+        "hw.parity_ok",
     ):
         return "higher"
+    if name == "hw.imbalance":
+        return "lower"
     return "neutral"
 
 

@@ -28,7 +28,13 @@ import math
 import re
 from typing import Any, List, Mapping, Optional, Tuple, Union
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+)
 
 #: Namespace every exported metric family lives under.
 NAMESPACE = "repro"
@@ -166,6 +172,19 @@ def render_openmetrics(
                 lines.append(
                     f"{name}_total {_format_value(instrument.value)}"
                 )
+            elif isinstance(instrument, LabeledCounter):
+                lines.append(f"# TYPE {name} counter")
+                for key, count in sorted(instrument.series().items()):
+                    labels = ",".join(
+                        f'{label}="{escape_label_value(value)}"'
+                        for label, value in zip(
+                            instrument.labelnames, key
+                        )
+                    )
+                    lines.append(
+                        f"{name}_total{{{labels}}} "
+                        f"{_format_value(count)}"
+                    )
             elif isinstance(instrument, Gauge):
                 lines.append(f"# TYPE {name} gauge")
                 lines.append(f"{name} {_format_value(instrument.value)}")

@@ -1,0 +1,647 @@
+"""Per-array hardware performance counters and energy attribution.
+
+:class:`~repro.events.EventLog` aggregates one global total per event
+kind, which is exactly right for validating engines against each other
+— and exactly wrong for asking *which* crossbar was hot, which arrays
+sat idle through a superstep, and where ADC saturation concentrated.
+This module adds that second axis: an :class:`HwMonitor` is a counter
+board with one slot per physical array; the array models
+(:mod:`repro.xbar`) mirror every event-log increment into their slot
+when a handle is attached, so per-array counters sum back to the global
+totals *by construction* (:func:`check_parity` proves it per run).
+
+Design constraints, in order:
+
+* **Near-zero overhead when disabled.** Arrays carry a single ``hw``
+  attribute, ``None`` by default; every instrumentation site is one
+  ``if ... is not None`` guard. No monitor, no cost.
+* **Vectorized attribution on the gang paths.** The
+  :class:`~repro.xbar.cam_array.CamBank` /
+  :class:`~repro.xbar.mac_array.MacBank` fast paths resolve a whole
+  superstep in one call; their per-member attribution is a
+  ``np.add.at`` scatter, not a Python loop per query.
+* **The same event vocabulary.** Counter names are the
+  :class:`~repro.events.EventLog` field names (the array-attributable
+  subset in :data:`HW_COUNTERS`), so joining with the
+  :class:`~repro.energy.ledger.EnergyLedger` constants and the
+  five-phase controller mapping needs no translation table.
+
+On top of the board sit the reporting joins: per-array occupancy
+histograms at the MAC accumulation bound (the 16-row / 6-bit-ADC limit
+of Table I), superstep-binned utilization timelines
+(:meth:`HwMonitor.end_step`, driven by
+:class:`~repro.core.micro.MicroGaaSX`), per-array/per-phase energy
+attribution priced with :class:`~repro.config.TechnologyParams`, and
+publication as per-bank-labelled OpenMetrics counters
+(:func:`publish_counters` → ``repro_hw_<counter>_total{bank=...,
+array=...}``). The ``repro hw-report`` CLI renders all of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from .context import current_trace_id
+
+#: Array-attributable event counters, in :class:`~repro.events.EventLog`
+#: vocabulary. SFU ops and buffer accesses are deliberately absent: the
+#: scalar pipeline and SRAM buffers are shared units, not per-array
+#: hardware, so they stay global-only.
+HW_COUNTERS = (
+    "cam_searches",
+    "cam_row_writes",
+    "cam_cell_writes",
+    "mac_ops",
+    "mac_rows_accumulated",
+    "mac_cell_ops",
+    "row_writes",
+    "cell_writes",
+    "adc_conversions",
+    "adc_saturations",
+    "dac_conversions",
+)
+
+#: The five-phase mapping used for per-array energy attribution —
+#: mirrors :func:`repro.core.controller.build_plan`: loading owns the
+#: programming energy, CAM search the search energy, MAC the analog
+#: compute plus both converters. Initialization and the (shared) SFU
+#: phase carry no array-attributable energy.
+PHASE_ENERGY_CATEGORIES = {
+    "Data loading": ("write_j",),
+    "CAM search": ("cam_j",),
+    "MAC operation": ("mac_j", "adc_j", "dac_j"),
+}
+
+
+class ArrayCounters:
+    """One array's handle onto the monitor: a slot id plus helpers.
+
+    Attached to a :class:`~repro.xbar.cam_array.CamCrossbar`,
+    :class:`~repro.xbar.mac_array.MacCrossbar`, or
+    :class:`~repro.xbar.adc.ADC` as its ``hw`` attribute; every method
+    forwards to the owning monitor with the slot pre-bound.
+    """
+
+    __slots__ = ("monitor", "slot", "bank", "index")
+
+    def __init__(
+        self, monitor: "HwMonitor", slot: int, bank: str, index: int
+    ) -> None:
+        self.monitor = monitor
+        self.slot = slot
+        self.bank = bank
+        self.index = index
+
+    def add(self, name: str, amount: int) -> None:
+        """Mirror one event-log increment into this array's slot."""
+        self.monitor._add(self.slot, name, amount)
+
+    def record_chunk(self, rows: int, cols: int) -> None:
+        """One MAC accumulation chunk: ``rows`` word lines, ``cols``
+        engaged bit lines (the per-chunk site of
+        :meth:`~repro.xbar.mac_array.MacCrossbar.mac`)."""
+        self.monitor._record_chunk(self.slot, rows, cols)
+
+    def record_batch(self, hit_counts: np.ndarray, num_cols: int) -> None:
+        """The batched-MAC site: one selective MAC per hit-count entry,
+        chunked at the accumulate limit — same totals as
+        :meth:`~repro.xbar.mac_array.MacCrossbar._record_batch_macs`."""
+        self.monitor.record_batch_many(
+            np.full(np.asarray(hit_counts).shape, self.slot, dtype=np.int64),
+            hit_counts,
+            num_cols,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayCounters({self.bank}/{self.index}, slot={self.slot})"
+
+
+class HwMonitor:
+    """A per-array hardware counter board.
+
+    Parameters
+    ----------
+    accumulate_limit:
+        The MAC accumulation bound occupancy histograms are binned
+        against (16 rows in Table I — the 6-bit ADC sizing argument).
+        Chunk sizes larger than the bound grow the histogram rather
+        than fail, so a monitor survives non-default geometries.
+
+    One monitor observes **one run**: create it, hand it to the engine
+    (``MicroGaaSX(graph, hw=monitor)``), run, then read reports. The
+    run's global :class:`~repro.events.EventLog` is the parity
+    reference (:func:`check_parity`). The monitor stamps the ambient
+    :func:`repro.obs.context.current_trace_id` at creation so a report
+    generated inside a traced request carries the request's identity.
+    """
+
+    def __init__(self, accumulate_limit: int = 16) -> None:
+        if accumulate_limit < 1:
+            raise ConfigError(
+                f"accumulate_limit must be >= 1, got {accumulate_limit}"
+            )
+        self.accumulate_limit = int(accumulate_limit)
+        self.trace_id: Optional[str] = current_trace_id()
+        self._n = 0
+        capacity = 8
+        self._banks: List[str] = []
+        self._indices: List[int] = []
+        self._counts: Dict[str, np.ndarray] = {
+            name: np.zeros(capacity, dtype=np.int64) for name in HW_COUNTERS
+        }
+        #: per-slot occupancy histogram: column r = MAC ops engaging
+        #: exactly r rows.
+        self._hist = np.zeros(
+            (capacity, self.accumulate_limit + 1), dtype=np.int64
+        )
+        #: superstep timeline: per-step per-slot operation deltas.
+        self._steps: List[Dict[str, Any]] = []
+        self._step_base = np.zeros(capacity, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, bank: str, index: Optional[int] = None) -> ArrayCounters:
+        """Allocate a slot; returns the handle to attach to the array.
+
+        ``bank`` labels the gang the array belongs to (``"cam"`` /
+        ``"mac"`` in the micro engine); ``index`` its position within
+        the bank (defaults to the per-bank registration order).
+        """
+        if index is None:
+            index = sum(1 for b in self._banks if b == bank)
+        slot = self._n
+        if slot >= self._counts[HW_COUNTERS[0]].size:
+            self._grow_slots()
+        self._banks.append(str(bank))
+        self._indices.append(int(index))
+        self._n += 1
+        return ArrayCounters(self, slot, str(bank), int(index))
+
+    def _grow_slots(self) -> None:
+        capacity = max(8, 2 * self._counts[HW_COUNTERS[0]].size)
+        for name, arr in self._counts.items():
+            grown = np.zeros(capacity, dtype=np.int64)
+            grown[: arr.size] = arr
+            self._counts[name] = grown
+        grown_hist = np.zeros((capacity, self._hist.shape[1]), dtype=np.int64)
+        grown_hist[: self._hist.shape[0]] = self._hist
+        self._hist = grown_hist
+        grown_base = np.zeros(capacity, dtype=np.int64)
+        grown_base[: self._step_base.size] = self._step_base
+        self._step_base = grown_base
+
+    def _grow_hist_width(self, width: int) -> None:
+        if width > self._hist.shape[1]:
+            grown = np.zeros((self._hist.shape[0], width), dtype=np.int64)
+            grown[:, : self._hist.shape[1]] = self._hist
+            self._hist = grown
+
+    @property
+    def num_arrays(self) -> int:
+        """Registered array count."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    # Recording (called from the array models' instrumentation sites)
+    # ------------------------------------------------------------------
+    def _add(self, slot: int, name: str, amount: int) -> None:
+        self._counts[name][slot] += amount
+
+    def _record_chunk(self, slot: int, rows: int, cols: int) -> None:
+        c = self._counts
+        c["mac_ops"][slot] += 1
+        c["mac_rows_accumulated"][slot] += rows
+        c["mac_cell_ops"][slot] += rows * cols
+        c["dac_conversions"][slot] += rows
+        c["adc_conversions"][slot] += cols
+        self._grow_hist_width(rows + 1)
+        self._hist[slot, rows] += 1
+
+    def add_many(self, slots: np.ndarray, name: str, amounts) -> None:
+        """Scatter-add per-query amounts onto per-query slots.
+
+        The gang-bank attribution primitive: ``slots`` may repeat
+        (several queries routed to one member) and ``amounts`` may be a
+        scalar broadcast over them.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        np.add.at(
+            self._counts[name],
+            slots,
+            np.broadcast_to(
+                np.asarray(amounts, dtype=np.int64), slots.shape
+            ),
+        )
+
+    def record_batch_many(
+        self,
+        slots: np.ndarray,
+        hit_counts: np.ndarray,
+        num_cols: int,
+    ) -> None:
+        """Attribute a batch of selective MACs, one per hit-count entry,
+        each running on ``slots[i]``.
+
+        Chunking semantics match
+        :meth:`repro.xbar.mac_array.MacCrossbar._record_batch_macs`: a
+        query with ``k`` hits splits into ``k // limit`` full chunks
+        plus a remainder chunk; each chunk is one MAC op charging its
+        row count of DAC activations and one ADC sample per engaged
+        column. All scatters are vectorized.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        hits = np.asarray(hit_counts, dtype=np.int64)
+        if slots.shape != hits.shape:
+            raise ConfigError("need exactly one slot per hit count")
+        if hits.size == 0:
+            return
+        limit = self.accumulate_limit
+        full = hits // limit
+        rem = hits % limit
+        ops = full + (rem > 0)
+        c = self._counts
+        np.add.at(c["mac_ops"], slots, ops)
+        np.add.at(c["mac_rows_accumulated"], slots, hits)
+        np.add.at(c["mac_cell_ops"], slots, hits * int(num_cols))
+        np.add.at(c["dac_conversions"], slots, hits)
+        np.add.at(c["adc_conversions"], slots, ops * int(num_cols))
+        self._grow_hist_width(limit + 1)
+        np.add.at(self._hist[:, limit], slots, full)
+        partial = rem > 0
+        if partial.any():
+            np.add.at(self._hist, (slots[partial], rem[partial]), 1)
+
+    # ------------------------------------------------------------------
+    # Superstep timeline
+    # ------------------------------------------------------------------
+    def _ops_cursor(self) -> np.ndarray:
+        n = self._n
+        return (
+            self._counts["cam_searches"][:n] + self._counts["mac_ops"][:n]
+        )
+
+    def end_step(self, label: Optional[str] = None) -> Dict[str, Any]:
+        """Close one superstep bin; returns (and records) its row.
+
+        The engine calls this at each superstep / iteration boundary;
+        the row holds the per-array operation deltas (CAM searches +
+        MAC ops) since the previous boundary, plus the fraction of
+        arrays that did any work at all — the utilization-timeline
+        signal a mapping optimizer trains against.
+        """
+        cursor = self._ops_cursor()
+        delta = cursor - self._step_base[: self._n]
+        self._step_base[: self._n] = cursor
+        row = {
+            "step": len(self._steps),
+            "label": label if label is not None else str(len(self._steps)),
+            "ops": delta.tolist(),
+            "total_ops": int(delta.sum()),
+            "active_arrays": int((delta > 0).sum()),
+            "active_frac": (
+                float((delta > 0).mean()) if delta.size else 0.0
+            ),
+        }
+        self._steps.append(row)
+        return row
+
+    @property
+    def timeline(self) -> List[Dict[str, Any]]:
+        """The recorded superstep bins, in order."""
+        return list(self._steps)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def counts(self, name: str) -> np.ndarray:
+        """Per-array values of one counter (copy, length
+        :attr:`num_arrays`)."""
+        if name not in self._counts:
+            raise ConfigError(
+                f"unknown hw counter {name!r}; known: {list(HW_COUNTERS)}"
+            )
+        return self._counts[name][: self._n].copy()
+
+    def totals(self) -> Dict[str, int]:
+        """Each counter summed over every array."""
+        return {
+            name: int(self._counts[name][: self._n].sum())
+            for name in HW_COUNTERS
+        }
+
+    def rows_hist(self) -> np.ndarray:
+        """Occupancy histograms, shape ``(num_arrays, width)``."""
+        return self._hist[: self._n].copy()
+
+    def occupancy(self) -> List[Dict[str, float]]:
+        """Per-array row-utilization stats at the accumulation bound.
+
+        Same definitions as
+        :meth:`repro.events.EventLog.rows_occupancy`: mean engaged rows,
+        the fraction of the window used, and the fraction of full
+        (at-limit) operations. Arrays with no MAC ops report zeros.
+        """
+        limit = self.accumulate_limit
+        hist = self._hist[: self._n]
+        totals = hist.sum(axis=1)
+        weights = np.arange(hist.shape[1], dtype=np.int64)
+        rows = (hist * weights).sum(axis=1)
+        out = []
+        for i in range(self._n):
+            total = int(totals[i])
+            mean_rows = rows[i] / total if total else 0.0
+            full = int(hist[i, limit:].sum()) if limit < hist.shape[1] else 0
+            out.append(
+                {
+                    "mean_rows": float(mean_rows),
+                    "occupancy": float(mean_rows / limit),
+                    "full_frac": float(full / total) if total else 0.0,
+                }
+            )
+        return out
+
+    def labels(self) -> List[Dict[str, str]]:
+        """Per-slot ``{"bank": ..., "array": ...}`` label sets."""
+        return [
+            {"bank": self._banks[i], "array": str(self._indices[i])}
+            for i in range(self._n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Energy attribution
+    # ------------------------------------------------------------------
+    def energy(self, tech=None) -> List[Dict[str, float]]:
+        """Per-array energy attribution in joules.
+
+        Prices each array's counters with the same
+        :class:`~repro.config.TechnologyParams` constants the
+        :class:`~repro.energy.ledger.EnergyLedger` uses, split into the
+        ledger's dynamic categories plus the five-phase roll-up of
+        :data:`PHASE_ENERGY_CATEGORIES`. Static power and the shared
+        SFU/buffer energies are whole-chip costs and excluded; summing
+        any category over all arrays reproduces the ledger's figure for
+        that category exactly.
+        """
+        if tech is None:
+            from ..config import TechnologyParams
+
+            tech = TechnologyParams()
+        n = self._n
+        c = {name: self._counts[name][:n] for name in HW_COUNTERS}
+        cam_j = c["cam_searches"] * tech.cam_search_energy_j
+        mac_j = c["mac_ops"] * tech.mac_energy_j
+        write_j = (
+            c["cell_writes"] * tech.write_cell_energy_j
+            + c["cam_cell_writes"] * tech.cam_cell_write_energy_j
+        )
+        adc_j = c["adc_conversions"] * tech.adc_energy_j
+        dac_j = c["dac_conversions"] * tech.dac_energy_j
+        out = []
+        for i in range(n):
+            categories = {
+                "cam_j": float(cam_j[i]),
+                "mac_j": float(mac_j[i]),
+                "write_j": float(write_j[i]),
+                "adc_j": float(adc_j[i]),
+                "dac_j": float(dac_j[i]),
+            }
+            phases = {
+                phase: float(
+                    sum(categories[cat] for cat in cats)
+                )
+                for phase, cats in PHASE_ENERGY_CATEGORIES.items()
+            }
+            categories["total_j"] = float(sum(phases.values()))
+            categories["phases"] = phases
+            out.append(categories)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Parity: per-array sums vs the run's global EventLog
+# ----------------------------------------------------------------------
+def check_parity(monitor: HwMonitor, events) -> Dict[str, Any]:
+    """Prove the attribution sums back to the global totals.
+
+    Compares every :data:`HW_COUNTERS` sum — and the occupancy
+    histogram — against the run's :class:`~repro.events.EventLog`.
+    Returns ``{"ok": bool, "mismatches": {counter: {"hw": ...,
+    "events": ...}}}``; an empty mismatch map means every array-side
+    increment was mirrored and nothing was double-counted.
+    """
+    totals = monitor.totals()
+    mismatches: Dict[str, Any] = {}
+    event_counts = events.as_dict()
+    for name in HW_COUNTERS:
+        if totals[name] != int(event_counts.get(name, 0)):
+            mismatches[name] = {
+                "hw": totals[name],
+                "events": int(event_counts.get(name, 0)),
+            }
+    hw_hist = monitor.rows_hist().sum(axis=0)
+    ev_hist = events.mac_rows_hist
+    width = max(hw_hist.size, ev_hist.size)
+    a = np.zeros(width, dtype=np.int64)
+    b = np.zeros(width, dtype=np.int64)
+    a[: hw_hist.size] = hw_hist
+    b[: ev_hist.size] = ev_hist
+    if not np.array_equal(a, b):
+        mismatches["mac_rows_hist"] = {
+            "hw": hw_hist.tolist(),
+            "events": ev_hist.tolist(),
+        }
+    return {"ok": not mismatches, "mismatches": mismatches}
+
+
+# ----------------------------------------------------------------------
+# Report assembly
+# ----------------------------------------------------------------------
+def utilization_summary(monitor: HwMonitor) -> Dict[str, Any]:
+    """Load-balance statistics over the per-array operation counts.
+
+    ``imbalance`` is max-over-mean of per-array operations (1.0 =
+    perfectly balanced; the AutoGMap-style objective), ``active_frac``
+    the fraction of arrays that did any work, ``cv`` the coefficient of
+    variation.
+    """
+    n = monitor.num_arrays
+    ops = (
+        monitor.counts("cam_searches") + monitor.counts("mac_ops")
+        if n
+        else np.zeros(0, dtype=np.int64)
+    )
+    total = int(ops.sum())
+    if n == 0 or total == 0:
+        return {
+            "arrays": n,
+            "total_ops": total,
+            "imbalance": 0.0,
+            "active_frac": 0.0,
+            "cv": 0.0,
+            "busiest": None,
+        }
+    mean = total / n
+    return {
+        "arrays": n,
+        "total_ops": total,
+        "imbalance": float(ops.max() / mean),
+        "active_frac": float((ops > 0).mean()),
+        "cv": float(ops.std() / mean),
+        "busiest": int(ops.argmax()),
+    }
+
+
+def build_report(
+    monitor: HwMonitor, events=None, tech=None
+) -> Dict[str, Any]:
+    """The full hw-counter report as one JSON-serializable dict.
+
+    Per-array rows (labels, counters, occupancy, energy), the
+    utilization summary, the superstep timeline, the counter totals,
+    and — when the run's ``events`` log is supplied — the parity
+    verdict.
+    """
+    labels = monitor.labels()
+    occupancy = monitor.occupancy()
+    energy = monitor.energy(tech)
+    arrays = []
+    for i in range(monitor.num_arrays):
+        arrays.append(
+            {
+                **labels[i],
+                "counters": {
+                    name: int(monitor.counts(name)[i])
+                    for name in HW_COUNTERS
+                },
+                "occupancy": occupancy[i],
+                "energy": energy[i],
+                "rows_hist": monitor.rows_hist()[i].tolist(),
+            }
+        )
+    report: Dict[str, Any] = {
+        "accumulate_limit": monitor.accumulate_limit,
+        "trace_id": monitor.trace_id,
+        "arrays": arrays,
+        "totals": monitor.totals(),
+        "utilization": utilization_summary(monitor),
+        "timeline": monitor.timeline,
+    }
+    if events is not None:
+        report["parity"] = check_parity(monitor, events)
+    return report
+
+
+#: Shade ramp for the occupancy heatmap, sparse to dense.
+_HEAT = " .:-=+*#%@"
+
+
+def _heat_char(value: float) -> str:
+    index = min(int(value * len(_HEAT)), len(_HEAT) - 1)
+    return _HEAT[index]
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """The ``repro hw-report`` text rendering.
+
+    An occupancy heatmap (one row per array, one column per
+    rows-engaged bin, shaded by that bin's share of the array's MAC
+    ops), the per-array utilization/energy table, the imbalance
+    summary, and the parity verdict.
+    """
+    limit = int(report["accumulate_limit"])
+    arrays = report["arrays"]
+    lines: List[str] = []
+    lines.append(
+        f"occupancy heatmap (rows engaged per MAC op, bound={limit}; "
+        f"shade = share of the array's ops)"
+    )
+    lines.append(f"{'array':<10} 1{'':{max(limit - 2, 0)}}{limit}")
+    for entry in arrays:
+        hist = np.asarray(entry["rows_hist"], dtype=np.float64)
+        total = hist.sum()
+        width = max(hist.size, limit + 1)
+        padded = np.zeros(width)
+        padded[: hist.size] = hist
+        shares = padded / total if total else padded
+        cells = "".join(_heat_char(s) for s in shares[1 : limit + 1])
+        label = f"{entry['bank']}/{entry['array']}"
+        lines.append(f"{label:<10} {cells}")
+    lines.append("")
+    header = (
+        f"{'array':<10} {'searches':>10} {'mac ops':>9} {'rows':>9} "
+        f"{'adc':>9} {'sat':>6} {'occup':>7} {'full':>6} {'energy':>11}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in arrays:
+        c = entry["counters"]
+        occ = entry["occupancy"]
+        label = f"{entry['bank']}/{entry['array']}"
+        lines.append(
+            f"{label:<10} {c['cam_searches']:>10,} {c['mac_ops']:>9,} "
+            f"{c['mac_rows_accumulated']:>9,} {c['adc_conversions']:>9,} "
+            f"{c['adc_saturations']:>6,} {occ['occupancy']:>7.1%} "
+            f"{occ['full_frac']:>6.1%} "
+            f"{entry['energy']['total_j'] * 1e9:>9.2f}nJ"
+        )
+    util = report["utilization"]
+    lines.append("")
+    lines.append(
+        f"{util['arrays']} arrays, {util['total_ops']:,} ops: "
+        f"imbalance={util['imbalance']:.2f}x (max/mean), "
+        f"active={util['active_frac']:.1%}, cv={util['cv']:.2f}"
+    )
+    timeline = report.get("timeline") or []
+    if timeline:
+        active = [row["active_frac"] for row in timeline]
+        lines.append(
+            f"timeline: {len(timeline)} steps, mean active "
+            f"{sum(active) / len(active):.1%}, "
+            f"sparkline |{''.join(_heat_char(a) for a in active)}|"
+        )
+    parity = report.get("parity")
+    if parity is not None:
+        if parity["ok"]:
+            lines.append(
+                "parity: ok (per-array sums equal the global EventLog)"
+            )
+        else:
+            lines.append(
+                f"parity: FAILED on {sorted(parity['mismatches'])}"
+            )
+    if report.get("trace_id"):
+        lines.append(f"trace: {report['trace_id']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Metrics publication
+# ----------------------------------------------------------------------
+def publish_counters(monitor: HwMonitor, registry=None) -> None:
+    """Fold the board into per-bank-labelled ``hw.*`` counters.
+
+    Each :data:`HW_COUNTERS` name becomes one labelled counter family
+    ``hw.<name>`` with ``(bank, array)`` label sets, rendered by
+    :mod:`repro.obs.export` as
+    ``repro_hw_<name>_total{bank="...",array="..."}``. Counters are
+    cumulative: publish a monitor once, at end of run.
+    """
+    if registry is None:
+        from .metrics import get_metrics
+
+        registry = get_metrics()
+    labels = monitor.labels()
+    for name in HW_COUNTERS:
+        values = monitor.counts(name)
+        if not values.any():
+            continue
+        family = registry.labeled_counter(
+            f"hw.{name}", labelnames=("bank", "array")
+        )
+        for i, value in enumerate(values):
+            if value:
+                family.inc(int(value), **labels[i])

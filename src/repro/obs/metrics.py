@@ -70,6 +70,55 @@ class Counter:
         return self._value
 
 
+class LabeledCounter:
+    """A counter family: one monotonic series per label-value tuple.
+
+    The shape the per-array hardware counters need — one family
+    (``hw.cam_searches``) fanned out over ``(bank, array)`` label sets
+    — without growing the registry's flat namespace one name per
+    array. Label names are fixed at creation; every ``inc`` must bind
+    exactly those names.
+    """
+
+    __slots__ = ("name", "labelnames", "_series", "_lock")
+
+    def __init__(self, name: str, labelnames: Tuple[str, ...]) -> None:
+        if not labelnames:
+            raise ValueError(
+                f"labeled counter {name!r} needs at least one label"
+            )
+        self.name = name
+        self.labelnames = tuple(labelnames)
+        self._series: Dict[Tuple[str, ...], Number] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1, **labels: Any) -> None:
+        """Add ``amount`` to the series selected by ``labels``."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"counter {self.name!r} takes labels "
+                f"{self.labelnames}, got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def series(self) -> Dict[Tuple[str, ...], Number]:
+        """Point-in-time copy: label-value tuple -> count."""
+        with self._lock:
+            return dict(self._series)
+
+    @property
+    def value(self) -> Number:
+        """Sum over every series (the family total)."""
+        with self._lock:
+            return sum(self._series.values())
+
+
 class Gauge:
     """Last-written value (worker counts, cache sizes, rates)."""
 
@@ -246,6 +295,19 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
+
+    def labeled_counter(
+        self, name: str, labelnames: Tuple[str, ...]
+    ) -> LabeledCounter:
+        """Get-or-create; ``labelnames`` applies only at first creation
+        (re-requesting with different names raises)."""
+        family = self._get(name, LabeledCounter, labelnames=labelnames)
+        if family.labelnames != tuple(labelnames):
+            raise TypeError(
+                f"metric {name!r} has labels {family.labelnames}, "
+                f"not {tuple(labelnames)}"
+            )
+        return family
 
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)

@@ -106,8 +106,10 @@ def summarize_phases(
     """Aggregate phase-category spans by phase name.
 
     Returns one row per phase (canonical order first, then any extra
-    names alphabetically) with span count, summed operations, and
-    summed modelled duration in microseconds.
+    names alphabetically) with span count, summed operations, summed
+    modelled duration in microseconds, summed ADC saturations, and the
+    operations-weighted mean occupancy (spans recorded before those
+    args existed contribute zeros, keeping old trace files readable).
     """
     rows: Dict[str, Dict[str, Any]] = {}
     for span in spans:
@@ -116,13 +118,25 @@ def summarize_phases(
         row = rows.setdefault(
             span["name"],
             {"phase": span["name"], "spans": 0, "operations": 0,
-             "dur_us": 0.0, "energy_j": 0.0},
+             "dur_us": 0.0, "energy_j": 0.0, "adc_saturations": 0,
+             "_occ_weight": 0.0},
         )
         row["spans"] += 1
         row["dur_us"] += float(span.get("dur", 0))
         args = span.get("args") or {}
-        row["operations"] += int(args.get("operations", 0))
+        operations = int(args.get("operations", 0))
+        row["operations"] += operations
         row["energy_j"] += float(args.get("energy_j", 0.0))
+        row["adc_saturations"] += int(args.get("adc_saturations", 0))
+        row["_occ_weight"] += operations * float(
+            args.get("occupancy", 0.0)
+        )
+    for row in rows.values():
+        row["occupancy"] = (
+            row.pop("_occ_weight") / row["operations"]
+            if row["operations"]
+            else row.pop("_occ_weight") * 0.0
+        )
     ordered = [rows[name] for name in PHASE_NAMES if name in rows]
     ordered.extend(
         rows[name] for name in sorted(rows) if name not in PHASE_NAMES
@@ -222,7 +236,8 @@ def render_summary(spans: Sequence[Dict[str, Any]]) -> str:
     lines: List[str] = []
     header = (
         f"{'phase':<26} {'spans':>7} {'operations':>14} "
-        f"{'modelled time':>14} {'share':>7}"
+        f"{'modelled time':>14} {'share':>7} {'occup':>7} "
+        f"{'adc sat':>8}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -233,7 +248,9 @@ def render_summary(spans: Sequence[Dict[str, Any]]) -> str:
             lines.append(
                 f"{row['phase']:<26} {row['spans']:>7,} "
                 f"{row['operations']:>14,} "
-                f"{_format_us(row['dur_us']):>14} {share:>6.1%}"
+                f"{_format_us(row['dur_us']):>14} {share:>6.1%} "
+                f"{row['occupancy']:>7.1%} "
+                f"{row['adc_saturations']:>8,}"
             )
     else:
         lines.append("(no phase spans in this trace)")

@@ -283,12 +283,25 @@ class QueryResult:
         }
 
 
-def modelled_stats(stats: Any) -> Dict[str, float]:
-    """The modelled hardware statistics a result travels with."""
-    return {
+def modelled_stats(stats: Any) -> Dict[str, Any]:
+    """The modelled hardware statistics a result travels with.
+
+    When the run priced energy, the full
+    :class:`~repro.energy.ledger.EnergyBreakdown` rides along under
+    ``"energy"`` (category name -> joules), so a query response carries
+    its own hardware cost, not just the total.
+    """
+    out: Dict[str, Any] = {
         "total_s": float(stats.total_time_s),
         "load_s": float(stats.load_time_s),
         "compute_s": float(stats.compute_time_s),
         "energy_j": float(stats.total_energy_j),
         "passes": float(stats.passes),
     }
+    energy = getattr(stats, "energy", None)
+    if energy is not None:
+        out["energy"] = {
+            category: float(joules)
+            for category, joules in energy.as_dict().items()
+        }
+    return out

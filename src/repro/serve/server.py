@@ -191,6 +191,13 @@ class AnalyticsService:
                 "serve.latency_s", buckets=DEFAULT_LATENCY_BUCKETS
             ),
             "engine_run": registry.histogram("serve.engine_run_s"),
+            # Cumulative modelled energy across every engine run, total
+            # plus the ledger's per-category breakdown (labelled by the
+            # EnergyBreakdown category names, a fixed finite set).
+            "energy_j": registry.counter("serve.energy_j"),
+            "energy_by_category": registry.labeled_counter(
+                "serve.energy_category_j", labelnames=("category",)
+            ),
         }
         # Per-algorithm latency histograms: a fixed, finite name set
         # (the servable algorithms), registered up front — never minted
@@ -434,14 +441,19 @@ class AnalyticsService:
         run_s = time.perf_counter() - start
         self._m["engine_runs"].inc()
         self._m["engine_run"].observe(run_s)
+        modelled = modelled_stats(result.stats)
+        if modelled.get("energy_j"):
+            self._m["energy_j"].inc(modelled["energy_j"])
+        for category, joules in modelled.get("energy", {}).items():
+            if joules and category != "total":
+                self._m["energy_by_category"].inc(
+                    joules, category=category
+                )
         log.debug(
             "serve.engine_run", dataset=query.dataset,
             algorithm=query.algorithm, run_s=round(run_s, 6),
         )
-        return (
-            summarize_result(query.algorithm, result),
-            modelled_stats(result.stats),
-        )
+        return summarize_result(query.algorithm, result), modelled
 
     # ------------------------------------------------------------------
     # Lifecycle and introspection
@@ -470,6 +482,13 @@ class AnalyticsService:
             "timeouts": self._m["timeouts"].value,
             "errors": self._m["errors"].value,
             "inflight": len(self._inflight),
+            "energy_j": self._m["energy_j"].value,
+            "energy_by_category": {
+                key[0]: joules
+                for key, joules in sorted(
+                    self._m["energy_by_category"].series().items()
+                )
+            },
             "latency": self._m["latency"].summary(),
             "pool": self.pool.describe(),
             "admission": self.admission.describe(),

@@ -35,6 +35,10 @@ class ADC:
         if self.max_input <= 0:
             raise ConfigError("ADC full-scale input must be positive")
         self.events = events if events is not None else EventLog()
+        #: optional per-array counter handle
+        #: (:class:`repro.obs.hw.ArrayCounters`); ``None`` keeps the
+        #: model monitor-free.
+        self.hw = None
 
     @property
     def max_code(self) -> int:
@@ -42,10 +46,21 @@ class ADC:
         return (1 << self.bits) - 1
 
     def convert(self, analog: np.ndarray) -> np.ndarray:
-        """Digitize analog values: scale to codes, round, clip."""
+        """Digitize analog values: scale to codes, round, clip.
+
+        Samples landing above full scale clip to :attr:`max_code` and
+        count as ``adc_saturations`` — the signal the 16-row MAC bound
+        exists to keep at zero (Section V-A).
+        """
         analog = np.asarray(analog, dtype=np.float64)
         self.events.adc_conversions += int(analog.size)
         codes = np.rint(analog * (self.max_code / self.max_input))
+        clipped = int(np.count_nonzero(codes > self.max_code))
+        self.events.adc_saturations += clipped
+        if self.hw is not None:
+            self.hw.add("adc_conversions", int(analog.size))
+            if clipped:
+                self.hw.add("adc_saturations", clipped)
         return np.clip(codes, 0, self.max_code).astype(np.int64)
 
     def saturates(self, analog_value: float) -> bool:

@@ -74,6 +74,12 @@ class CamCrossbar:
         self.rows = rows
         self.width_bits = width_bits
         self.events = events if events is not None else EventLog()
+        #: optional per-array counter handle
+        #: (:class:`repro.obs.hw.ArrayCounters`); ``None`` keeps the
+        #: model monitor-free. Every event-log increment below has a
+        #: guarded mirror so per-array sums match the global log by
+        #: construction.
+        self.hw = None
         self._bits = np.zeros((rows, width_bits), dtype=bool)
         self._valid = np.zeros(rows, dtype=bool)
         self._words = _pack_words(self._bits)
@@ -96,6 +102,9 @@ class CamCrossbar:
         self.events.cam_row_writes += 1
         # Each TCAM bit uses two complementary cells.
         self.events.cam_cell_writes += 2 * self.width_bits
+        if self.hw is not None:
+            self.hw.add("cam_row_writes", 1)
+            self.hw.add("cam_cell_writes", 2 * self.width_bits)
 
     def write_rows(self, first_row: int, patterns: np.ndarray) -> None:
         """Program a contiguous row block in one operation.
@@ -116,6 +125,9 @@ class CamCrossbar:
         self._valid[block] = True
         self.events.cam_row_writes += count
         self.events.cam_cell_writes += 2 * self.width_bits * count
+        if self.hw is not None:
+            self.hw.add("cam_row_writes", count)
+            self.hw.add("cam_cell_writes", 2 * self.width_bits * count)
 
     def invalidate(self) -> None:
         """Mark every row empty (no write cost; rows are overwritten)."""
@@ -183,6 +195,8 @@ class CamCrossbar:
                 self._words.shape[1], ~np.uint64(0), dtype=np.uint64
             )
         self.events.cam_searches += int(key_words.shape[0])
+        if self.hw is not None:
+            self.hw.add("cam_searches", int(key_words.shape[0]))
         # XNOR per cell, AND along the match line — on packed words:
         # a row hits when no unmasked bit differs in any word. Lanes
         # whose mask word is zero cannot mismatch, so a field search
@@ -229,6 +243,20 @@ class CamBank:
         self.events = first.events
         self._words = np.stack([cam._words for cam in cams])
         self._valid = np.stack([cam._valid for cam in cams])
+        # Per-array attribution survives the gang path when every
+        # member carries a handle onto one monitor: gang searches then
+        # scatter per-member counts instead of charging the ref.
+        handles = [cam.hw for cam in cams]
+        if all(h is not None for h in handles) and len(
+            {id(h.monitor) for h in handles}
+        ) == 1:
+            self._hw_monitor = handles[0].monitor
+            self._hw_slots = np.array(
+                [h.slot for h in handles], dtype=np.int64
+            )
+        else:
+            self._hw_monitor = None
+            self._hw_slots = None
 
     def search_packed(
         self,
@@ -254,6 +282,10 @@ class CamBank:
                 self._words.shape[2], ~np.uint64(0), dtype=np.uint64
             )
         self.events.cam_searches += int(member_ids.size)
+        if self._hw_monitor is not None:
+            self._hw_monitor.add_many(
+                self._hw_slots[member_ids], "cam_searches", 1
+            )
         # Same lane-skipping fold as the single-array fast path: only
         # lanes with a nonzero mask word can mismatch, and each lane is
         # gathered per query as a 2D slice.

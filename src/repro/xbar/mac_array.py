@@ -63,8 +63,26 @@ class MacCrossbar:
         self.exact = exact
         self.events = events if events is not None else EventLog()
         self._adc = ADC(adc_bits, events=self.events)
+        self._hw = None
         self._weights = np.zeros((rows, cols), dtype=np.float64)
         self._codes = np.zeros((rows, cols), dtype=np.int64)
+
+    @property
+    def hw(self):
+        """Optional per-array counter handle
+        (:class:`repro.obs.hw.ArrayCounters`); ``None`` keeps the model
+        monitor-free. Every event-log increment in this class has a
+        guarded mirror so per-array sums match the global log by
+        construction. Assigning also attaches the internal ADC, so
+        quantized-mode conversions (and saturations) land on the same
+        array slot.
+        """
+        return self._hw
+
+    @hw.setter
+    def hw(self, handle) -> None:
+        self._hw = handle
+        self._adc.hw = handle
 
     @property
     def bit_slices(self) -> int:
@@ -100,6 +118,9 @@ class MacCrossbar:
         self._weights[row_indices, col_indices] = stored
         self.events.row_writes += int(np.unique(row_indices).size)
         self.events.cell_writes += int(values.size) * self.bit_slices
+        if self._hw is not None:
+            self._hw.add("row_writes", int(np.unique(row_indices).size))
+            self._hw.add("cell_writes", int(values.size) * self.bit_slices)
 
     def write_rows(self, row_indices: np.ndarray, values: np.ndarray) -> None:
         """Program whole rows: ``values`` has shape ``(len(rows), cols)``."""
@@ -118,6 +139,9 @@ class MacCrossbar:
         )
         self.events.row_writes += int(row_indices.size)
         self.events.cell_writes += int(values.size) * self.bit_slices
+        if self._hw is not None:
+            self._hw.add("row_writes", int(row_indices.size))
+            self._hw.add("cell_writes", int(values.size) * self.bit_slices)
 
     def stored_values(self) -> np.ndarray:
         """Copy of the stored value matrix (as the array would compute)."""
@@ -174,6 +198,8 @@ class MacCrossbar:
             self.events.record_mac(chunk.size, cols.size)
             self.events.dac_conversions += int(chunk.size)
             self.events.adc_conversions += int(cols.size)
+            if self._hw is not None:
+                self._hw.record_chunk(int(chunk.size), int(cols.size))
             if self.exact:
                 partial = inputs[chunk] @ self._weights[np.ix_(chunk, cols)]
             else:
@@ -181,7 +207,12 @@ class MacCrossbar:
             out[cols] += partial
         return out
 
-    def _record_batch_macs(self, hit_counts: np.ndarray, num_cols: int) -> None:
+    def _record_batch_macs(
+        self,
+        hit_counts: np.ndarray,
+        num_cols: int,
+        attribute: bool = True,
+    ) -> None:
         """Log the events of one selective MAC per hit-count entry.
 
         Identical totals (including the Figure 13 histogram) to running
@@ -189,7 +220,14 @@ class MacCrossbar:
         into ``k // limit`` full chunks plus a remainder chunk, each
         chunk one MAC op charging its row count of DAC activations and
         one ADC sample per engaged column.
+
+        ``attribute=False`` skips the per-array hw mirror: the gang
+        bank charges the shared event log through its reference member
+        but attributes per-array work itself (the queries ran on many
+        members, not on the reference).
         """
+        if attribute and self._hw is not None:
+            self._hw.record_batch(hit_counts, num_cols)
         limit = self.accumulate_limit
         full = hit_counts // limit
         rem = hit_counts % limit
@@ -303,6 +341,8 @@ class MacCrossbar:
             self.events.record_mac(chunk.size, rows.size)
             self.events.dac_conversions += int(chunk.size)
             self.events.adc_conversions += int(rows.size)
+            if self._hw is not None:
+                self._hw.record_chunk(int(chunk.size), int(rows.size))
             if self.exact:
                 partial = self._weights[np.ix_(rows, chunk)] @ inputs[chunk]
             else:
@@ -362,6 +402,8 @@ class MacCrossbar:
             self.events.record_mac(chunk.size, cols.size)
             self.events.dac_conversions += int(chunk.size)
             self.events.adc_conversions += int(cols.size)
+            if self._hw is not None:
+                self._hw.record_chunk(int(chunk.size), int(cols.size))
             out[chunk] = self._weights[np.ix_(chunk, cols)] @ inputs[cols]
         return out
 
@@ -440,6 +482,20 @@ class MacBank:
         self._ref = first
         self.events = first.events
         self._weights = np.stack([mac._weights for mac in macs])
+        # Mirror of the CamBank arrangement: when every member holds a
+        # handle onto one monitor, gang queries scatter per-member
+        # attribution instead of charging the reference member's slot.
+        handles = [mac.hw for mac in macs]
+        if all(h is not None for h in handles) and len(
+            {id(h.monitor) for h in handles}
+        ) == 1:
+            self._hw_monitor = handles[0].monitor
+            self._hw_slots = np.array(
+                [h.slot for h in handles], dtype=np.int64
+            )
+        else:
+            self._hw_monitor = None
+            self._hw_slots = None
 
     def mac_rowwise_many(
         self,
@@ -476,5 +532,14 @@ class MacBank:
         # full gather is not.
         weights = self._weights[:, :, cols][member_ids]
         candidates = np.einsum("qrk,qk->qr", weights, inputs[:, cols])
-        ref._record_batch_macs(hit_rows.sum(axis=1), int(cols.size))
+        hit_counts = hit_rows.sum(axis=1)
+        if self._hw_monitor is not None:
+            ref._record_batch_macs(
+                hit_counts, int(cols.size), attribute=False
+            )
+            self._hw_monitor.record_batch_many(
+                self._hw_slots[member_ids], hit_counts, int(cols.size)
+            )
+        else:
+            ref._record_batch_macs(hit_counts, int(cols.size))
         return np.where(hit_rows, candidates, 0.0)

@@ -118,6 +118,23 @@ class TestRecordStore:
             )
 
 
+class TestHwWorkload:
+    def test_metrics_carry_balance_and_parity(self):
+        result = bench.run_workload(
+            bench.WORKLOADS["hw.pagerank"], "tiny", repeats=1
+        )
+        metrics = result.metrics
+        assert metrics["hw.parity_ok"] == 1.0
+        assert metrics["hw.arrays"] > 0
+        assert metrics["hw.imbalance"] >= 1.0
+        assert 0.0 < metrics["hw.active_frac"] <= 1.0
+        assert 0.0 < metrics["xbar.occupancy"] <= 1.0
+
+    def test_registered_in_suites(self):
+        assert "hw.pagerank" in bench.SUITES["quick"][0]
+        assert "hw.pagerank" in bench.SUITES["kernels"][0]
+
+
 class TestDirections:
     def test_wall_and_modelled_are_lower_better(self):
         for name in ("wall_s", "modelled.total_s", "modelled.energy_j",
@@ -125,8 +142,12 @@ class TestDirections:
             assert bench.metric_direction(name) == "lower"
 
     def test_efficiency_ratios_are_higher_better(self):
-        for name in ("cache.hit_rate", "xbar.occupancy", "xbar.full_frac"):
+        for name in ("cache.hit_rate", "xbar.occupancy", "xbar.full_frac",
+                     "hw.active_frac", "hw.parity_ok"):
             assert bench.metric_direction(name) == "higher"
+
+    def test_imbalance_is_lower_better(self):
+        assert bench.metric_direction("hw.imbalance") == "lower"
 
     def test_raw_counts_are_neutral(self):
         for name in ("events.cam_searches", "phase.mac_operation.operations",
@@ -241,7 +262,8 @@ class TestBenchCLI:
         assert record["profile"] == "tiny"
         assert set(record["workloads"]) == {
             "engine.pagerank", "cam.search", "mac.accumulate",
-            "traversal.superstep", "micro.traversal", "exp.abl-interval",
+            "traversal.superstep", "micro.traversal", "hw.pagerank",
+            "exp.abl-interval",
         }
         # The kernel workloads carry crossbar-utilization stats, the
         # experiment workload the traced per-phase decomposition.

@@ -14,10 +14,13 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
-#: Every sample line: name, optional {label="..."} set, numeric value,
-#: optional exemplar clause (# {labels} value timestamp).
+#: Every sample line: name, optional comma-separated {label="..."}
+#: set (label values admit \\, \", \n escapes), numeric value, optional
+#: exemplar clause (# {labels} value timestamp).
 SAMPLE = re.compile(
-    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_+]+=\"[^\"]*\"\})? \S+"
+    r"^[a-zA-Z_][a-zA-Z0-9_]*"
+    r"(\{[a-zA-Z_+]+=\"(?:\\.|[^\"\\])*\""
+    r"(,[a-zA-Z_+]+=\"(?:\\.|[^\"\\])*\")*\})? \S+"
     r"( # \{[a-zA-Z_]+=\"[^\"]*\"\} \S+ \S+)?$"
 )
 
@@ -108,6 +111,43 @@ class TestRenderFromRegistry:
 
     def test_empty_registry_is_just_eof(self):
         assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+class TestLabeledCounterRendering:
+    def test_one_sample_line_per_series(self):
+        registry = MetricsRegistry()
+        family = registry.labeled_counter(
+            "hw.cam_searches", labelnames=("bank", "array")
+        )
+        family.inc(12, bank="cam", array="0")
+        family.inc(7, bank="cam", array="1")
+        text = render_openmetrics(registry)
+        families, samples = parse_families(text)
+        assert families["repro_hw_cam_searches"] == "counter"
+        assert (
+            'repro_hw_cam_searches_total{bank="cam",array="0"} 12'
+            in samples
+        )
+        assert (
+            'repro_hw_cam_searches_total{bank="cam",array="1"} 7'
+            in samples
+        )
+
+    def test_series_sorted_deterministically(self):
+        registry = MetricsRegistry()
+        family = registry.labeled_counter("hw.ops", labelnames=("k",))
+        family.inc(1, k="b")
+        family.inc(1, k="a")
+        text = render_openmetrics(registry)
+        assert text.index('k="a"') < text.index('k="b"')
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.labeled_counter("hw.ops", labelnames=("k",))
+        family.inc(1, k='odd"value')
+        text = render_openmetrics(registry)
+        assert 'k="odd\\"value"' in text
+        parse_families(text)  # every line still valid
 
 
 class TestLabelEscaping:

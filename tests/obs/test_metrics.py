@@ -7,6 +7,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledCounter,
     MetricsRegistry,
     get_metrics,
     observe_event_counts,
@@ -96,6 +97,68 @@ class TestHistogramQuantiles:
         # The streaming aggregates still cover everything observed.
         assert h.count == 2 * size
         assert h.max == 1000.0
+
+
+class TestLabeledCounter:
+    def test_series_keyed_by_label_values(self):
+        c = LabeledCounter("hw.ops", labelnames=("bank", "array"))
+        c.inc(3, bank="cam", array="0")
+        c.inc(2, bank="cam", array="0")
+        c.inc(5, bank="mac", array="1")
+        assert c.series() == {("cam", "0"): 5, ("mac", "1"): 5}
+
+    def test_value_sums_all_series(self):
+        c = LabeledCounter("x", labelnames=("k",))
+        c.inc(1, k="a")
+        c.inc(2, k="b")
+        assert c.value == 3
+
+    def test_label_values_coerced_to_str(self):
+        c = LabeledCounter("x", labelnames=("array",))
+        c.inc(1, array=7)
+        assert c.series() == {("7",): 1}
+
+    def test_rejects_decrease(self):
+        c = LabeledCounter("x", labelnames=("k",))
+        with pytest.raises(ValueError):
+            c.inc(-1, k="a")
+
+    def test_rejects_wrong_label_set(self):
+        c = LabeledCounter("x", labelnames=("bank", "array"))
+        with pytest.raises(ValueError):
+            c.inc(1, bank="cam")  # missing a label
+        with pytest.raises(ValueError):
+            c.inc(1, bank="cam", array="0", extra="y")
+
+    def test_rejects_empty_labelnames(self):
+        with pytest.raises(ValueError):
+            LabeledCounter("x", labelnames=())
+
+    def test_registry_get_or_create(self):
+        r = MetricsRegistry()
+        a = r.labeled_counter("hw.ops", labelnames=("bank", "array"))
+        assert r.labeled_counter(
+            "hw.ops", labelnames=("bank", "array")
+        ) is a
+
+    def test_registry_labelnames_conflict(self):
+        r = MetricsRegistry()
+        r.labeled_counter("hw.ops", labelnames=("bank",))
+        with pytest.raises(TypeError):
+            r.labeled_counter("hw.ops", labelnames=("tenant",))
+
+    def test_registry_kind_conflict(self):
+        r = MetricsRegistry()
+        r.counter("plain")
+        with pytest.raises(TypeError):
+            r.labeled_counter("plain", labelnames=("k",))
+
+    def test_snapshot_reports_sum(self):
+        r = MetricsRegistry()
+        c = r.labeled_counter("hw.ops", labelnames=("k",))
+        c.inc(4, k="a")
+        c.inc(6, k="b")
+        assert r.snapshot()["hw.ops"] == 10
 
 
 class TestRegistry:

@@ -107,6 +107,47 @@ class TestSummaries:
             assert name in table
         assert "share" in table
 
+    def test_occupancy_is_operations_weighted(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        tracer.add_span(
+            "MAC operation", PHASE_CATEGORY, ts_us=0, dur_us=1,
+            args={"operations": 100, "occupancy": 0.5,
+                  "adc_saturations": 2},
+        )
+        tracer.add_span(
+            "MAC operation", PHASE_CATEGORY, ts_us=1, dur_us=1,
+            args={"operations": 300, "occupancy": 0.9,
+                  "adc_saturations": 1},
+        )
+        (row,) = summarize_phases(tracer.records())
+        assert row["occupancy"] == pytest.approx(
+            (100 * 0.5 + 300 * 0.9) / 400
+        )
+        assert row["adc_saturations"] == 3
+
+    def test_spans_without_new_args_read_as_zero(self):
+        # Trace files recorded before occupancy/adc_saturations existed
+        # must still summarize.
+        tracer = make_phase_trace()
+        rows = summarize_phases(tracer.records())
+        for row in rows:
+            assert row["occupancy"] == 0.0
+            assert row["adc_saturations"] == 0
+
+    def test_render_carries_new_columns(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        tracer.add_span(
+            "MAC operation", PHASE_CATEGORY, ts_us=0, dur_us=5,
+            args={"operations": 10, "occupancy": 0.25,
+                  "adc_saturations": 4},
+        )
+        table = render_summary(tracer.records())
+        assert "occup" in table
+        assert "adc sat" in table
+        assert "25.0%" in table
+
     def test_render_without_phase_spans(self):
         tracer = Tracer()
         tracer.enabled = True

@@ -472,6 +472,39 @@ class TestRequestObservability:
         assert not ready
         assert checks["accepting"] is False
 
+    def test_modelled_energy_rides_result_stats_and_metrics(self):
+        """One query's priced energy shows up in its response, the
+        cumulative /stats gauges, and the labelled /metrics series."""
+        from repro.obs.export import render_openmetrics
+
+        registry = MetricsRegistry()
+        service = make_service(registry=registry)
+        query = QueryRequest(
+            "WV", "pagerank", {"iterations": 2}, profile="tiny"
+        )
+        try:
+            service.preload(["WV"], "tiny")
+            result = run(service.submit(query))
+            stats = service.stats()
+        finally:
+            service.close()
+        assert result.modelled["energy_j"] > 0
+        breakdown = result.modelled["energy"]
+        assert breakdown["total"] == pytest.approx(
+            result.modelled["energy_j"]
+        )
+        assert stats["energy_j"] == pytest.approx(
+            result.modelled["energy_j"]
+        )
+        by_category = stats["energy_by_category"]
+        assert "total" not in by_category
+        assert sum(by_category.values()) == pytest.approx(
+            stats["energy_j"]
+        )
+        text = render_openmetrics(registry)
+        assert "repro_serve_energy_j_total" in text
+        assert 'repro_serve_energy_category_j_total{category=' in text
+
     def test_stats_include_slo_and_flight(self):
         service = make_service()
         query = QueryRequest("WV", "wcc", profile="tiny")

@@ -170,6 +170,64 @@ class TestStoreCommands:
             main(["store-convert", "NOPE"])
 
 
+class TestHwReport:
+    ARGS = ["hw-report", "--dataset", "WV", "--profile", "tiny",
+            "--iterations", "1"]
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro.obs.metrics import reset_metrics
+
+        yield
+        reset_metrics()  # hw-report publishes into the global registry
+
+    def test_text_report_passes_parity(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "occupancy heatmap" in out
+        assert "imbalance=" in out
+        assert "parity: ok" in out
+
+    def test_json_per_array_sums_match_global_totals(self, capsys):
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["parity"]["ok"]
+        assert report["parity"]["mismatches"] == {}
+        # The acceptance criterion, restated from the artifact itself:
+        # every counter's per-array sum equals the run's global total.
+        for name, total in report["totals"].items():
+            assert total == sum(
+                entry["counters"][name] for entry in report["arrays"]
+            ), name
+
+    def test_artifacts_written(self, tmp_path, capsys):
+        json_path = tmp_path / "nested" / "hw.json"
+        metrics_path = tmp_path / "metrics.om"
+        assert main(
+            self.ARGS
+            + ["--json", str(json_path), "--metrics", str(metrics_path)]
+        ) == 0
+        report = json.loads(json_path.read_text())
+        assert report["parity"]["ok"]
+        assert report["algorithm"] == "pagerank"
+        text = metrics_path.read_text()
+        assert 'repro_hw_cam_searches_total{bank="cam",array="0"}' in text
+        assert text.endswith("# EOF\n")
+
+    def test_traversal_kernels_supported(self, capsys):
+        assert main(
+            ["hw-report", "--dataset", "WV", "--profile", "tiny",
+             "--algorithm", "sssp", "--format", "json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["parity"]["ok"]
+        assert report["algorithm"] == "sssp"
+
+    def test_bipartite_dataset_rejected(self, capsys):
+        assert main(["hw-report", "--dataset", "NF"]) == 1
+        assert "bipartite" in capsys.readouterr().err
+
+
 class TestSloReport:
     def _stats_file(self, tmp_path):
         from repro.obs.slo import SLOTracker

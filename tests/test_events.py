@@ -305,3 +305,32 @@ class TestRowsOccupancy:
     def test_invalid_limit_rejected(self):
         with pytest.raises(ValueError):
             EventLog().rows_occupancy(0)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().rows_occupancy(-3)
+
+    def test_limit_one_all_ops_full(self):
+        log = EventLog()
+        log.record_mac(np.array([1, 1, 1]))
+        stats = log.rows_occupancy(1)
+        assert stats["occupancy"] == pytest.approx(1.0)
+        assert stats["full_frac"] == pytest.approx(1.0)
+
+
+class TestAdcSaturations:
+    """The saturation counter rides every EventLog surface."""
+
+    def test_merge_adds(self):
+        a = EventLog(adc_saturations=2)
+        a.merge(EventLog(adc_saturations=5))
+        assert a.adc_saturations == 7
+
+    def test_as_dict_carries_counter(self):
+        assert EventLog(adc_saturations=3).as_dict()["adc_saturations"] == 3
+
+    def test_scaled(self):
+        assert EventLog(adc_saturations=2).scaled(4).adc_saturations == 8
+
+    def test_counters_equal_sees_difference(self):
+        assert not EventLog(adc_saturations=1).counters_equal(EventLog())

@@ -79,3 +79,45 @@ class TestADC:
             ADC(0)
         with pytest.raises(ConfigError):
             ADC(6, max_input=-1.0)
+
+
+class TestADCSaturation:
+    """Clipping at ``max_code`` is counted, not silent."""
+
+    def test_convert_counts_clipped_samples(self):
+        events = EventLog()
+        adc = ADC(6, events=events)
+        out = adc.convert(np.array([100.0, 32.0, 64.0]))
+        # Two samples above full scale clip to the max code.
+        assert events.adc_saturations == 2
+        assert out.tolist() == [63, 32, 63]
+
+    def test_no_saturation_within_range(self):
+        events = EventLog()
+        ADC(6, events=events).convert(np.arange(64, dtype=float))
+        assert events.adc_saturations == 0
+
+    def test_clipped_codes_never_exceed_max_code(self):
+        adc = ADC(4)
+        out = adc.convert(np.array([1e9, -5.0, 7.0]))
+        assert out.max() <= adc.max_code
+        assert out.min() >= 0
+
+    def test_saturates_agrees_with_convert_counting(self):
+        adc = ADC(6, events=EventLog())
+        for value in (0.0, 48.0, 63.0, 63.6, 64.0, 500.0):
+            before = adc.events.adc_saturations
+            adc.convert(np.array([value]))
+            clipped = adc.events.adc_saturations - before
+            assert bool(clipped) == adc.saturates(value), value
+
+    def test_hw_mirror_counts_saturations(self):
+        from repro.obs.hw import HwMonitor
+
+        monitor = HwMonitor()
+        adc = ADC(6, events=EventLog())
+        adc.hw = monitor.register("mac")
+        adc.convert(np.array([100.0, 1.0]))
+        totals = monitor.totals()
+        assert totals["adc_conversions"] == 2
+        assert totals["adc_saturations"] == 1
