@@ -1,0 +1,292 @@
+"""Delta/incremental recompute: active-set-shrinking PageRank and
+warm-start state for WCC.
+
+The full PageRank kernel re-searches every destination group every
+iteration even though, after the first few sweeps, most ranks have
+stopped moving. The delta formulation exploits the linearity of
+Equation 3: with ``d_k = r_{k+1} - r_k``,
+
+    ``d_{k+1}(v) = alpha * sum_{u->v} d_k(u) / OutDeg(u)``
+
+so one full sweep seeds the residuals and every later sweep applies
+and propagates only the *active* ones — vertices whose pending rank
+change exceeds ``epsilon``. Sub-threshold residuals are parked, not
+dropped (the push-style residual iteration), so no mass is ever lost:
+they apply as soon as upstream contributions push them back over the
+threshold, which keeps the result epsilon-equivalent (not
+bit-identical) to full recompute; tests bound the error. Damping
+shrinks the active set geometrically, and the modelled hardware cost
+shrinks with it: each delta pass CAM-searches only the destination
+groups reachable from active sources (the compact ``group_ids`` path
+of :meth:`~repro.core.engine.GaaSXEngine._account_search_pass`),
+reads only the active out-edges, and SFU-updates only the active
+vertices.
+
+The per-pass frontier expansion (active sources -> out-edges ->
+destination groups) is memoized in :mod:`repro.core.reuse`, so a warm
+serve session re-running the same query skips the index gathers
+entirely.
+
+For WCC, :func:`wcc_warm_state` turns the previous run's labels plus
+an edge mutation batch into a ``(labels, seed)`` warm start for
+:func:`repro.core.algorithms.wcc.run`: inserted edges merely seed
+their endpoints (min-label propagation is monotone under edge
+insertion), while deleted edges reset every vertex of the affected
+components to its identity label and re-propagate — components whose
+edges did not change are never touched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from ...errors import AlgorithmError
+from ...events import EventLog
+from ..engine import gather_ranges
+from ..reuse import (
+    frontier_fingerprint,
+    get_reuse_cache,
+    layout_token,
+    reuse_enabled,
+)
+from ..stats import PageRankResult
+from .pagerank import reference_iteration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import GaaSXEngine
+
+#: Default activity threshold: deltas at or below it stop propagating.
+DEFAULT_EPSILON = 1e-6
+
+
+def pagerank(
+    engine: "GaaSXEngine",
+    alpha: float = 0.85,
+    iterations: int = 10,
+    tolerance: Optional[float] = None,
+    epsilon: float = DEFAULT_EPSILON,
+    warm_ranks: Optional[np.ndarray] = None,
+) -> PageRankResult:
+    """Delta PageRank: full seed sweep, then active-set delta passes.
+
+    Semantics match :func:`repro.core.algorithms.pagerank.run` with the
+    same ``alpha``/``iterations``/``tolerance`` budget, within the
+    ``epsilon`` truncation bound. ``warm_ranks`` starts from a previous
+    run's ranks (a warm serve session after a graph mutation): the
+    seeding sweep then produces near-zero deltas and the run converges
+    in a handful of cheap passes instead of re-walking every edge
+    ``iterations`` times.
+    """
+    graph = engine.graph
+    n = graph.num_vertices
+    if epsilon < 0:
+        raise AlgorithmError("epsilon must be non-negative")
+    if warm_ranks is not None:
+        warm_ranks = np.asarray(warm_ranks, dtype=np.float64)
+        if warm_ranks.shape != (n,):
+            raise AlgorithmError(
+                f"warm_ranks must have one entry per vertex ({n})"
+            )
+    layout = engine.layout("col")
+    src_groups = layout.groups_by("src")
+    dst_groups = layout.groups_by("dst")
+    fwd_offsets, fwd_edge_of = src_groups.edge_index(n)
+
+    reuse = get_reuse_cache() if reuse_enabled() else None
+    token = (
+        layout_token(engine.graph, engine.interval_size, "col", engine.config)
+        if reuse is not None
+        else None
+    )
+
+    events = EventLog()
+    load_events = EventLog()
+    load_time = engine._account_load(
+        layout, load_events, mac_values_per_edge=1
+    )
+    events.merge(load_events)
+
+    out_deg = graph.out_degrees().astype(np.float64)
+    inv_outdeg = np.zeros(n, dtype=np.float64)
+    nonzero = out_deg > 0
+    inv_outdeg[nonzero] = 1.0 / out_deg[nonzero]
+
+    src = layout.src
+    dst = layout.dst
+    # Per-edge destination-group id (layout edge order), for mapping an
+    # active edge set onto the groups the delta pass must search.
+    dst_group_of_edge = np.empty(layout.num_edges, dtype=np.int64)
+    dst_group_of_edge[dst_groups.edge_perm] = np.repeat(
+        np.arange(dst_groups.num_groups), dst_groups.count
+    )
+
+    ranks = warm_ranks.copy() if warm_ranks is not None else np.ones(n)
+    compute_time = 0.0
+
+    # Seeding sweep: one full pass, identical in cost to a full-kernel
+    # iteration, establishes the exact residual of the starting ranks:
+    # residual = b + alpha*P^T r - r, which is precisely the rank
+    # change a synchronous sweep would apply. Shares the full kernel's
+    # memoized pass accounting (same token, same unit).
+    new_ranks = reference_iteration(ranks, src, dst, inv_outdeg, alpha)
+    residual = new_ranks - ranks
+    executed = 1
+    cached = (
+        reuse.lookup(token, "pagerank-pass", "full")
+        if reuse is not None
+        else None
+    )
+    if cached is None:
+        full_events = EventLog()
+        full_time = engine._account_search_pass(
+            layout, dst_groups, full_events, cols_engaged=1
+        )
+        full_events.buffer_reads += layout.num_edges
+        full_events.sfu_ops += dst_groups.num_groups + 2 * n
+        full_events.buffer_writes += n
+        if reuse is not None:
+            reuse.store(
+                token, "pagerank-pass", "full", (full_events, full_time)
+            )
+    else:
+        full_events, full_time = cached
+    events.merge(full_events)
+    compute_time += full_time
+
+    while executed < iterations:
+        max_residual = float(np.max(np.abs(residual))) if n else 0.0
+        if tolerance is not None and max_residual < tolerance:
+            break
+        active = np.flatnonzero(np.abs(residual) > epsilon)
+        if active.size == 0:
+            break
+        # Apply and propagate only the active residuals; sub-epsilon
+        # residuals stay parked where they are (no mass is dropped —
+        # they apply the moment upstream contributions push them over
+        # the threshold, which is what bounds the truncation error).
+        #
+        # The expansion of the active set (out-edges, destination
+        # groups) and the pass it costs (searches per touched group,
+        # residual reads per active edge, accumulate per group, apply
+        # + writeback per active vertex) are pure functions of the
+        # active set, so the whole bundle is memoized per frontier
+        # fingerprint: a repeated run replays expansions *and* pass
+        # accounting straight from the reuse cache.
+        starts = fwd_offsets[active]
+        edges = fwd_edge_of[
+            gather_ranges(starts, fwd_offsets[active + 1] - starts)
+        ]
+        bundle = None
+        if reuse is not None:
+            fp = frontier_fingerprint(active)
+            bundle = reuse.lookup(token, "delta", fp)
+        if bundle is None:
+            # Sorted dedupe via a group-bounded mask: O(edges + groups),
+            # far cheaper than a hash/sort unique on the edge list. The
+            # edge gather itself stays out of the memo — it is cheap and
+            # caching it would evict everything else at scale.
+            group_mask = np.zeros(dst_groups.num_groups, dtype=bool)
+            group_mask[dst_group_of_edge[edges]] = True
+            group_ids = np.flatnonzero(group_mask)
+            pass_events = EventLog()
+            pass_time = engine._account_search_pass(
+                layout, dst_groups, pass_events,
+                cols_engaged=1, group_ids=group_ids,
+            )
+            pass_events.buffer_reads += int(edges.size)
+            pass_events.sfu_ops += int(group_ids.size) + 2 * int(
+                active.size
+            )
+            pass_events.buffer_writes += int(active.size)
+            if reuse is not None:
+                reuse.store(
+                    token, "delta", fp,
+                    (group_ids, pass_events, pass_time),
+                )
+        else:
+            group_ids, pass_events, pass_time = bundle
+
+        ranks[active] += residual[active]
+        contrib = np.bincount(
+            dst[edges],
+            weights=residual[src[edges]] * inv_outdeg[src[edges]],
+            minlength=n,
+        )
+        residual[active] = 0.0
+        residual = residual + alpha * contrib
+        executed += 1
+        events.merge(pass_events)
+        compute_time += pass_time
+        if engine.streaming:
+            # No residency: re-stream only the crossbars holding the
+            # touched groups (the up-front charge covers the seeding
+            # sweep's full stream, as in the full kernel).
+            xbar_mask = np.zeros(layout.num_xbars, dtype=bool)
+            xbar_mask[dst_groups.xbar[group_ids]] = True
+            step_load = EventLog()
+            load_time += engine._account_load(
+                layout, step_load, xbar_mask=xbar_mask,
+                mac_values_per_edge=1,
+            )
+            events.merge(step_load)
+
+    # Final apply: the last propagation left its residuals pending;
+    # fold the active ones into the ranks (an SFU update, no search
+    # pass) so ``executed`` incremental passes land on the same point
+    # as ``executed`` full sweeps, up to parked sub-epsilon residuals.
+    apply = np.flatnonzero(np.abs(residual) > epsilon)
+    if apply.size:
+        ranks[apply] += residual[apply]
+        events.sfu_ops += 2 * int(apply.size)
+        events.buffer_writes += int(apply.size)
+
+    stats = engine._finalize(
+        events,
+        load_time,
+        compute_time,
+        passes=executed,
+        batches=layout.num_batches,
+    )
+    return PageRankResult(ranks=ranks, iterations=executed, stats=stats)
+
+
+def wcc_warm_state(
+    old_labels: np.ndarray,
+    num_vertices: int,
+    inserts: Optional[np.ndarray] = None,
+    deletes: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Warm-start ``(labels, seed_vertices)`` for WCC after a mutation.
+
+    Edge insertion is monotone for min-label propagation: old labels
+    stay valid upper bounds and only the inserted endpoints need to
+    seed the frontier. Deletion can split a component, so every vertex
+    of a component that lost an edge is reset to its identity label
+    and re-seeded; the old graph's components are adjacency-closed, so
+    no other label can be stale.
+    """
+    old_labels = np.asarray(old_labels, dtype=np.int64)
+    if old_labels.shape != (num_vertices,):
+        raise AlgorithmError(
+            f"labels must have one entry per vertex ({num_vertices})"
+        )
+    labels = old_labels.copy()
+    seeds = []
+    if deletes is not None and len(deletes):
+        arr = np.asarray(deletes, dtype=np.int64)
+        endpoints = np.unique(arr[:, :2])
+        affected = np.unique(old_labels[endpoints])
+        members = np.flatnonzero(np.isin(old_labels, affected))
+        labels[members] = members
+        seeds.append(members)
+    if inserts is not None and len(inserts):
+        arr = np.asarray(inserts)[:, :2].astype(np.int64)
+        seeds.append(np.unique(arr))
+    seed = (
+        np.unique(np.concatenate(seeds))
+        if seeds
+        else np.empty(0, dtype=np.int64)
+    )
+    return labels, seed

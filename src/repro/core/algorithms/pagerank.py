@@ -108,18 +108,37 @@ def run(
             break
 
     # Every iteration performs the identical search/MAC pass; account
-    # one pass and scale by the number of executed iterations.
-    pass_events = EventLog()
-    pass_time = engine._account_search_pass(
-        layout, groups, pass_events, cols_engaged=1
-    )
-    # Per hit: one rank read from the attribute buffer (the MAC input).
-    pass_events.buffer_reads += layout.num_edges
-    # Per group: accumulate the crossbar partial into the running sum.
-    pass_events.sfu_ops += groups.num_groups
-    # Per vertex: the damping affine (mul + add) and the rank writeback.
-    pass_events.sfu_ops += 2 * n
-    pass_events.buffer_writes += n
+    # one pass and scale by the number of executed iterations. The
+    # assembled pass is a pure function of the layout, so warm runs
+    # (the serve session's second query onward) replay it from the
+    # reuse cache instead of re-walking every group.
+    from ..reuse import get_reuse_cache, layout_token, reuse_enabled
+
+    reuse = get_reuse_cache() if reuse_enabled() else None
+    cached = None
+    if reuse is not None:
+        token = layout_token(
+            engine.graph, engine.interval_size, "col", engine.config
+        )
+        cached = reuse.lookup(token, "pagerank-pass", "full")
+    if cached is None:
+        pass_events = EventLog()
+        pass_time = engine._account_search_pass(
+            layout, groups, pass_events, cols_engaged=1
+        )
+        # Per hit: one rank read from the attribute buffer (MAC input).
+        pass_events.buffer_reads += layout.num_edges
+        # Per group: accumulate the crossbar partial into the sum.
+        pass_events.sfu_ops += groups.num_groups
+        # Per vertex: damping affine (mul + add) and rank writeback.
+        pass_events.sfu_ops += 2 * n
+        pass_events.buffer_writes += n
+        if reuse is not None:
+            reuse.store(
+                token, "pagerank-pass", "full", (pass_events, pass_time)
+            )
+    else:
+        pass_events, pass_time = cached
     events.merge(pass_events.scaled(executed))
     compute_time = pass_time * executed
     if engine.streaming:

@@ -251,6 +251,33 @@ class LayoutCache:
                 self._grids.popitem(last=False)
         return grid
 
+    def seed_grid(
+        self, graph: "Graph", interval_size: int, grid: "ShardGrid"
+    ) -> None:
+        """Insert a pre-built grid under its content key.
+
+        The mutation path derives the new graph's grid incrementally
+        (:func:`repro.graphs.partition.mutate_grid`); seeding it here
+        means the first post-mutation query hits the in-process tier
+        instead of re-lexsorting the whole edge set.
+        """
+        key = _entry_key(
+            "grid", graph_fingerprint(graph), int(interval_size)
+        )
+        with self._lock:
+            self._grids[key] = grid
+            self._grids.move_to_end(key)
+            while len(self._grids) > self.max_grids:
+                self._grids.popitem(last=False)
+        self._disk_store(
+            key,
+            src=grid.src,
+            dst=grid.dst,
+            weight=grid.weight,
+            keys=grid._keys,
+            starts=grid._starts,
+        )
+
     # ------------------------------------------------------------------
     # Layout tier
     # ------------------------------------------------------------------

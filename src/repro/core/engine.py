@@ -616,9 +616,41 @@ class GaaSXEngine:
         iterations: int = 10,
         tolerance: Optional[float] = None,
         personalization: Optional[np.ndarray] = None,
+        incremental: bool = False,
+        epsilon: float = 1e-6,
+        warm_ranks: Optional[np.ndarray] = None,
     ) -> PageRankResult:
         """Run PageRank (Section IV, Equation 3); pass a
-        ``personalization`` vector for personalized PageRank."""
+        ``personalization`` vector for personalized PageRank.
+
+        ``incremental=True`` runs the delta formulation
+        (:mod:`repro.core.algorithms.incremental`): one full seeding
+        sweep, then passes that only re-process vertices whose rank
+        moved by more than ``epsilon``, optionally warm-started from
+        ``warm_ranks``. Results are epsilon-equivalent to the full
+        kernel. Incremental mode rides on the reuse layer; when that
+        is disabled (``REPRO_REUSE=0``) it falls back to full
+        recompute, which keeps the non-reuse path the exact paper
+        dataflow. ``personalization`` requires the full kernel.
+        """
+        if incremental:
+            from .reuse import reuse_enabled
+
+            if personalization is not None:
+                raise AlgorithmError(
+                    "incremental PageRank does not support personalization"
+                )
+            if reuse_enabled():
+                from .algorithms import incremental as inc
+
+                return inc.pagerank(
+                    self,
+                    alpha=alpha,
+                    iterations=iterations,
+                    tolerance=tolerance,
+                    epsilon=epsilon,
+                    warm_ranks=warm_ranks,
+                )
         from .algorithms import pagerank
 
         return pagerank.run(
@@ -641,16 +673,26 @@ class GaaSXEngine:
 
         return traversal.run(self, source=source, weighted=True)
 
-    def wcc(self) -> "ComponentsResult":
+    def wcc(
+        self,
+        warm_labels: Optional[np.ndarray] = None,
+        seed_vertices: Optional[np.ndarray] = None,
+    ) -> "ComponentsResult":
         """Weakly connected components via min-label propagation.
 
         Extension kernel (not in the paper's evaluation); uses the
         ternary CAM's two searchable fields to propagate labels in both
         edge directions without a transposed graph copy.
+
+        ``warm_labels``/``seed_vertices`` warm-start incrementally from
+        a previous run (see
+        :func:`repro.core.algorithms.incremental.wcc_warm_state`).
         """
         from .algorithms import wcc
 
-        return wcc.run(self)
+        return wcc.run(
+            self, warm_labels=warm_labels, seed_vertices=seed_vertices
+        )
 
     def gnn_forward(
         self,

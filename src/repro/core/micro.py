@@ -26,11 +26,17 @@ from ..errors import AlgorithmError
 from ..events import EventLog
 from ..graphs.graph import Graph
 from ..graphs.partition import partition_graph
-from ..xbar.cam_array import CamBank, EdgeCam
+from ..xbar.cam_array import CamBank, EdgeCam, pack_edge_keys
 from ..xbar.cells import FixedPointFormat
 from ..xbar.mac_array import MacBank, MacCrossbar
 from .engine import default_interval_size
 from .loader import CrossbarLayout, build_layout
+from .reuse import (
+    frontier_fingerprint,
+    get_reuse_cache,
+    layout_token,
+    reuse_enabled,
+)
 
 
 class _CrossbarPair:
@@ -48,6 +54,7 @@ class _CrossbarPair:
         exact: bool = True,
         hw=None,
         index: int = 0,
+        packed=None,
     ) -> None:
         # Each CAM field spans half the 128-bit row, matching the
         # engine's cam_cell_writes = 2 bits-per-cell-pair x width.
@@ -79,12 +86,17 @@ class _CrossbarPair:
         self.weight = weight
         # Distinct searched ids with their packed key encodings,
         # precomputed once: every superstep searches a subset of these,
-        # never anything else, and the encodings never change.
-        searched = src if search_field == "src" else dst
-        self.search_vertices = np.unique(searched)
-        self.search_keys = self.cam.pack_keys(
-            self.search_vertices, search_field
-        )
+        # never anything else, and the encodings never change. A warm
+        # build hands the content-keyed product in via ``packed``.
+        if packed is None:
+            searched = src if search_field == "src" else dst
+            self.search_vertices = np.unique(searched)
+            self.search_keys = self.cam.pack_keys(
+                self.search_vertices, search_field
+            )
+        else:
+            self.search_vertices, key_words, mask_words = packed
+            self.search_keys = (key_words, mask_words)
         self.cam.load_edges(src, dst)
         k = src.size
         if load_weights:
@@ -111,6 +123,7 @@ class MicroGaaSX:
         interval_size: Optional[int] = None,
         quantized: bool = False,
         hw=None,
+        reuse: Optional[bool] = None,
     ) -> None:
         """``quantized=True`` runs the MAC arrays through the honest
         fixed-point pipeline (2-bit cells, bit-serial inputs, ADC)
@@ -122,6 +135,11 @@ class MicroGaaSX:
         algorithms close one timeline bin per superstep. A monitor
         accumulates, while each run gets a fresh :class:`EventLog` —
         so use one monitor per run to keep the parity check meaningful.
+
+        ``reuse`` overrides the cross-superstep memo layer
+        (:mod:`repro.core.reuse`) for this engine; ``None`` follows the
+        process default (on unless ``REPRO_REUSE=0``). Memoized runs
+        charge identical events — only wall-clock changes.
         """
         self.config = config if config is not None else ArchConfig()
         self.quantized = quantized
@@ -131,6 +149,15 @@ class MicroGaaSX:
             interval_size = default_interval_size(graph.num_vertices)
         self.interval_size = interval_size
         self._grid = partition_graph(graph, interval_size)
+        self._reuse = get_reuse_cache() if reuse_enabled(reuse) else None
+
+    def _token(self, order: str) -> Optional[str]:
+        """Reuse-cache namespace of this engine's ``order`` layout."""
+        if self._reuse is None:
+            return None
+        return layout_token(
+            self.graph, self.interval_size, order, self.config
+        )
 
     def _build(
         self,
@@ -140,14 +167,36 @@ class MicroGaaSX:
         search_field: str,
     ) -> Tuple[CrossbarLayout, list]:
         layout = build_layout(self._grid, order, self.config)
+        token = self._token(order)
+        vertex_bits = self.config.cam_width_bits // 2
         pairs = []
         for x in range(layout.num_xbars):
             sel = layout.xbar_of_edge == x
+            src = layout.src[sel]
+            dst = layout.dst[sel]
+            packed = None
+            if token is not None:
+                # Content-keyed packed keys: a warm rebuild of the same
+                # graph/layout/config skips the np.unique + bit packing
+                # per crossbar (and a mutated graph's untouched shards
+                # keep theirs via reuse migration).
+                searched = src if search_field == "src" else dst
+
+                def _pack(searched=searched):
+                    vertices = np.unique(searched)
+                    key_words, mask_words = pack_edge_keys(
+                        vertices, search_field, vertex_bits
+                    )
+                    return vertices, key_words, mask_words
+
+                packed = self._reuse.packed_keys(
+                    token, x, search_field, _pack
+                )
             pairs.append(
                 _CrossbarPair(
                     self.config,
-                    layout.src[sel],
-                    layout.dst[sel],
+                    src,
+                    dst,
                     layout.weight[sel],
                     events,
                     load_weights,
@@ -155,6 +204,7 @@ class MicroGaaSX:
                     exact=not self.quantized,
                     hw=self.hw,
                     index=x,
+                    packed=packed,
                 )
             )
         return layout, pairs
@@ -181,15 +231,33 @@ class MicroGaaSX:
         ranks = np.ones(n)
         col0 = np.array([0])
         inputs = np.zeros(self.config.mac_rows)
+        token = self._token("col")
+        if token is not None:
+            # PageRank searches every pair's full destination set every
+            # iteration: one fingerprint per pair covers the whole run.
+            pair_fps = [
+                frontier_fingerprint(pair.search_vertices) for pair in pairs
+            ]
         for _ in range(iterations):
             contrib = np.zeros(n)
-            for pair in pairs:
+            for i, pair in enumerate(pairs):
                 inputs[: pair.src.size] = ranks[pair.src]
                 inputs[pair.src.size :] = 0.0
                 events.buffer_reads += int(pair.src.size)  # rank reads
                 # One batched broadcast: every destination group's CAM
                 # search, then its selective MAC, in one call each.
-                hits = pair.cam.search_packed(*pair.search_keys)
+                # The search result is constant across iterations, so
+                # after the first it comes from the reuse cache with
+                # the identical events charged (charge_search).
+                hits = None
+                if token is not None:
+                    hits = self._reuse.lookup(token, i, pair_fps[i])
+                if hits is None:
+                    hits = pair.cam.search_packed(*pair.search_keys)
+                    if token is not None:
+                        self._reuse.store(token, i, pair_fps[i], hits)
+                else:
+                    pair.cam.charge_search(int(pair.search_vertices.size))
                 summed = pair.mac.mac_many(inputs, hits, col_mask=col0)
                 contrib[pair.search_vertices] += summed[:, 0]
                 events.sfu_ops += int(pair.search_vertices.size)  # accums
@@ -238,6 +306,7 @@ class MicroGaaSX:
         active = np.zeros(n, dtype=bool)
         active[source] = True
         cols01 = np.array([0, 1])
+        token = self._token("row")
         while active.any():
             new_dist = dist.copy()
             sel = active[all_src]
@@ -246,7 +315,22 @@ class MicroGaaSX:
             candidates_count = 0
             if searches:
                 mem = member[sel]
-                hits = cam_bank.search_packed(mem, key_words[sel], mask_words)
+                # Supersteps are memoized on the activity mask: a warm
+                # re-run of the same query (or an identical frontier in
+                # another traversal on this graph) reuses the gang hit
+                # matrix and only charges the search events.
+                hits = None
+                if token is not None:
+                    step_fp = frontier_fingerprint(sel)
+                    hits = self._reuse.lookup(token, "gang", step_fp)
+                if hits is None:
+                    hits = cam_bank.search_packed(
+                        mem, key_words[sel], mask_words
+                    )
+                    if token is not None:
+                        self._reuse.store(token, "gang", step_fp, hits)
+                else:
+                    cam_bank.charge_search(mem)
                 # alpha=1 drives the weight column, dist(u) drives the
                 # constant-1 column (Figure 9b) — one input row per
                 # active source, one gang MAC for the whole superstep.

@@ -1,0 +1,523 @@
+"""Cross-superstep reuse: memoized CAM searches and warm-run caches.
+
+Iterative graph algorithms re-issue nearly identical crossbar work
+every superstep: PageRank searches the same destination set against
+the same CAM banks each iteration, and a warm serve session replays
+the same searches run after run. This module is the process-wide memo
+layer that exploits that recurrence:
+
+* **Hit-vector tier** — per ``(content token, array unit, frontier
+  fingerprint)`` CAM hit vectors. :class:`~repro.core.micro.MicroGaaSX`
+  consults it before every ``search_packed`` broadcast; a hit returns
+  the stored matrix and charges exactly the events the search would
+  have charged (:meth:`~repro.xbar.cam_array.CamCrossbar.charge_search`),
+  so the :class:`~repro.events.EventLog` and per-array hardware
+  counters are — by construction — identical with and without
+  memoization. Only the packed-word fold is skipped: memoization is a
+  simulation speedup, not a hardware semantic change.
+* **Packed-key tier** — per ``(content token, array unit, field)``
+  ``pack_keys`` products, so content-identical graphs never re-encode
+  their searched vertex sets.
+* **Invalidation** — content tokens embed the graph fingerprint, so a
+  mutated graph can never read a stale entry. :func:`migrate_for_mutation`
+  goes further: entries for crossbars whose sub-shard an edge mutation
+  did *not* touch are re-keyed to the new token (the warm state
+  survives), while entries for touched sub-shards are dropped and
+  counted as invalidations.
+
+Counters ``reuse.hits`` / ``reuse.misses`` / ``reuse.invalidations``
+are mirrored into the process metrics registry (and therefore the
+OpenMetrics export); :func:`reuse_scope` additionally accumulates them
+per thread so the serve layer can attach a per-query
+``reuse_hit_rate``.
+
+Memoization is on by default; set ``REPRO_REUSE=0`` (or call
+:func:`set_reuse_enabled`) to bypass every tier — results and event
+counts are identical either way, only wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..obs.metrics import get_metrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import ArchConfig
+    from ..graphs.graph import Graph
+    from ..graphs.partition import ShardGrid
+
+#: Environment variable: set to ``0``/``false``/``off`` to bypass reuse.
+REUSE_ENV = "REPRO_REUSE"
+
+#: Default entry bound of the hit-vector tier.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Default byte bound of the hit-vector tier (64 MiB).
+DEFAULT_MAX_BYTES = 64 << 20
+
+_FALSEY = ("0", "false", "off", "no")
+
+# Module-level override: None defers to the environment variable.
+_enabled_override: Optional[bool] = None
+
+
+def reuse_enabled(override: Optional[bool] = None) -> bool:
+    """Whether the reuse layer is active.
+
+    Resolution order: explicit ``override`` argument (per-engine knob),
+    then :func:`set_reuse_enabled`, then ``$REPRO_REUSE``, then on.
+    """
+    if override is not None:
+        return bool(override)
+    if _enabled_override is not None:
+        return _enabled_override
+    env = os.environ.get(REUSE_ENV)
+    if env is not None and env.strip().lower() in _FALSEY:
+        return False
+    return True
+
+
+def set_reuse_enabled(value: Optional[bool]) -> None:
+    """Force the reuse layer on/off process-wide (``None`` = follow env)."""
+    global _enabled_override
+    _enabled_override = value
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and tokens
+# ----------------------------------------------------------------------
+def frontier_fingerprint(values: np.ndarray) -> str:
+    """Stable content digest of one frontier (or any key array).
+
+    Dtype and shape are folded in so a boolean activity mask and an id
+    array of the same bytes cannot collide.
+    """
+    arr = np.ascontiguousarray(values)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(arr.dtype.str.encode("ascii"))
+    h.update(str(arr.shape).encode("ascii"))
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def layout_token(
+    graph: "Graph",
+    interval_size: int,
+    order: str,
+    config: "ArchConfig",
+) -> str:
+    """The content identity of one (graph, interval, order, config)
+    crossbar layout — the namespace reuse entries live under.
+
+    Embedding the graph fingerprint makes stale reads structurally
+    impossible: a mutated graph has a new fingerprint, hence a new
+    token, hence an empty namespace (until :func:`migrate_for_mutation`
+    carries the still-valid entries over).
+    """
+    from .cache import config_fingerprint, graph_fingerprint
+
+    return (
+        f"{graph_fingerprint(graph)}:{int(interval_size)}:{order}:"
+        f"{config_fingerprint(config)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-query scopes
+# ----------------------------------------------------------------------
+class ReuseScope:
+    """Hit/miss tally of one scoped region (one serve query)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _ScopeStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list = []
+
+
+_scopes = _ScopeStack()
+
+
+class reuse_scope:
+    """Context manager accumulating this thread's reuse hits/misses.
+
+    The serve layer wraps each engine run in one, turning the global
+    counters into a per-query ``reuse_hit_rate`` without cross-query
+    interference (runs execute on worker threads; the scope is
+    thread-local)."""
+
+    def __enter__(self) -> ReuseScope:
+        self.scope = ReuseScope()
+        _scopes.stack.append(self.scope)
+        return self.scope
+
+    def __exit__(self, *exc_info) -> None:
+        _scopes.stack.remove(self.scope)
+
+
+def _tally(hit: bool) -> None:
+    for scope in _scopes.stack:
+        if hit:
+            scope.hits += 1
+        else:
+            scope.misses += 1
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+def _value_bytes(value) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, tuple):
+        return sum(_value_bytes(part) for part in value)
+    return 64  # scalar-ish payloads (EventLog floats, counts)
+
+
+def _freeze(value):
+    """Mark stored arrays read-only so no consumer can corrupt a memo."""
+    if isinstance(value, np.ndarray):
+        value.flags.writeable = False
+    elif isinstance(value, tuple):
+        for part in value:
+            _freeze(part)
+    return value
+
+
+class ReuseCache:
+    """Bounded LRU memo of cross-superstep reusable artifacts.
+
+    Two tiers share the bounds: the hit-vector tier (plus any other
+    per-frontier artifact, e.g. the engine's delta-pass group
+    expansions) keyed ``(token, unit, fingerprint)``, and the
+    packed-key tier keyed ``(token, unit, field)``. ``unit`` is a
+    crossbar index for array-level entries or a small string for
+    layout-wide ones — the granularity :meth:`migrate` preserves
+    across graph mutations.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple[str, object, str], object]" = (
+            OrderedDict()
+        )
+        self._packed: "OrderedDict[Tuple[str, object, str], object]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._lock = threading.RLock()
+        # Authoritative plain-int counters (survive registry resets in
+        # tests); every increment is mirrored to the process registry
+        # so the OpenMetrics export carries them.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, hit: Optional[bool] = None) -> None:
+        get_metrics().counter(f"reuse.{name}").inc()
+        if hit is not None:
+            _tally(hit)
+
+    def _record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+        self._count("hits", hit=True)
+
+    def _record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+        self._count("misses", hit=False)
+
+    # ------------------------------------------------------------------
+    # Hit-vector tier
+    # ------------------------------------------------------------------
+    def lookup(self, token: str, unit, fingerprint: str):
+        """The memoized artifact, or ``None`` (counts a hit or miss)."""
+        key = (token, unit, fingerprint)
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+        if value is None:
+            self._record_miss()
+        else:
+            self._record_hit()
+        return value
+
+    def store(self, token: str, unit, fingerprint: str, value) -> None:
+        """Memoize one artifact (ndarray or tuple of ndarrays)."""
+        key = (token, unit, fingerprint)
+        size = _value_bytes(value)
+        if size > self.max_bytes:
+            return  # larger than the whole budget; never cacheable
+        _freeze(value)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= _value_bytes(old)
+            self._entries[key] = value
+            self._bytes += size
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while self._entries and (
+            len(self._entries) + len(self._packed) > self.max_entries
+            or self._bytes > self.max_bytes
+        ):
+            _key, value = self._entries.popitem(last=False)
+            self._bytes -= _value_bytes(value)
+
+    # ------------------------------------------------------------------
+    # Packed-key tier
+    # ------------------------------------------------------------------
+    def packed_keys(self, token: str, unit, field: str, builder):
+        """Get-or-create the content-keyed ``pack_keys`` product.
+
+        ``builder`` is a zero-argument callable producing the value on
+        a miss. Packed keys are tiny and regeneration is cheap relative
+        to hit vectors, so this tier only counts toward the entry
+        bound, not the byte budget.
+        """
+        key = (token, unit, field)
+        with self._lock:
+            value = self._packed.get(key)
+            if value is not None:
+                self._packed.move_to_end(key)
+        if value is not None:
+            self._record_hit()
+            return value
+        self._record_miss()
+        value = _freeze(builder())
+        with self._lock:
+            self._packed[key] = value
+            while len(self._packed) > self.max_entries:
+                self._packed.popitem(last=False)
+        return value
+
+    # ------------------------------------------------------------------
+    # Invalidation and migration
+    # ------------------------------------------------------------------
+    def invalidate(self, token: Optional[str] = None) -> int:
+        """Drop every entry (``token=None``) or one token's namespace.
+
+        Returns the number of dropped entries; each is counted as one
+        ``reuse.invalidations``.
+        """
+        dropped = 0
+        with self._lock:
+            for store in (self._entries, self._packed):
+                doomed = [
+                    key for key in store
+                    if token is None or key[0] == token
+                ]
+                for key in doomed:
+                    value = store.pop(key)
+                    if store is self._entries:
+                        self._bytes -= _value_bytes(value)
+                    dropped += 1
+            self.invalidations += dropped
+        if dropped:
+            get_metrics().counter("reuse.invalidations").inc(dropped)
+        return dropped
+
+    def migrate(
+        self,
+        old_token: str,
+        new_token: str,
+        unit_map: Dict[object, object],
+    ) -> Tuple[int, int]:
+        """Re-key one token's entries after a graph mutation.
+
+        Entries whose unit appears in ``unit_map`` (crossbars holding
+        untouched sub-shards) move to ``new_token`` under the mapped
+        unit; every other entry under ``old_token`` is dropped and
+        counted as an invalidation. Returns ``(carried, dropped)``.
+        """
+        carried = 0
+        dropped = 0
+        with self._lock:
+            for store in (self._entries, self._packed):
+                doomed = [key for key in store if key[0] == old_token]
+                for key in doomed:
+                    value = store.pop(key)
+                    _token, unit, tail = key
+                    if unit in unit_map:
+                        store[(new_token, unit_map[unit], tail)] = value
+                        carried += 1
+                    else:
+                        if store is self._entries:
+                            self._bytes -= _value_bytes(value)
+                        dropped += 1
+            self.invalidations += dropped
+        if dropped:
+            get_metrics().counter("reuse.invalidations").inc(dropped)
+        return carried, dropped
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry without counting invalidations (tests)."""
+        with self._lock:
+            self._entries.clear()
+            self._packed.clear()
+            self._bytes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime fraction of lookups served from the cache."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def describe(self) -> Dict[str, object]:
+        """Introspection payload (the serve /stats ``reuse`` section)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "hit_rate": round(self.hit_rate, 4),
+                "entries": len(self._entries) + len(self._packed),
+                "bytes": self._bytes,
+            }
+
+
+# ----------------------------------------------------------------------
+# Mutation-aware migration
+# ----------------------------------------------------------------------
+def affected_shard_keys(
+    inserts: Optional[np.ndarray],
+    deletes: Optional[np.ndarray],
+    interval_size: int,
+    num_intervals: int,
+) -> set:
+    """Row-major shard keys touched by a mutation batch.
+
+    ``inserts``/``deletes`` are ``(k, >=2)`` arrays of (src, dst[, w])
+    rows; a shard is touched when any mutated edge lands in its
+    (source interval, destination interval) cell.
+    """
+    keys: set = set()
+    for batch in (inserts, deletes):
+        if batch is None or len(batch) == 0:
+            continue
+        arr = np.asarray(batch)
+        si = arr[:, 0].astype(np.int64) // interval_size
+        dj = arr[:, 1].astype(np.int64) // interval_size
+        keys.update(int(k) for k in np.unique(si * num_intervals + dj))
+    return keys
+
+
+def _shard_xbar_table(
+    grid: "ShardGrid", order: str, cam_rows: int
+) -> Dict[int, Tuple[int, int, int]]:
+    """Per shard key: (first crossbar id, crossbar count, edge count)
+    under one streaming order — the same shard-major assignment
+    :func:`~repro.core.loader.build_layout` produces."""
+    keys = grid._keys
+    counts = np.diff(grid._starts)
+    k = grid.partition.num_intervals
+    if order == "col":
+        positions = np.lexsort((keys // k, keys % k))
+        keys = keys[positions]
+        counts = counts[positions]
+    xbars = -(-counts // cam_rows)
+    offsets = np.concatenate(([0], np.cumsum(xbars)[:-1]))
+    return {
+        int(key): (int(off), int(num), int(edges))
+        for key, off, num, edges in zip(keys, offsets, xbars, counts)
+    }
+
+
+def migrate_for_mutation(
+    cache: ReuseCache,
+    old_graph: "Graph",
+    new_graph: "Graph",
+    old_grid: "ShardGrid",
+    new_grid: "ShardGrid",
+    config: "ArchConfig",
+    inserts: Optional[np.ndarray],
+    deletes: Optional[np.ndarray],
+) -> Dict[str, int]:
+    """Sub-shard-granular reuse migration across one graph mutation.
+
+    For each warmed streaming order, crossbars whose sub-shard the
+    mutation did not touch (same shard key, same edge count, no
+    mutated edge inside) hold byte-identical contents in the new
+    layout — their packed keys and hit vectors are re-keyed from the
+    old content token to the new one. Touched crossbars, and
+    layout-wide entries (e.g. traversal gang searches spanning every
+    crossbar), are dropped and counted as ``reuse.invalidations``.
+    """
+    interval_size = old_grid.partition.interval_size
+    touched = affected_shard_keys(
+        inserts, deletes, interval_size,
+        old_grid.partition.num_intervals,
+    )
+    carried_total = 0
+    dropped_total = 0
+    for order in ("col", "row"):
+        old_table = _shard_xbar_table(old_grid, order, config.cam_rows)
+        new_table = _shard_xbar_table(new_grid, order, config.cam_rows)
+        unit_map: Dict[object, object] = {}
+        for key, (old_off, old_num, old_edges) in old_table.items():
+            if key in touched or key not in new_table:
+                continue
+            new_off, new_num, new_edges = new_table[key]
+            if old_edges != new_edges or old_num != new_num:
+                continue  # repacked shard; contents may have shifted
+            for slot in range(old_num):
+                unit_map[old_off + slot] = new_off + slot
+        old_token = layout_token(old_graph, interval_size, order, config)
+        new_token = layout_token(new_graph, interval_size, order, config)
+        carried, dropped = cache.migrate(old_token, new_token, unit_map)
+        carried_total += carried
+        dropped_total += dropped
+    return {"carried": carried_total, "invalidated": dropped_total}
+
+
+# ----------------------------------------------------------------------
+# Process-global cache
+# ----------------------------------------------------------------------
+_global_cache: Optional[ReuseCache] = None
+_global_lock = threading.Lock()
+
+
+def get_reuse_cache() -> ReuseCache:
+    """The process-wide reuse cache (created on first use)."""
+    global _global_cache
+    with _global_lock:
+        if _global_cache is None:
+            _global_cache = ReuseCache()
+        return _global_cache
+
+
+def reset_reuse_cache() -> None:
+    """Replace the global cache (tests and pool hygiene)."""
+    global _global_cache
+    with _global_lock:
+        _global_cache = None

@@ -17,6 +17,63 @@ from .coo import COOMatrix
 from .csr import CSCMatrix, CSRMatrix
 
 
+def normalize_mutation(
+    batch, num_vertices: int, weighted: bool = True
+) -> np.ndarray:
+    """Canonicalize one edge mutation batch.
+
+    Accepts ``None``, an ``(k, 2)`` array of ``(src, dst)`` pairs, an
+    ``(k, 3)`` array with weights, or any nested-sequence equivalent
+    (e.g. the JSON bodies the serve mutate endpoint receives). Returns
+    a ``(k, 3)`` float64 array ``[src, dst, weight]`` (weight defaults
+    to 1.0), validated against the vertex range. Later entries win on
+    duplicate pairs, matching COO "last" dedup semantics.
+    """
+    if batch is None:
+        return np.empty((0, 3), dtype=np.float64)
+    if not isinstance(batch, np.ndarray):
+        # JSON rows may mix [src, dst] and [src, dst, weight]; pad the
+        # pairs so the batch forms one rectangular array.
+        rows = []
+        for row in batch:
+            row = list(row)
+            if len(row) not in (2, 3):
+                raise GraphFormatError(
+                    "each mutation row must be [src, dst] or "
+                    "[src, dst, weight]"
+                )
+            rows.append(row + [1.0] * (3 - len(row)))
+        batch = np.asarray(rows, dtype=np.float64).reshape(-1, 3)
+    try:
+        arr = np.asarray(batch, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise GraphFormatError(f"malformed mutation batch: {exc}") from exc
+    if arr.size == 0:
+        return np.empty((0, 3), dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] not in (2, 3):
+        raise GraphFormatError(
+            "a mutation batch must be (k, 2) pairs or (k, 3) "
+            "weighted triples"
+        )
+    if arr.shape[1] == 2:
+        arr = np.concatenate(
+            [arr, np.ones((arr.shape[0], 1), dtype=np.float64)], axis=1
+        )
+    elif not weighted:
+        arr = arr.copy()
+        arr[:, 2] = 1.0
+    endpoints = arr[:, :2]
+    if not np.array_equal(endpoints, np.floor(endpoints)):
+        raise GraphFormatError("edge endpoints must be integers")
+    lo = endpoints.min() if endpoints.size else 0
+    hi = endpoints.max() if endpoints.size else 0
+    if lo < 0 or hi >= num_vertices:
+        raise GraphFormatError(
+            f"edge endpoint out of range [0, {num_vertices})"
+        )
+    return arr
+
+
 class Graph:
     """A directed graph over vertices ``0 .. num_vertices - 1``.
 
@@ -90,6 +147,52 @@ class Graph:
         graph = cls(coo, name=name)
         graph._csr = csr
         return graph
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def with_edges(
+        self,
+        inserts=None,
+        deletes=None,
+        name: Optional[str] = None,
+    ) -> "Graph":
+        """A new graph with an edge mutation batch applied.
+
+        ``inserts`` and ``deletes`` are ``(k, 2)`` pairs or ``(k, 3)``
+        weighted triples (see :func:`normalize_mutation`). Deletes
+        remove matching ``(src, dst)`` edges (missing edges are
+        ignored); inserts upsert — re-inserting an existing edge
+        replaces its weight. The receiver is untouched: graphs stay
+        immutable, mutation produces a fresh content identity, which
+        is what keys every downstream cache.
+        """
+        n = self.num_vertices
+        ins = normalize_mutation(inserts, n)
+        dels = normalize_mutation(deletes, n)
+        src = self.edges.rows
+        dst = self.edges.cols
+        weight = self.weights
+        # Pair keys fit int64: the matrix is square, so n^2 bounds them.
+        keys = src * np.int64(n) + dst
+        remove = np.concatenate(
+            [
+                dels[:, 0].astype(np.int64) * n
+                + dels[:, 1].astype(np.int64),
+                ins[:, 0].astype(np.int64) * n
+                + ins[:, 1].astype(np.int64),
+            ]
+        )
+        keep = (
+            ~np.isin(keys, remove) if remove.size else np.ones_like(keys, dtype=bool)
+        )
+        new_src = np.concatenate([src[keep], ins[:, 0].astype(np.int64)])
+        new_dst = np.concatenate([dst[keep], ins[:, 1].astype(np.int64)])
+        new_w = np.concatenate([weight[keep], ins[:, 2]])
+        coo = COOMatrix(new_src, new_dst, new_w, (n, n))
+        if ins.shape[0] and coo.has_duplicates():
+            coo = coo.deduplicated("last")
+        return Graph(coo, name=name if name is not None else self.name)
 
     # ------------------------------------------------------------------
     # Properties

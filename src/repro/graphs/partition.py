@@ -209,3 +209,99 @@ def partition_graph(graph: Graph, interval_size: int) -> ShardGrid:
     """Partition ``graph`` into sub-shards with the given interval size."""
     part = IntervalPartition(graph.num_vertices, interval_size)
     return ShardGrid(graph, part)
+
+
+def mutate_grid(
+    old_grid: ShardGrid,
+    new_graph: Graph,
+    inserts=None,
+    deletes=None,
+) -> ShardGrid:
+    """Derive ``new_graph``'s shard grid from an already-sorted old one.
+
+    ``new_graph`` must be ``old_grid.graph.with_edges(inserts, deletes)``
+    (same batches). Instead of re-lexsorting all E edges, the deleted
+    and upserted pairs are masked out of the old grid's sorted arrays
+    and the insert batch — typically tiny — is merge-inserted at its
+    sorted positions, so the cost is O(E + k log k) for a k-edge batch.
+    The sort rank of an edge is the composite integer
+    ``(shard_key * n + dst) * n + src``, exactly the lexsort order
+    :class:`ShardGrid` establishes; when that rank cannot fit an int64
+    (enormous vertex counts) we fall back to a full rebuild.
+    """
+    from .graph import normalize_mutation
+
+    interval_size = old_grid.partition.interval_size
+    n = new_graph.num_vertices
+    if old_grid.graph.num_vertices != n:
+        raise PartitionError(
+            "mutate_grid requires an unchanged vertex count"
+        )
+    k = old_grid.partition.num_intervals
+    if k * k * n * n >= 2**63:  # Python ints: no silent overflow.
+        return partition_graph(new_graph, interval_size)
+
+    ins = normalize_mutation(inserts, n)
+    dels = normalize_mutation(deletes, n)
+    ins_pair = ins[:, 0].astype(np.int64) * n + ins[:, 1].astype(np.int64)
+    if ins_pair.size:
+        # Last-wins pair dedupe, matching COO "last" semantics: a
+        # stable sort keeps original order within equal keys, so the
+        # final element of each run is the batch's last occurrence.
+        order = np.argsort(ins_pair, kind="stable")
+        run_last = np.ones(order.size, dtype=bool)
+        sorted_pair = ins_pair[order]
+        run_last[:-1] = sorted_pair[1:] != sorted_pair[:-1]
+        ins = ins[order[run_last]]
+        ins_pair = sorted_pair[run_last]
+    remove = np.concatenate(
+        [dels[:, 0].astype(np.int64) * n + dels[:, 1].astype(np.int64),
+         ins_pair]
+    )
+    old_pair = old_grid.src * np.int64(n) + old_grid.dst
+    keep = (
+        ~np.isin(old_pair, remove)
+        if remove.size
+        else np.ones(old_pair.size, dtype=bool)
+    )
+    kept_src = old_grid.src[keep]
+    kept_dst = old_grid.dst[keep]
+    kept_w = old_grid.weight[keep]
+    kept_key = (kept_src // interval_size) * k + kept_dst // interval_size
+    kept_rank = (kept_key * n + kept_dst) * n + kept_src
+
+    if ins.shape[0]:
+        ins_src = ins[:, 0].astype(np.int64)
+        ins_dst = ins[:, 1].astype(np.int64)
+        ins_key = (ins_src // interval_size) * k + ins_dst // interval_size
+        ins_rank = (ins_key * n + ins_dst) * n + ins_src
+        by_rank = np.argsort(ins_rank, kind="stable")
+        ins_src, ins_dst = ins_src[by_rank], ins_dst[by_rank]
+        ins_w = ins[:, 2][by_rank]
+        pos = np.searchsorted(kept_rank, ins_rank[by_rank])
+        src = np.insert(kept_src, pos, ins_src)
+        dst = np.insert(kept_dst, pos, ins_dst)
+        weight = np.insert(kept_w, pos, ins_w)
+    else:
+        src, dst, weight = kept_src, kept_dst, kept_w
+
+    shard_key = (src // interval_size) * k + dst // interval_size
+    if shard_key.size:
+        # The merged arrays are rank-sorted, so shard keys are already
+        # non-decreasing: run starts come from one diff, no re-sort.
+        starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(shard_key)) + 1]
+        ).astype(np.int64)
+        keys = shard_key[starts]
+    else:
+        starts = np.empty(0, dtype=np.int64)
+        keys = np.empty(0, dtype=np.int64)
+    return ShardGrid.from_sorted_arrays(
+        new_graph,
+        interval_size,
+        src=src,
+        dst=dst,
+        weight=weight,
+        keys=keys,
+        starts=np.append(starts, shard_key.size),
+    )

@@ -367,6 +367,72 @@ def _hw_pagerank_workload() -> Workload:
     return Workload("hw.pagerank", "kernel", setup, run, collect)
 
 
+def _incremental_pagerank_workload() -> Workload:
+    """Warm re-query: full recompute vs incremental restart.
+
+    The cross-iteration-reuse acceptance number. Setup converges
+    PageRank once on a fixed r-MAT graph; each timed run then answers
+    the same query twice — a full recompute with the reuse layer
+    forced off (the pre-reuse serving path), and an incremental
+    restart from the converged ranks with memoization on. The
+    ``incremental.speedup`` ratio is the gated metric; both runs
+    execute in the same process seconds apart, so the ratio is robust
+    to host noise in a way the raw wall times are not. Under
+    ``REPRO_REUSE=0`` the incremental call falls back to the full
+    kernel, which is what a "before" record captures.
+    """
+
+    def setup(_profile: str):
+        from ..core.engine import GaaSXEngine
+        from ..graphs.generators import rmat
+
+        engine = GaaSXEngine(
+            rmat(20000, 300000, seed=11, name="inc-bench")
+        )
+        engine.layout("col")
+        warm = engine.pagerank(iterations=60, tolerance=1e-5).ranks
+        return {"engine": engine, "warm": warm}
+
+    def run(state):
+        import numpy as np
+
+        from ..core.reuse import set_reuse_enabled
+
+        engine = state["engine"]
+        t0 = time.perf_counter()
+        set_reuse_enabled(False)
+        try:
+            full = engine.pagerank(iterations=60, tolerance=1e-5)
+        finally:
+            set_reuse_enabled(None)
+        t1 = time.perf_counter()
+        incremental = engine.pagerank(
+            iterations=60, tolerance=1e-5, incremental=True,
+            warm_ranks=state["warm"],
+        )
+        t2 = time.perf_counter()
+        full_s, incremental_s = t1 - t0, t2 - t1
+        return {
+            "incremental.full_s": full_s,
+            "incremental.incremental_s": incremental_s,
+            "incremental.speedup": (
+                full_s / incremental_s if incremental_s > 0 else 0.0
+            ),
+            "incremental.full_iterations": float(full.iterations),
+            "incremental.iterations": float(incremental.iterations),
+            "incremental.rank_err": float(
+                np.max(np.abs(full.ranks - incremental.ranks))
+            ),
+        }
+
+    def collect(_state, payload) -> Dict[str, float]:
+        return {k: float(v) for k, v in payload.items()}
+
+    return Workload(
+        "incremental.pagerank", "kernel", setup, run, collect
+    )
+
+
 def _serve_burst_workload() -> Workload:
     """Serving latency: a mixed query burst against the warm service.
 
@@ -390,6 +456,27 @@ def _serve_burst_workload() -> Workload:
         return {name: float(value) for name, value in payload.items()}
 
     return Workload("serve.burst", "serve", setup, run, collect)
+
+
+def _serve_mutate_workload() -> Workload:
+    """Mutable-graph serving: mutation batches plus incremental
+    re-queries against a warm session (:class:`repro.serve.bench.
+    MutateBench`). Records mutate/re-query latency percentiles, the
+    reuse-cache migration tallies, and the per-query reuse hit rate.
+    """
+
+    def setup(profile: str):
+        from ..serve.bench import MutateBench
+
+        return MutateBench(profile=profile)
+
+    def run(bench):
+        return bench.run()
+
+    def collect(_bench, payload) -> Dict[str, float]:
+        return {name: float(value) for name, value in payload.items()}
+
+    return Workload("serve.mutate", "serve", setup, run, collect)
 
 
 def _dataplane_convert_workload() -> Workload:
@@ -574,7 +661,9 @@ def _build_workloads() -> Dict[str, Workload]:
         _traversal_superstep_workload(),
         _micro_traversal_workload(),
         _hw_pagerank_workload(),
+        _incremental_pagerank_workload(),
         _serve_burst_workload(),
+        _serve_mutate_workload(),
         _dataplane_convert_workload(),
         _dataplane_open_workload(),
         _dataplane_stream_workload(),
@@ -594,7 +683,7 @@ SUITES: Dict[str, Tuple[Tuple[str, ...], str, int]] = {
     "quick": (
         ("engine.pagerank", "cam.search", "mac.accumulate",
          "traversal.superstep", "micro.traversal", "hw.pagerank",
-         "exp.abl-interval"),
+         "incremental.pagerank", "exp.abl-interval"),
         "tiny", 3,
     ),
     "kernels": (
@@ -607,7 +696,7 @@ SUITES: Dict[str, Tuple[Tuple[str, ...], str, int]] = {
         ("exp.abl-interval", "exp.abl-xbar", "exp.fig13", "exp.table1"),
         "bench", 3,
     ),
-    "serve": (("serve.burst",), "tiny", 3),
+    "serve": (("serve.burst", "serve.mutate"), "tiny", 3),
     "dataplane": (
         ("dataplane.convert", "dataplane.open", "dataplane.stream"),
         "tiny", 3,
@@ -870,8 +959,15 @@ def metric_direction(name: str) -> str:
         "dataplane.balance",
         "hw.active_frac",
         "hw.parity_ok",
+        "incremental.speedup",
+        "reuse.hit_rate",
     ):
         return "higher"
+    if name in ("incremental.full_s", "incremental.incremental_s"):
+        # Raw wall times inside the workload body: host-dependent and
+        # unguarded by the MAD bound, so they inform but never gate —
+        # the speedup ratio is the gated metric.
+        return "neutral"
     if name == "hw.imbalance":
         return "lower"
     return "neutral"

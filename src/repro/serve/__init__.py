@@ -9,6 +9,7 @@ architecture and ``repro serve --help`` for the daemon.
 from .pool import SessionPool, WarmSession
 from .protocol import (
     SERVABLE_ALGORITHMS,
+    MutateRequest,
     QueryRequest,
     QueryResult,
     query_key,
@@ -20,6 +21,7 @@ from .server import AnalyticsService
 __all__ = [
     "AdmissionController",
     "AnalyticsService",
+    "MutateRequest",
     "QueryRequest",
     "QueryResult",
     "SERVABLE_ALGORITHMS",

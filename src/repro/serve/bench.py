@@ -18,6 +18,12 @@ latency percentiles), ``serve.coalesce_hit_rate``, and the raw
 query/engine-run counts. :mod:`repro.obs.bench` registers this as the
 ``serve.burst`` workload of the ``serve`` suite, appending to
 ``BENCH_serve.json``.
+
+:class:`MutateBench` gives the mutable-graph path the same treatment:
+seeded edge-mutation batches against a warm session, each followed by
+an incremental PageRank re-query, recording mutate/re-query latency
+percentiles and the per-query reuse hit rate (the ``serve.mutate``
+workload of the same suite).
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry
-from .protocol import QueryRequest
+from .protocol import MutateRequest, QueryRequest
 from .server import AnalyticsService
 
 
@@ -129,6 +135,113 @@ class ServeBench:
                     stats["engine_runs"] - warm_runs
                 ),
                 "serve.shed": float(stats["shed"]),
+                "serve.errors": float(stats["errors"]),
+            }
+        finally:
+            await service.aclose()
+
+
+@dataclass
+class MutateBench:
+    """Mutate/re-query cycles against a warm session; flat metrics.
+
+    One run = ``rounds`` cycles of (edge mutation batch → incremental
+    PageRank re-query) against a session whose ranks converged before
+    measurement started. This is the serving cost of a *changing*
+    graph: how long a mutation takes to rebind the session (grid
+    derivation, layout re-warm, reuse-cache migration) and how fast
+    the next query answers from warm state instead of a cold
+    recompute. The mutation batches are seeded, so every run applies
+    the same edit sequence and trajectories stay comparable.
+    """
+
+    profile: str = "tiny"
+    rounds: int = 4
+    batch: int = 8
+    max_pending: int = 64
+    workers: int = 4
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, float]:
+        """Run the cycles; returns the bench-store metric mapping."""
+        return asyncio.run(self._run())
+
+    async def _run(self) -> Dict[str, float]:
+        # Private registry, like ServeBench: per-run counters.
+        service = AnalyticsService(
+            max_pending=self.max_pending,
+            workers=self.workers,
+            registry=MetricsRegistry(),
+        )
+        try:
+            converge = QueryRequest(
+                dataset="WV", algorithm="pagerank",
+                params={"iterations": 30, "tolerance": 1e-5},
+                profile=self.profile,
+            )
+            # Warm the session and converge ranks outside measurement:
+            # the tracked numbers are steady-state mutate/re-query
+            # costs, not cold-start.
+            await service.submit(converge)
+            sessions = service.stats()["pool"]["sessions"]
+            num_vertices = int(sessions[0]["vertices"])
+            rng = np.random.default_rng(17)
+            mutate_lat: List[float] = []
+            requery_lat: List[float] = []
+            hit_rates: List[float] = []
+            carried = invalidated = 0
+            for _ in range(self.rounds):
+                inserts = rng.integers(
+                    0, num_vertices, size=(self.batch, 2)
+                )
+                deletes = rng.integers(
+                    0, num_vertices, size=(self.batch // 2, 2)
+                )
+                summary = await service.mutate(
+                    MutateRequest(
+                        dataset="WV",
+                        inserts=inserts.tolist(),
+                        deletes=deletes.tolist(),
+                        profile=self.profile,
+                    )
+                )
+                mutate_lat.append(float(summary["latency_s"]))
+                carried += int(summary["reuse_carried"])
+                invalidated += int(summary["reuse_invalidated"])
+                result = await service.submit(
+                    QueryRequest(
+                        dataset="WV", algorithm="pagerank",
+                        params={
+                            "iterations": 30, "tolerance": 1e-5,
+                            "incremental": True,
+                        },
+                        profile=self.profile,
+                    )
+                )
+                requery_lat.append(float(result.latency_s))
+                hit_rates.append(
+                    float(result.modelled.get("reuse_hit_rate", 0.0))
+                )
+            stats = service.stats()
+            mutate_arr = np.array(mutate_lat, dtype=np.float64)
+            requery_arr = np.array(requery_lat, dtype=np.float64)
+            return {
+                "serve.latency_mutate_p50_s": float(
+                    np.percentile(mutate_arr, 50)
+                ),
+                "serve.latency_mutate_p99_s": float(
+                    np.percentile(mutate_arr, 99)
+                ),
+                "serve.latency_requery_p50_s": float(
+                    np.percentile(requery_arr, 50)
+                ),
+                "serve.latency_requery_p99_s": float(
+                    np.percentile(requery_arr, 99)
+                ),
+                "reuse.hit_rate": float(np.mean(hit_rates)),
+                "serve.mutations": float(stats["mutations"]),
+                "serve.mutate_reuse_carried": float(carried),
+                "serve.mutate_reuse_invalidated": float(invalidated),
                 "serve.errors": float(stats["errors"]),
             }
         finally:

@@ -21,6 +21,13 @@ Routes
     :func:`repro.errors.http_status_for` — 429 over quota, 503 shed,
     504 deadline, 400 malformed — with a
     ``{"error": <class>, "message": <str>}`` body.
+``POST /mutate``
+    Body: the :meth:`~repro.serve.protocol.MutateRequest.to_dict`
+    schema (``dataset`` plus ``inserts``/``deletes`` row lists).
+    Applies the edge batch to the warm session's graph and responds
+    with the mutation summary (new content key, edge count, reuse
+    entries carried vs. invalidated). Same error mapping as
+    ``/query``.
 ``GET /metrics``
     The process metrics registry as OpenMetrics text
     (:mod:`repro.obs.export`) — the Prometheus scrape target. SLO burn
@@ -53,7 +60,7 @@ from ..obs import context as obs_context
 from ..obs.export import render_openmetrics
 from ..obs.log import get_logger
 from ..obs.trace import get_tracer
-from .protocol import QueryRequest
+from .protocol import MutateRequest, QueryRequest
 from .server import AnalyticsService
 
 log = get_logger("repro.serve.http")
@@ -260,6 +267,13 @@ class HttpFrontend:
                           "message": "POST /query"}
                 )
             return await self._handle_query(reader, headers, meta)
+        if path.startswith("/mutate"):
+            if method != "POST":
+                return _json_response(
+                    405, {"error": "MethodNotAllowed",
+                          "message": "POST /mutate"}
+                )
+            return await self._handle_mutate(reader, headers, meta)
         if method != "GET":
             return _json_response(
                 405, {"error": "MethodNotAllowed",
@@ -335,6 +349,36 @@ class HttpFrontend:
         except ReproError as exc:
             return _error_response(exc)
         return _json_response(200, result.to_dict())
+
+    async def _handle_mutate(
+        self,
+        reader: asyncio.StreamReader,
+        headers: Dict[str, str],
+        meta: Dict[str, str],
+    ) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            return _json_response(
+                413, {"error": "PayloadTooLarge",
+                      "message": f"body must be 0..{MAX_BODY_BYTES} bytes"}
+            )
+        body = await reader.readexactly(length) if length else b""
+        try:
+            try:
+                decoded = json.loads(body.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ConfigError(
+                    f"mutate body is not valid JSON: {exc}"
+                ) from exc
+            request = MutateRequest.from_dict(decoded)
+            meta["tenant"] = request.tenant
+            summary = await self.service.mutate(request)
+        except ReproError as exc:
+            return _error_response(exc)
+        return _json_response(200, summary)
 
 
 async def serve_forever(

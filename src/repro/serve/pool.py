@@ -99,7 +99,12 @@ class WarmSession:
         )
         self.created_unix = time.time()
         self.queries_served = 0
+        self.mutations_applied = 0
         self.busy = False
+        #: Last results per algorithm family — the warm state the
+        #: incremental kernels start from after a mutation (PageRank
+        #: warm ranks, WCC warm labels + seed frontier).
+        self.algo_state: Dict[str, object] = {}
 
     @property
     def num_vertices(self) -> int:
@@ -108,6 +113,92 @@ class WarmSession:
     @property
     def num_edges(self) -> int:
         return self.engine.graph.num_edges
+
+    def apply_mutation(
+        self, inserts=None, deletes=None
+    ) -> Dict[str, object]:
+        """Apply an edge mutation batch and rebind the session.
+
+        The graph is immutable, so mutation means: derive the new
+        graph (:meth:`~repro.graphs.graph.Graph.with_edges`), derive
+        its shard grid incrementally from the old one and seed the
+        layout cache with it, migrate the reuse cache at sub-shard
+        granularity (crossbars whose sub-shard the batch did not touch
+        carry their memoized searches to the new content token;
+        touched ones are invalidated), then rebuild the engine and
+        re-warm both streaming orders. Warm algorithm state survives
+        where it is still sound: previous PageRank ranks stay as a
+        warm start (they seed residuals, not truth), previous WCC
+        labels become a ``(labels, seed)`` warm state via
+        :func:`~repro.core.algorithms.incremental.wcc_warm_state`.
+
+        The caller (the service) serializes this against kernel runs
+        on the same session. Returns a summary for the mutate
+        response.
+        """
+        from ..core.cache import get_cache
+        from ..core.reuse import (
+            get_reuse_cache,
+            migrate_for_mutation,
+            reuse_enabled,
+        )
+        from ..graphs.graph import normalize_mutation
+        from ..graphs.partition import mutate_grid
+
+        engine = self.engine
+        old_graph = engine.graph
+        n = old_graph.num_vertices
+        ins = normalize_mutation(inserts, n)
+        dels = normalize_mutation(deletes, n)
+        old_grid = engine._grid
+        new_graph = old_graph.with_edges(inserts=ins, deletes=dels)
+        new_grid = mutate_grid(old_grid, new_graph, inserts=ins, deletes=dels)
+        get_cache().seed_grid(new_graph, engine.interval_size, new_grid)
+        migration = {"carried": 0, "invalidated": 0}
+        if reuse_enabled():
+            migration = migrate_for_mutation(
+                get_reuse_cache(), old_graph, new_graph,
+                old_grid, new_grid, engine.config, ins, dels,
+            )
+        self.engine = GaaSXEngine(
+            new_graph, config=self.config,
+            interval_size=engine.interval_size,
+        )
+        for order in WARM_ORDERS:
+            self.engine.layout(order)
+        self.mmap_backed = False  # the overlay graph lives in memory
+        old_key = self.content_key
+        self.content_key = (
+            f"{graph_fingerprint(new_graph)}-"
+            f"{config_fingerprint(self.config)}"
+        )
+        labels = self.algo_state.pop("wcc_labels", None)
+        if labels is not None:
+            from ..core.algorithms.incremental import wcc_warm_state
+
+            self.algo_state["wcc_warm"] = wcc_warm_state(
+                labels, new_graph.num_vertices,
+                inserts=ins, deletes=dels,
+            )
+        self.mutations_applied += 1
+        log.info(
+            "pool.session_mutated", dataset=self.dataset,
+            profile=self.profile, inserts=int(ins.shape[0]),
+            deletes=int(dels.shape[0]), edges=new_graph.num_edges,
+            carried=migration["carried"],
+            invalidated=migration["invalidated"],
+        )
+        return {
+            "old_content_key": old_key,
+            "content_key": self.content_key,
+            "num_vertices": new_graph.num_vertices,
+            "num_edges": new_graph.num_edges,
+            "inserts": int(ins.shape[0]),
+            "deletes": int(dels.shape[0]),
+            "reuse_carried": migration["carried"],
+            "reuse_invalidated": migration["invalidated"],
+            "mutations_applied": self.mutations_applied,
+        }
 
     def describe(self) -> Dict[str, object]:
         """Introspection payload for the service's /stats endpoint."""
@@ -118,6 +209,7 @@ class WarmSession:
             "vertices": self.num_vertices,
             "edges": self.num_edges,
             "queries_served": self.queries_served,
+            "mutations_applied": self.mutations_applied,
             "busy": self.busy,
             "mmap_backed": self.mmap_backed,
         }

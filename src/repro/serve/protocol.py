@@ -155,6 +155,90 @@ class QueryRequest:
         )
 
 
+@dataclass(frozen=True)
+class MutateRequest:
+    """One edge-mutation batch against a warm session's graph.
+
+    ``inserts``/``deletes`` are lists of ``[src, dst]`` pairs or
+    ``[src, dst, weight]`` triples (JSON rows). Endpoint-range and
+    shape validation happens against the live graph when the batch is
+    applied (:func:`repro.graphs.graph.normalize_mutation`); here only
+    the envelope is checked so malformed payloads fail before touching
+    a session.
+    """
+
+    dataset: str
+    inserts: Any = None
+    deletes: Any = None
+    profile: str = "bench"
+    tenant: str = DEFAULT_TENANT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataset", str(self.dataset).upper())
+        if self.dataset not in DATASETS:
+            raise DatasetError(
+                f"unknown dataset {self.dataset!r}; known: "
+                f"{sorted(DATASETS)}"
+            )
+        if self.profile not in PROFILES:
+            raise ConfigError(
+                f"unknown profile {self.profile!r}; expected one of "
+                f"{PROFILES}"
+            )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ConfigError("tenant must be a non-empty string")
+        for name in ("inserts", "deletes"):
+            batch = getattr(self, name)
+            if batch is None:
+                continue
+            if not isinstance(batch, (list, tuple)):
+                raise ConfigError(
+                    f"mutation field {name!r} must be a list of "
+                    f"[src, dst] or [src, dst, weight] rows"
+                )
+        if self.inserts is None and self.deletes is None:
+            raise ConfigError(
+                "a mutation needs at least one of inserts/deletes"
+            )
+
+    @property
+    def session_selector(self) -> tuple:
+        """The warm-pool lookup key: which session this batch mutates."""
+        return (self.dataset, self.profile)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the HTTP request body schema)."""
+        return {
+            "dataset": self.dataset,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "profile": self.profile,
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MutateRequest":
+        """Build a validated request from a decoded JSON object."""
+        if not isinstance(payload, Mapping):
+            raise ConfigError("mutate payload must be a JSON object")
+        unknown = set(payload) - {
+            "dataset", "inserts", "deletes", "profile", "tenant",
+        }
+        if unknown:
+            raise ConfigError(
+                f"unknown mutate field(s): {sorted(unknown)}"
+            )
+        if "dataset" not in payload:
+            raise ConfigError("mutate field 'dataset' is required")
+        return cls(
+            dataset=payload["dataset"],
+            inserts=payload.get("inserts"),
+            deletes=payload.get("deletes"),
+            profile=payload.get("profile", "bench"),
+            tenant=payload.get("tenant", DEFAULT_TENANT),
+        )
+
+
 def query_key(session_content_key: str, query: QueryRequest) -> str:
     """The content-addressed identity of one query.
 

@@ -37,7 +37,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
+import numpy as np
+
 from ..config import ArchConfig
+from ..core.reuse import get_reuse_cache, reuse_scope
 from ..errors import (
     AlgorithmError,
     ConfigError,
@@ -57,6 +60,7 @@ from ..obs.slo import SLOConfig, SLOTracker
 from ..obs.trace import get_tracer
 from .pool import SessionPool, WarmSession
 from .protocol import (
+    MutateRequest,
     QueryRequest,
     QueryResult,
     modelled_stats,
@@ -191,6 +195,10 @@ class AnalyticsService:
                 "serve.latency_s", buckets=DEFAULT_LATENCY_BUCKETS
             ),
             "engine_run": registry.histogram("serve.engine_run_s"),
+            "mutations": registry.counter("serve.mutations"),
+            "mutate_latency": registry.histogram(
+                "serve.latency_mutate_s", buckets=DEFAULT_LATENCY_BUCKETS
+            ),
             # Cumulative modelled energy across every engine run, total
             # plus the ledger's per-category breakdown (labelled by the
             # EnergyBreakdown category names, a fixed finite set).
@@ -419,18 +427,37 @@ class AnalyticsService:
         :func:`repro.obs.context.wrap`), so the session span opened
         here, the nested ``engine.run`` span, and the five modelled
         phase spans the controller injects all share the trace id.
+
+        The run executes inside a :func:`~repro.core.reuse.reuse_scope`
+        so the cross-iteration reuse layer's hits/misses are tallied
+        per query (``modelled["reuse_hit_rate"]``). Warm per-algorithm
+        state the session holds is injected server-side — arrays never
+        travel in JSON params: an ``incremental`` PageRank picks up the
+        session's previous ranks as its warm start, and the first WCC
+        after a mutation starts from the migrated labels + seed
+        frontier instead of a cold full propagation.
         """
         if self.run_delay_s > 0:
             time.sleep(self.run_delay_s)
+        params = dict(query.params)
+        if query.algorithm == "pagerank" and params.get("incremental"):
+            warm = session.algo_state.get("pagerank_ranks")
+            if warm is not None and "warm_ranks" not in params:
+                params["warm_ranks"] = warm
+        elif query.algorithm == "wcc":
+            warm = session.algo_state.pop("wcc_warm", None)
+            if warm is not None and "warm_labels" not in params:
+                params["warm_labels"] = warm[0]
+                params["seed_vertices"] = warm[1]
         start = time.perf_counter()
         try:
             with self._tracer.span(
                 "serve.session", category="session",
                 dataset=query.dataset, profile=query.profile,
                 content_key=session.content_key,
-            ):
+            ), reuse_scope() as scope:
                 result = session.engine.run(
-                    query.algorithm, **query.params
+                    query.algorithm, **params
                 )
         except TypeError as exc:
             # Bad keyword against the kernel signature: a client error,
@@ -439,9 +466,18 @@ class AnalyticsService:
                 f"invalid params for {query.algorithm!r}: {exc}"
             ) from None
         run_s = time.perf_counter() - start
+        if query.algorithm == "pagerank":
+            session.algo_state["pagerank_ranks"] = np.array(
+                result.ranks, dtype=np.float64
+            )
+        elif query.algorithm == "wcc":
+            session.algo_state["wcc_labels"] = np.array(
+                result.labels, dtype=np.int64
+            )
         self._m["engine_runs"].inc()
         self._m["engine_run"].observe(run_s)
         modelled = modelled_stats(result.stats)
+        modelled["reuse_hit_rate"] = round(scope.hit_rate, 4)
         if modelled.get("energy_j"):
             self._m["energy_j"].inc(modelled["energy_j"])
         for category, joules in modelled.get("energy", {}).items():
@@ -454,6 +490,73 @@ class AnalyticsService:
             algorithm=query.algorithm, run_s=round(run_s, 6),
         )
         return summarize_result(query.algorithm, result), modelled
+
+    # ------------------------------------------------------------------
+    # Mutation path
+    # ------------------------------------------------------------------
+    async def mutate(self, request: MutateRequest) -> Dict[str, Any]:
+        """Apply one edge-mutation batch to a warm session's graph.
+
+        Admission-controlled like a query (mutations draw from the
+        same tenant bucket). The batch is serialized against kernel
+        runs on the same session — one crossbar state, one writer —
+        and applied off the event loop
+        (:meth:`~repro.serve.pool.WarmSession.apply_mutation`). The
+        response summarizes the new graph identity and how much of the
+        reuse cache survived (sub-shard-granular migration vs.
+        invalidation). Queries submitted after this returns see the
+        mutated graph; in-flight runs finish against the old one.
+        """
+        if self._closed:
+            raise SessionPoolExhaustedError("service is shut down")
+        ctx = obs_context.current()
+        token = None
+        if ctx is None:
+            ctx = obs_context.new_root()
+            token = obs_context.activate(ctx)
+        start = time.perf_counter()
+        try:
+            with self._tracer.span(
+                "serve.mutate", category="serve",
+                dataset=request.dataset, tenant=request.tenant,
+            ):
+                try:
+                    self.admission.admit(request.tenant)
+                except QuotaExceededError:
+                    self._m["quota_rejected"].inc()
+                    raise
+                session = await self._session_for(request)
+                lock = self._session_locks.setdefault(
+                    session.content_key, asyncio.Lock()
+                )
+                async with lock:
+                    session.busy = True
+                    try:
+                        summary = await asyncio.get_running_loop(
+                        ).run_in_executor(
+                            self._executor,
+                            obs_context.wrap(session.apply_mutation),
+                            request.inserts,
+                            request.deletes,
+                        )
+                    finally:
+                        session.busy = False
+                latency = time.perf_counter() - start
+                self._m["mutations"].inc()
+                self._m["mutate_latency"].observe(
+                    latency, exemplar=ctx.trace_id
+                )
+                summary["dataset"] = request.dataset
+                summary["profile"] = request.profile
+                summary["latency_s"] = latency
+                summary["trace_id"] = ctx.trace_id
+                return summary
+        except Exception:
+            self._m["errors"].inc()
+            raise
+        finally:
+            if token is not None:
+                obs_context.restore(token)
 
     # ------------------------------------------------------------------
     # Lifecycle and introspection
@@ -490,6 +593,9 @@ class AnalyticsService:
                 )
             },
             "latency": self._m["latency"].summary(),
+            "mutations": self._m["mutations"].value,
+            "mutate_latency": self._m["mutate_latency"].summary(),
+            "reuse": get_reuse_cache().describe(),
             "pool": self.pool.describe(),
             "admission": self.admission.describe(),
             "slo": self.slo.snapshot(),

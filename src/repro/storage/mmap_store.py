@@ -407,6 +407,19 @@ class StoredGraph:
         seed_fingerprint(graph, self.digest)
         return graph
 
+    def mutated(self, inserts=None, deletes=None) -> "Graph":
+        """In-memory graph with an edge mutation batch applied.
+
+        The store file is immutable (it is content-addressed — mutating
+        it in place would falsify its digest), so a mutation produces a
+        fresh :class:`~repro.graphs.graph.Graph` overlay whose own
+        content fingerprint keys all downstream caches. Serve sessions
+        hold the overlay; persisting it back is an explicit
+        :meth:`MmapStore.put_graph` when the owner wants a durable
+        snapshot.
+        """
+        return self.graph().with_edges(inserts=inserts, deletes=deletes)
+
     def out_degrees(self) -> np.ndarray:
         """Per-row edge counts (one O(V) pass over indptr)."""
         return np.diff(self.indptr)

@@ -60,6 +60,29 @@ def _pack_words(bits: np.ndarray) -> np.ndarray:
     return np.packbits(padded, axis=1).view(np.uint64)
 
 
+def pack_edge_keys(
+    values: np.ndarray, field: str, vertex_bits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Packed ``(key_words, mask_words)`` for an edge-CAM field search.
+
+    Identical to :meth:`EdgeCam.pack_keys` but computable without an
+    array instance — the packed-key cache in :mod:`repro.core.reuse`
+    rebuilds entries for crossbars that have not been constructed yet.
+    """
+    if field not in ("src", "dst"):
+        raise ConfigError(f"unknown CAM field {field!r}")
+    mask = np.zeros(2 * vertex_bits, dtype=bool)
+    encoded = encode_ids(np.asarray(values, dtype=np.int64), vertex_bits)
+    blank = np.zeros_like(encoded)
+    if field == "src":
+        mask[:vertex_bits] = True
+        keys = np.concatenate([encoded, blank], axis=1)
+    else:
+        mask[vertex_bits:] = True
+        keys = np.concatenate([blank, encoded], axis=1)
+    return _pack_words(keys), _pack_words(mask[None, :])[0]
+
+
 class CamCrossbar:
     """A ternary CAM array of ``rows`` x ``width_bits`` bit cells."""
 
@@ -172,6 +195,18 @@ class CamCrossbar:
             mask_words = _pack_words(mask[None, :])[0]
         return self.search_packed(_pack_words(keys), mask_words)
 
+    def charge_search(self, queries: int) -> None:
+        """Charge the events of ``queries`` searches without running them.
+
+        The memoized path in :mod:`repro.core.reuse` calls this when a
+        cached hit matrix answers a search: the hardware would still
+        perform one broadcast per key, so the event log and the
+        per-array counters must advance exactly as if the fold had run.
+        """
+        self.events.cam_searches += int(queries)
+        if self.hw is not None:
+            self.hw.add("cam_searches", int(queries))
+
     def search_packed(
         self,
         key_words: np.ndarray,
@@ -194,9 +229,7 @@ class CamCrossbar:
             mask_words = np.full(
                 self._words.shape[1], ~np.uint64(0), dtype=np.uint64
             )
-        self.events.cam_searches += int(key_words.shape[0])
-        if self.hw is not None:
-            self.hw.add("cam_searches", int(key_words.shape[0]))
+        self.charge_search(key_words.shape[0])
         # XNOR per cell, AND along the match line — on packed words:
         # a row hits when no unmasked bit differs in any word. Lanes
         # whose mask word is zero cannot mismatch, so a field search
@@ -258,6 +291,22 @@ class CamBank:
             self._hw_monitor = None
             self._hw_slots = None
 
+    def charge_search(self, member_ids: np.ndarray) -> None:
+        """Charge the events of one gang search without running it.
+
+        ``member_ids`` routes query ``i`` to member ``member_ids[i]``;
+        the global log gains one search per query and — when per-array
+        attribution is live — each member's counter gains its share,
+        exactly as :meth:`search_packed` would have charged. Used by
+        the memoized traversal path in :mod:`repro.core.reuse`.
+        """
+        member_ids = np.asarray(member_ids, dtype=np.int64)
+        self.events.cam_searches += int(member_ids.size)
+        if self._hw_monitor is not None:
+            self._hw_monitor.add_many(
+                self._hw_slots[member_ids], "cam_searches", 1
+            )
+
     def search_packed(
         self,
         member_ids: np.ndarray,
@@ -281,11 +330,7 @@ class CamBank:
             mask_words = np.full(
                 self._words.shape[2], ~np.uint64(0), dtype=np.uint64
             )
-        self.events.cam_searches += int(member_ids.size)
-        if self._hw_monitor is not None:
-            self._hw_monitor.add_many(
-                self._hw_slots[member_ids], "cam_searches", 1
-            )
+        self.charge_search(member_ids)
         # Same lane-skipping fold as the single-array fast path: only
         # lanes with a nonzero mask word can mismatch, and each lane is
         # gathered per query as a 2D slice.
@@ -385,10 +430,11 @@ class EdgeCam:
         directly, so a driver that searches varying subsets of a fixed
         vertex set every superstep encodes each key exactly once.
         """
-        mask = self._field_mask(field)  # validates the field name
-        vertices = np.asarray(vertices, dtype=np.int64)
-        key_words = _pack_words(self._keys(vertices, field))
-        return key_words, _pack_words(mask[None, :])[0]
+        return pack_edge_keys(vertices, field, self.vertex_bits)
+
+    def charge_search(self, queries: int) -> None:
+        """Charge ``queries`` searches without running them (memo path)."""
+        self.cam.charge_search(queries)
 
     def search_packed(
         self, key_words: np.ndarray, mask_words: np.ndarray

@@ -1,0 +1,200 @@
+"""Edge mutation: batch normalization, ``with_edges``, grid derivation.
+
+The load-bearing equivalence: :func:`~repro.graphs.partition.mutate_grid`
+must produce byte-identical sorted arrays to a from-scratch
+:func:`~repro.graphs.partition.partition_graph` rebuild of the mutated
+graph — the incremental path is an optimization, never a different
+layout.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError, PartitionError
+from repro.graphs import Graph
+from repro.graphs.generators import rmat
+from repro.graphs.graph import normalize_mutation
+from repro.graphs.partition import mutate_grid, partition_graph
+
+
+def edge_set(graph):
+    return {
+        (int(s), int(d), float(w))
+        for s, d, w in zip(
+            graph.edges.rows, graph.edges.cols, graph.weights
+        )
+    }
+
+
+class TestNormalizeMutation:
+    def test_none_is_empty(self):
+        assert normalize_mutation(None, 10).shape == (0, 3)
+
+    def test_pairs_get_unit_weight(self):
+        out = normalize_mutation([[1, 2], [3, 4]], 10)
+        assert np.array_equal(
+            out, [[1.0, 2.0, 1.0], [3.0, 4.0, 1.0]]
+        )
+
+    def test_ragged_json_rows(self):
+        out = normalize_mutation([[1, 2], [3, 4, 2.5]], 10)
+        assert np.array_equal(
+            out, [[1.0, 2.0, 1.0], [3.0, 4.0, 2.5]]
+        )
+
+    def test_unweighted_mode_resets_weights(self):
+        out = normalize_mutation(
+            [[1, 2, 9.0]], 10, weighted=False
+        )
+        assert out[0, 2] == 1.0
+
+    @pytest.mark.parametrize(
+        "batch",
+        [
+            [[1]],
+            [[1, 2, 3.0, 4.0]],
+            [[1.5, 2]],
+            [[-1, 2]],
+            [[1, 99]],
+            "nonsense",
+        ],
+    )
+    def test_malformed_batches_raise(self, batch):
+        with pytest.raises(GraphFormatError):
+            normalize_mutation(batch, 10)
+
+
+class TestWithEdges:
+    def test_insert_new_edge(self, diamond_graph):
+        out = diamond_graph.with_edges(inserts=[[3, 0, 5.0]])
+        assert (3, 0, 5.0) in edge_set(out)
+        assert out.num_edges == diamond_graph.num_edges + 1
+
+    def test_insert_upserts_existing_weight(self, diamond_graph):
+        out = diamond_graph.with_edges(inserts=[[0, 1, 7.0]])
+        assert out.num_edges == diamond_graph.num_edges
+        assert (0, 1, 7.0) in edge_set(out)
+        assert (0, 1, 1.0) not in edge_set(out)
+
+    def test_duplicate_insert_rows_last_wins(self, diamond_graph):
+        out = diamond_graph.with_edges(
+            inserts=[[3, 0, 1.0], [3, 0, 9.0]]
+        )
+        assert (3, 0, 9.0) in edge_set(out)
+        assert (3, 0, 1.0) not in edge_set(out)
+
+    def test_delete_removes_edge(self, diamond_graph):
+        out = diamond_graph.with_edges(deletes=[[0, 1]])
+        assert out.num_edges == diamond_graph.num_edges - 1
+        assert (0, 1, 1.0) not in edge_set(out)
+
+    def test_delete_missing_edge_is_ignored(self, diamond_graph):
+        out = diamond_graph.with_edges(deletes=[[3, 0]])
+        assert edge_set(out) == edge_set(diamond_graph)
+
+    def test_receiver_is_untouched(self, diamond_graph):
+        before = edge_set(diamond_graph)
+        diamond_graph.with_edges(
+            inserts=[[3, 0]], deletes=[[0, 1]]
+        )
+        assert edge_set(diamond_graph) == before
+
+    def test_out_of_range_raises(self, diamond_graph):
+        with pytest.raises(GraphFormatError):
+            diamond_graph.with_edges(inserts=[[0, 99]])
+
+    def test_mutated_graph_has_new_fingerprint(self, diamond_graph):
+        from repro.core.cache import graph_fingerprint
+
+        out = diamond_graph.with_edges(inserts=[[3, 0]])
+        assert graph_fingerprint(out) != graph_fingerprint(
+            diamond_graph
+        )
+
+
+def assert_grids_equal(derived, rebuilt):
+    assert np.array_equal(derived.src, rebuilt.src)
+    assert np.array_equal(derived.dst, rebuilt.dst)
+    assert np.array_equal(derived.weight, rebuilt.weight)
+    assert np.array_equal(derived._keys, rebuilt._keys)
+    assert np.array_equal(derived._starts, rebuilt._starts)
+
+
+class TestMutateGrid:
+    def test_mixed_batch_matches_full_rebuild(self):
+        graph = rmat(128, 900, seed=3)
+        grid = partition_graph(graph, 32)
+        inserts = np.array(
+            [[0, 1, 2.0], [100, 40, 1.0], [0, 1, 7.0]]
+        )
+        deletes = np.array(
+            [[int(graph.edges.rows[0]), int(graph.edges.cols[0])]],
+            dtype=np.float64,
+        )
+        new_graph = graph.with_edges(inserts=inserts, deletes=deletes)
+        derived = mutate_grid(
+            grid, new_graph, inserts=inserts, deletes=deletes
+        )
+        assert_grids_equal(derived, partition_graph(new_graph, 32))
+
+    def test_empty_batches_match(self):
+        graph = rmat(64, 300, seed=9)
+        grid = partition_graph(graph, 16)
+        derived = mutate_grid(grid, graph)
+        assert_grids_equal(derived, partition_graph(graph, 16))
+
+    def test_vertex_count_must_match(self):
+        grid = partition_graph(rmat(64, 300, seed=9), 16)
+        other = rmat(128, 300, seed=9)
+        with pytest.raises(PartitionError):
+            mutate_grid(grid, other)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        n_ins=st.integers(min_value=0, max_value=12),
+        n_del=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches_match_full_rebuild(
+        self, seed, n_ins, n_del
+    ):
+        rng = np.random.default_rng(seed)
+        graph = rmat(96, 500, seed=1)
+        grid = partition_graph(graph, 24)
+        inserts = np.column_stack(
+            [
+                rng.integers(0, 96, size=n_ins),
+                rng.integers(0, 96, size=n_ins),
+                rng.uniform(0.5, 4.0, size=n_ins).round(3),
+            ]
+        ).astype(np.float64)
+        deletes = np.column_stack(
+            [
+                rng.integers(0, 96, size=n_del),
+                rng.integers(0, 96, size=n_del),
+            ]
+        ).astype(np.float64)
+        new_graph = graph.with_edges(inserts=inserts, deletes=deletes)
+        derived = mutate_grid(
+            grid, new_graph, inserts=inserts, deletes=deletes
+        )
+        assert_grids_equal(derived, partition_graph(new_graph, 24))
+
+
+class TestStoredGraphMutated:
+    def test_overlay_leaves_file_untouched(self, tmp_path):
+        from repro.graphs.io import save_store
+        from repro.storage.mmap_store import StoredGraph
+
+        graph = rmat(64, 300, seed=4)
+        path = str(tmp_path / "g.gsx")
+        save_store(graph, path)
+        stored = StoredGraph(path)
+        overlay = stored.mutated(
+            inserts=[[0, 1, 3.0]], deletes=None
+        )
+        assert (0, 1, 3.0) in edge_set(overlay)
+        # Reopening reads the original, unmutated bytes.
+        assert edge_set(StoredGraph(path).graph()) == edge_set(graph)

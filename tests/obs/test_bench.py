@@ -154,6 +154,14 @@ class TestDirections:
                      "layout.num_edges", "xbar.mean_rows"):
             assert bench.metric_direction(name) == "neutral"
 
+    def test_reuse_metrics(self):
+        assert bench.metric_direction("incremental.speedup") == "higher"
+        assert bench.metric_direction("reuse.hit_rate") == "higher"
+        # Raw component timings inform but never gate — the speedup
+        # ratio is the gated metric.
+        assert bench.metric_direction("incremental.full_s") == "neutral"
+        assert bench.metric_direction("incremental.incremental_s") == "neutral"
+
 
 class TestComparator:
     def test_injected_2x_slowdown_is_a_regression(self):
@@ -263,7 +271,7 @@ class TestBenchCLI:
         assert set(record["workloads"]) == {
             "engine.pagerank", "cam.search", "mac.accumulate",
             "traversal.superstep", "micro.traversal", "hw.pagerank",
-            "exp.abl-interval",
+            "incremental.pagerank", "exp.abl-interval",
         }
         # The kernel workloads carry crossbar-utilization stats, the
         # experiment workload the traced per-phase decomposition.
